@@ -1,0 +1,63 @@
+// §2 / §3.4 analytic overhead table: frame airtimes and the per-receiver
+// control cost of each protocol, straight from the timing model (no
+// simulation).  Reproduces the paper's arithmetic: 96 us PHY overhead per
+// frame, 56 us ACK body, 632n us of BMMM control airtime per data frame,
+// and the 352/17 = 20 receiver cap behind §3.4.
+#include <cstdio>
+
+#include "phy/frame.hpp"
+#include "phy/params.hpp"
+
+int main() {
+  using namespace rmacsim;
+  const PhyParams phy;
+
+  std::printf("==================================================================\n");
+  std::printf("§2 — Control-Frame Overhead Arithmetic (2 Mb/s, 802.11b PHY)\n");
+  std::printf("==================================================================\n");
+  std::printf("%-36s %10s %10s\n", "quantity", "paper", "model");
+  std::printf("%-36s %8.0fus %8.0fus\n", "PHY overhead per frame", 96.0,
+              phy.phy_overhead().to_us());
+  std::printf("%-36s %8.0fus %8.0fus\n", "ACK body (14 B @ 2 Mb/s)", 56.0,
+              (phy.frame_airtime(kAckBytes) - phy.phy_overhead()).to_us());
+  std::printf("%-36s %8.0fus %8.0fus\n", "RTS airtime (20 B)", 176.0,
+              phy.frame_airtime(kRtsBytes).to_us());
+  std::printf("%-36s %8.0fus %8.0fus\n", "CTS/ACK/RAK airtime (14 B)", 152.0,
+              phy.frame_airtime(kCtsBytes).to_us());
+
+  const double bmmm_per_rx = (phy.frame_airtime(kRtsBytes) + phy.frame_airtime(kCtsBytes) +
+                              phy.frame_airtime(kRakBytes) + phy.frame_airtime(kAckBytes))
+                                 .to_us();
+  std::printf("%-36s %8.0fus %8.0fus\n", "BMMM control cost per receiver", 632.0, bmmm_per_rx);
+
+  std::printf("\nMRTS airtime by receiver count (Fig. 3: 12 + 6n bytes):\n");
+  std::printf("%6s %10s %14s %20s\n", "n", "bytes", "MRTS airtime", "BMMM control (632n)");
+  constexpr std::size_t kReceiverCounts[] = {1, 2, 4, 8, 12, 16, 20};
+  for (const std::size_t n : kReceiverCounts) {
+    const std::size_t bytes = kMrtsFixedBytes + n * kMrtsPerReceiverBytes;
+    std::printf("%6zu %9zuB %12.0fus %18.0fus\n", n, bytes,
+                phy.frame_airtime(bytes).to_us(), 632.0 * static_cast<double>(n));
+  }
+
+  std::printf("\nRMAC vs BMMM per-multicast control airtime (sender side, 500 B data):\n");
+  std::printf("%6s %14s %14s %10s\n", "n", "RMAC (us)", "BMMM (us)", "ratio");
+  for (const std::size_t n : kReceiverCounts) {
+    const double rmac = phy.frame_airtime(kMrtsFixedBytes + n * kMrtsPerReceiverBytes).to_us() +
+                        static_cast<double>(n) * phy.tone_slot().to_us();
+    const double bmmm = 632.0 * static_cast<double>(n);
+    std::printf("%6zu %14.0f %14.0f %9.1fx\n", n, rmac, bmmm, bmmm / rmac);
+  }
+
+  std::printf("\n§3.4 receiver cap: shortest MRTS+data = %.0f us, ABT detect = %.0f us, "
+              "cap = %lld\n",
+              (phy.frame_airtime(kMrtsFixedBytes + kMrtsPerReceiverBytes) +
+               phy.frame_airtime(kRmacDataFramingBytes))
+                  .to_us(),
+              phy.tone_slot().to_us(),
+              static_cast<long long>(
+                  (phy.frame_airtime(kMrtsFixedBytes + kMrtsPerReceiverBytes) +
+                   phy.frame_airtime(kRmacDataFramingBytes))
+                      .nanoseconds() /
+                  phy.tone_slot().nanoseconds()));
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Extension figure: LAMM on the paper's evaluation grid, between RMAC and
+// BMMM.  [16] claimed LAMM improves on BMMM via location knowledge; the RMAC
+// paper never measured it.  This bench fills that gap: delivery and
+// transmission-overhead sweeps for all three protocols on identical
+// placements (shares the figure cache, so RMAC/BMMM columns are free).
+#include "sweep.hpp"
+
+int main() {
+  using namespace rmacsim;
+  using namespace rmacsim::bench;
+  const SweepScale scale = scale_from_env();
+  const std::vector<Protocol> protos{Protocol::kRmac, Protocol::kLamm, Protocol::kBmmm};
+  print_banner("Extension — LAMM vs RMAC vs BMMM on the paper grid",
+               "expected ordering: RMAC <= LAMM <= BMMM in overhead; delivery comparable",
+               scale);
+  const auto points = run_paper_sweep(protos, scale);
+  print_metric_table(points, protos, "R_deliv",
+                     [](const ExperimentResult& r) { return r.delivery_ratio; });
+  print_metric_table(points, protos, "R_txoh",
+                     [](const ExperimentResult& r) { return r.avg_txoh_ratio; });
+  print_metric_table(points, protos, "delay_s",
+                     [](const ExperimentResult& r) { return r.avg_delay_s; });
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7: packet delivery ratio (R_deliv) vs source rate, RMAC vs BMMM,
+// in stationary / speed1 / speed2 scenarios.
+#include "sweep.hpp"
+
+int main() {
+  using namespace rmacsim;
+  using namespace rmacsim::bench;
+  const SweepScale scale = scale_from_env();
+  const std::vector<Protocol> protos{Protocol::kRmac, Protocol::kBmmm};
+  print_banner("Figure 7 — Packet Delivery Ratio (R_deliv)",
+               "RMAC ~1.0 stationary, ~0.75 mobile; RMAC >> BMMM everywhere", scale);
+  const auto points = run_paper_sweep(protos, scale);
+  print_metric_table(points, protos, "R_deliv",
+                     [](const ExperimentResult& r) { return r.delivery_ratio; });
+  return 0;
+}

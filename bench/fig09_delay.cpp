@@ -1,0 +1,15 @@
+// Figure 9: average end-to-end delay (D), source to every node.
+#include "sweep.hpp"
+
+int main() {
+  using namespace rmacsim;
+  using namespace rmacsim::bench;
+  const SweepScale scale = scale_from_env();
+  const std::vector<Protocol> protos{Protocol::kRmac, Protocol::kBmmm};
+  print_banner("Figure 9 — Average End-to-End Delay (seconds)",
+               "RMAC < 2 s, rising slowly with rate; BMMM several times larger", scale);
+  const auto points = run_paper_sweep(protos, scale);
+  print_metric_table(points, protos, "delay_s",
+                     [](const ExperimentResult& r) { return r.avg_delay_s; });
+  return 0;
+}

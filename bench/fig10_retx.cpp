@@ -1,0 +1,15 @@
+// Figure 10: average packet retransmission ratio (R_retx) over non-leaf nodes.
+#include "sweep.hpp"
+
+int main() {
+  using namespace rmacsim;
+  using namespace rmacsim::bench;
+  const SweepScale scale = scale_from_env();
+  const std::vector<Protocol> protos{Protocol::kRmac, Protocol::kBmmm};
+  print_banner("Figure 10 — Average Packet Retransmission Ratio (R_retx)",
+               "RMAC <= 0.32 stationary, ~1 mobile; RMAC < BMMM (RBT protection)", scale);
+  const auto points = run_paper_sweep(protos, scale);
+  print_metric_table(points, protos, "R_retx",
+                     [](const ExperimentResult& r) { return r.avg_retx_ratio; });
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 11: average transmission overhead ratio (R_txoh) over non-leaf
+// nodes: (control tx + control rx + ABT checking) / reliable data tx time.
+#include "sweep.hpp"
+
+int main() {
+  using namespace rmacsim;
+  using namespace rmacsim::bench;
+  const SweepScale scale = scale_from_env();
+  const std::vector<Protocol> protos{Protocol::kRmac, Protocol::kBmmm};
+  print_banner("Figure 11 — Average Transmission Overhead Ratio (R_txoh)",
+               "RMAC 0.16-0.23 stationary vs BMMM 1.0-1.1; mobile both rise, RMAC < 1.1",
+               scale);
+  const auto points = run_paper_sweep(protos, scale);
+  print_metric_table(points, protos, "R_txoh",
+                     [](const ExperimentResult& r) { return r.avg_txoh_ratio; });
+  return 0;
+}

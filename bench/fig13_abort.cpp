@@ -1,0 +1,20 @@
+// Figure 13: average / 99th percentile / maximum MRTS abortion ratio
+// (R_abort) over non-leaf nodes (RMAC only).
+#include "sweep.hpp"
+
+int main() {
+  using namespace rmacsim;
+  using namespace rmacsim::bench;
+  const SweepScale scale = scale_from_env();
+  const std::vector<Protocol> protos{Protocol::kRmac};
+  print_banner("Figure 13 — MRTS Abortion Ratio (R_abort)",
+               "avg < 0.0035 and p99 < 0.03 stationary; slightly larger when mobile", scale);
+  const auto points = run_paper_sweep(protos, scale);
+  print_metric_table(points, protos, "R_abort avg",
+                     [](const ExperimentResult& r) { return r.abort_avg; });
+  print_metric_table(points, protos, "R_abort p99",
+                     [](const ExperimentResult& r) { return r.abort_p99; });
+  print_metric_table(points, protos, "R_abort max",
+                     [](const ExperimentResult& r) { return r.abort_max; });
+  return 0;
+}

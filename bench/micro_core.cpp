@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks for the simulator hot paths: event
+// scheduling, medium broadcast fan-out, tone-window queries, and a whole
+// small experiment as the end-to-end figure of merit.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/frame_builders.hpp"
+#include "phy/medium.hpp"
+#include "phy/tone_channel.hpp"
+#include "scenario/experiment.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace rmacsim;
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      sched.schedule_at(SimTime::ns(static_cast<std::int64_t>(x % 1'000'000'000)), [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleAndRun)->Arg(1'000)->Arg(100'000);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<EventId> ids;
+    ids.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(sched.schedule_at(SimTime::us(i + 1), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sched.cancel(ids[i]);
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_MediumBroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Scheduler sched;
+  Medium medium{sched, PhyParams{}, Rng{1}};
+  std::vector<std::unique_ptr<StationaryMobility>> mobs;
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Cluster within range of node 0.
+    mobs.push_back(std::make_unique<StationaryMobility>(
+        Vec2{static_cast<double>(i % 8) * 8.0, static_cast<double>(i / 8) * 8.0}));
+    radios.push_back(std::make_unique<Radio>(medium, static_cast<NodeId>(i), *mobs.back()));
+  }
+  auto pkt = std::make_shared<AppPacket>();
+  pkt->payload_bytes = 500;
+  for (auto _ : state) {
+    radios[0]->transmit(make_unreliable_data(0, kBroadcastId, pkt, 1));
+    sched.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MediumBroadcastFanout)->Arg(8)->Arg(75);
+
+void BM_ToneWindowQuery(benchmark::State& state) {
+  Scheduler sched;
+  PhyParams phy;
+  ToneChannel chan{sched, phy, "RBT"};
+  std::vector<std::unique_ptr<StationaryMobility>> mobs;
+  for (NodeId i = 0; i < 75; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(
+        Vec2{static_cast<double>(i % 10) * 50.0, static_cast<double>(i / 10) * 40.0}));
+    chan.attach(i, *mobs.back());
+  }
+  for (NodeId i = 1; i < 10; ++i) chan.set_tone(i, true);
+  sched.run_until(SimTime::us(100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chan.detected_in_window(0, SimTime::us(50), SimTime::us(90)));
+  }
+}
+BENCHMARK(BM_ToneWindowQuery);
+
+void BM_SmallExperimentEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig c;
+    c.protocol = Protocol::kRmac;
+    c.num_nodes = 20;
+    c.area = Rect{250.0, 250.0};
+    c.num_packets = 20;
+    c.rate_pps = 20.0;
+    c.warmup = SimTime::sec(10);
+    c.drain = SimTime::sec(2);
+    c.seed = 42;
+    const ExperimentResult r = run_experiment(c);
+    benchmark::DoNotOptimize(r.delivery_ratio);
+    state.counters["events"] = static_cast<double>(r.events_executed);
+  }
+}
+BENCHMARK(BM_SmallExperimentEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace

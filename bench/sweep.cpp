@@ -1,0 +1,200 @@
+#include "sweep.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "scenario/parallel_runner.hpp"
+#include "sim/strfmt.hpp"
+
+namespace rmacsim::bench {
+
+namespace {
+
+constexpr const char* kCachePath = "rmac_sweep_cache.tsv";
+
+unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+std::string config_key(const ExperimentConfig& c) {
+  return cat(to_string(c.protocol), '|', to_string(c.mobility), '|', c.rate_pps, '|',
+             c.num_packets, '|', c.num_nodes, '|', c.seed, '|', c.rbt_protection ? 1 : 0);
+}
+
+// Flat numeric serialization of an ExperimentResult (config is re-derived
+// from the key on load).
+std::string serialize(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << r.delivery_ratio << '\t' << r.avg_delay_s << '\t' << r.p99_delay_s << '\t'
+     << r.avg_drop_ratio << '\t' << r.avg_retx_ratio << '\t' << r.avg_txoh_ratio << '\t'
+     << r.mrts_len_avg << '\t' << r.mrts_len_p99 << '\t' << r.mrts_len_max << '\t'
+     << r.abort_avg << '\t' << r.abort_p99 << '\t' << r.abort_max << '\t'
+     << r.tree_hops_avg << '\t' << r.tree_hops_p99 << '\t' << r.tree_children_avg << '\t'
+     << r.tree_children_p99 << '\t' << r.mac_believed_success << '\t' << r.generated << '\t'
+     << r.delivered << '\t' << r.expected << '\t' << r.events_executed;
+  return os.str();
+}
+
+bool deserialize(const std::string& line, ExperimentResult& r) {
+  std::istringstream is{line};
+  return static_cast<bool>(
+      is >> r.delivery_ratio >> r.avg_delay_s >> r.p99_delay_s >> r.avg_drop_ratio >>
+      r.avg_retx_ratio >> r.avg_txoh_ratio >> r.mrts_len_avg >> r.mrts_len_p99 >>
+      r.mrts_len_max >> r.abort_avg >> r.abort_p99 >> r.abort_max >> r.tree_hops_avg >>
+      r.tree_hops_p99 >> r.tree_children_avg >> r.tree_children_p99 >>
+      r.mac_believed_success >> r.generated >> r.delivered >> r.expected >>
+      r.events_executed);
+}
+
+std::map<std::string, ExperimentResult> load_cache() {
+  std::map<std::string, ExperimentResult> cache;
+  std::ifstream in{kCachePath};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    ExperimentResult r;
+    if (deserialize(line.substr(tab + 1), r)) cache.emplace(line.substr(0, tab), r);
+  }
+  return cache;
+}
+
+void append_cache(const std::vector<std::pair<std::string, ExperimentResult>>& fresh) {
+  std::ofstream out{kCachePath, std::ios::app};
+  for (const auto& [key, r] : fresh) out << key << '\t' << serialize(r) << '\n';
+}
+
+}  // namespace
+
+SweepScale scale_from_env() {
+  SweepScale s;
+  if (env_unsigned("RMAC_FULL", 0) != 0) {
+    s.seeds = 10;
+    s.packets = 10'000;
+  }
+  s.seeds = env_unsigned("RMAC_SEEDS", s.seeds);
+  s.packets = env_unsigned("RMAC_PACKETS", s.packets);
+  s.threads = env_unsigned("RMAC_THREADS", 0);
+  return s;
+}
+
+std::vector<SweepPoint> run_paper_sweep(const std::vector<Protocol>& protocols,
+                                        const SweepScale& scale) {
+  const MobilityScenario scenarios[] = {MobilityScenario::kStationary,
+                                        MobilityScenario::kSpeed1,
+                                        MobilityScenario::kSpeed2};
+  auto cache = load_cache();
+
+  // Build the grid of single-run configs, skipping cached ones.
+  std::vector<SweepPoint> points;
+  std::vector<ExperimentConfig> missing;
+  for (const Protocol proto : protocols) {
+    for (const MobilityScenario mob : scenarios) {
+      for (const double rate : scale.rates) {
+        SweepPoint p;
+        p.protocol = proto;
+        p.mobility = mob;
+        p.rate_pps = rate;
+        for (unsigned s = 0; s < scale.seeds; ++s) {
+          ExperimentConfig c;
+          c.protocol = proto;
+          c.mobility = mob;
+          c.rate_pps = rate;
+          c.num_packets = scale.packets;
+          c.num_nodes = scale.nodes;
+          c.seed = s + 1;
+          const auto it = cache.find(config_key(c));
+          if (it == cache.end()) missing.push_back(c);
+          // Per-seed results are filled in below once everything ran.
+        }
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  if (!missing.empty()) {
+    std::fprintf(stderr, "[sweep] running %zu experiments (%u seeds x %u packets)...\n",
+                 missing.size(), scale.seeds, scale.packets);
+    std::size_t done = 0;
+    const auto results = run_experiments(missing, scale.threads,
+                                         [&](const ExperimentResult& r) {
+                                           ++done;
+                                           std::fprintf(stderr, "[sweep] %zu/%zu %s\r", done,
+                                                        missing.size(), r.config.label().c_str());
+                                         });
+    std::fprintf(stderr, "\n");
+    std::vector<std::pair<std::string, ExperimentResult>> fresh;
+    fresh.reserve(results.size());
+    for (const ExperimentResult& r : results) {
+      const std::string key = config_key(r.config);
+      cache.emplace(key, r);
+      fresh.emplace_back(key, r);
+    }
+    append_cache(fresh);
+  }
+
+  // Assemble averaged points from the (now complete) cache.
+  for (SweepPoint& p : points) {
+    for (unsigned s = 0; s < scale.seeds; ++s) {
+      ExperimentConfig c;
+      c.protocol = p.protocol;
+      c.mobility = p.mobility;
+      c.rate_pps = p.rate_pps;
+      c.num_packets = scale.packets;
+      c.num_nodes = scale.nodes;
+      c.seed = s + 1;
+      p.runs.push_back(cache.at(config_key(c)));
+      p.runs.back().config = c;
+    }
+    p.avg = average_results(p.runs);
+  }
+  return points;
+}
+
+void print_banner(const std::string& figure, const std::string& paper_summary,
+                  const SweepScale& scale) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("  paper: %s\n", paper_summary.c_str());
+  std::printf("  scale: %u nodes, %u seeds, %u packets/run (RMAC_FULL=1 for 10x10000)\n",
+              scale.nodes, scale.seeds, scale.packets);
+  std::printf("==================================================================\n");
+}
+
+void print_metric_table(const std::vector<SweepPoint>& points,
+                        const std::vector<Protocol>& protocols,
+                        const std::string& metric_name,
+                        double (*extract)(const ExperimentResult&)) {
+  const MobilityScenario scenarios[] = {MobilityScenario::kStationary,
+                                        MobilityScenario::kSpeed1,
+                                        MobilityScenario::kSpeed2};
+  for (const MobilityScenario mob : scenarios) {
+    std::printf("\n-- %s: %s --\n", to_string(mob), metric_name.c_str());
+    std::printf("%10s", "rate");
+    for (const Protocol proto : protocols) std::printf("%14s", to_string(proto));
+    std::printf("\n");
+    // Collect rates present for this scenario.
+    std::vector<double> rates;
+    for (const SweepPoint& p : points) {
+      if (p.mobility == mob && p.protocol == protocols.front()) rates.push_back(p.rate_pps);
+    }
+    for (const double rate : rates) {
+      std::printf("%8.0f/s", rate);
+      for (const Protocol proto : protocols) {
+        for (const SweepPoint& p : points) {
+          if (p.mobility == mob && p.protocol == proto && p.rate_pps == rate) {
+            std::printf("%14.4f", extract(p.avg));
+          }
+        }
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace rmacsim::bench

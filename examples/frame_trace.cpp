@@ -1,0 +1,56 @@
+// Frame-level trace of the Fig. 4 sequence: node A reliably multicasts to
+// nodes B and C; every PHY transmission, busy-tone edge, and MAC state
+// transition is printed with its timestamp — a direct, inspectable replay
+// of the paper's protocol walkthrough.
+#include <cstdio>
+#include <memory>
+
+#include "mac/rmac/rmac_protocol.hpp"
+#include "phy/medium.hpp"
+#include "phy/tone_channel.hpp"
+
+using namespace rmacsim;
+
+int main() {
+  Tracer tracer;
+  tracer.set_sink([](const TraceRecord& r) {
+    const char node_name = r.node <= 2 ? static_cast<char>('A' + r.node) : '?';
+    std::printf("[%9.2f us] %-9s node %c  %s\n", r.at.to_us(),
+                std::string(to_string(r.category)).c_str(), node_name, r.message.c_str());
+  });
+
+  Scheduler sched;
+  Medium medium{sched, PhyParams{}, Rng{3}, &tracer};
+  ToneChannel rbt{sched, medium.params(), "RBT", &tracer};
+  ToneChannel abt{sched, medium.params(), "ABT", &tracer};
+
+  struct Silent final : MacUpper {
+    void mac_deliver(const Frame&) override {}
+  } upper;
+
+  std::vector<std::unique_ptr<StationaryMobility>> mobs;
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<std::unique_ptr<RmacProtocol>> macs;
+  const Vec2 positions[] = {{0, 0}, {50, 0}, {0, 50}};  // A, B, C
+  for (NodeId id = 0; id < 3; ++id) {
+    mobs.push_back(std::make_unique<StationaryMobility>(positions[id]));
+    radios.push_back(std::make_unique<Radio>(medium, id, *mobs.back()));
+    rbt.attach(id, *mobs.back());
+    abt.attach(id, *mobs.back());
+    macs.push_back(std::make_unique<RmacProtocol>(sched, *radios.back(), rbt, abt,
+                                                  Rng{id + 40},
+                                                  RmacProtocol::Params{MacParams{}, true},
+                                                  &tracer));
+    macs.back()->set_upper(&upper);
+  }
+
+  std::printf("Fig. 4 replay: A multicasts one reliable 500 B frame to {B, C}\n");
+  std::printf("expected: MRTS -> RBTs on -> DATA -> RBTs off -> ABT(B) then ABT(C)\n\n");
+  auto pkt = std::make_shared<AppPacket>();
+  pkt->origin = 0;
+  pkt->seq = 1;
+  pkt->payload_bytes = 500;
+  macs[0]->reliable_send(pkt, {1, 2});
+  sched.run_until(SimTime::ms(20));
+  return 0;
+}

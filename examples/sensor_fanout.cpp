@@ -1,0 +1,112 @@
+// Sparse sensor network scenario (§1 names sparse sensor networks as a
+// target workload): a sink periodically multicasts configuration updates to
+// a sparse field of sensors over a noisy channel.  Demonstrates RMAC's ARQ
+// recovering from bit errors where the plain unreliable service loses
+// frames silently.
+//
+//   ./build/examples/sensor_fanout [ber]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "mac/rmac/rmac_protocol.hpp"
+#include "phy/medium.hpp"
+#include "phy/tone_channel.hpp"
+
+using namespace rmacsim;
+
+namespace {
+
+struct CountingUpper final : MacUpper {
+  int received{0};
+  int send_failures{0};
+  std::unordered_set<std::uint32_t> seen;  // dedupe MAC-level retransmissions
+  void mac_deliver(const Frame& frame) override {
+    if (frame.is_data() && frame.packet && seen.insert(frame.packet->seq).second) ++received;
+  }
+  void mac_reliable_done(const ReliableSendResult& r) override {
+    if (!r.success) ++send_failures;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double ber = argc > 1 ? std::atof(argv[1]) : 5e-5;
+
+  PhyParams phy;
+  phy.bit_error_rate = ber;
+
+  Scheduler sched;
+  Medium medium{sched, phy, Rng{99}};
+  ToneChannel rbt{sched, medium.params(), "RBT"};
+  ToneChannel abt{sched, medium.params(), "ABT"};
+
+  // Sink at the centre, 12 sensors scattered within range.
+  std::vector<std::unique_ptr<StationaryMobility>> mobs;
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<std::unique_ptr<RmacProtocol>> macs;
+  std::vector<std::unique_ptr<CountingUpper>> uppers;
+  Rng placement{4242};
+  for (NodeId id = 0; id < 13; ++id) {
+    const Vec2 pos = id == 0 ? Vec2{0.0, 0.0}
+                             : Vec2{placement.uniform(-50.0, 50.0),
+                                    placement.uniform(-50.0, 50.0)};
+    mobs.push_back(std::make_unique<StationaryMobility>(pos));
+    radios.push_back(std::make_unique<Radio>(medium, id, *mobs.back()));
+    rbt.attach(id, *mobs.back());
+    abt.attach(id, *mobs.back());
+    macs.push_back(std::make_unique<RmacProtocol>(sched, *radios.back(), rbt, abt,
+                                                  Rng{id + 7},
+                                                  RmacProtocol::Params{MacParams{}, true}));
+    uppers.push_back(std::make_unique<CountingUpper>());
+    macs.back()->set_upper(uppers.back().get());
+  }
+
+  std::vector<NodeId> sensors;
+  for (NodeId id = 1; id < 13; ++id) sensors.push_back(id);
+
+  const int kUpdates = 50;
+  std::printf("sensor fan-out: sink -> 12 sensors, %d config updates of 200 B, "
+              "BER %.0e\n\n", kUpdates, ber);
+
+  // Phase 1: reliable multicast.
+  for (int u = 0; u < kUpdates; ++u) {
+    auto pkt = std::make_shared<AppPacket>();
+    pkt->origin = 0;
+    pkt->seq = static_cast<std::uint32_t>(u);
+    pkt->payload_bytes = 200;
+    macs[0]->reliable_send(std::move(pkt), sensors);
+  }
+  sched.run_until(SimTime::sec(30));
+  int reliable_received = 0;
+  for (std::size_t i = 1; i < uppers.size(); ++i) reliable_received += uppers[i]->received;
+
+  // Phase 2: the same load via the unreliable service.
+  for (auto& u : uppers) u->received = 0;
+  for (int u = 0; u < kUpdates; ++u) {
+    auto pkt = std::make_shared<AppPacket>();
+    pkt->origin = 0;
+    pkt->seq = static_cast<std::uint32_t>(1000 + u);
+    pkt->payload_bytes = 200;
+    macs[0]->unreliable_send(std::move(pkt), kBroadcastId);
+  }
+  sched.run_until(sched.now() + SimTime::sec(30));
+  int unreliable_received = 0;
+  for (std::size_t i = 1; i < uppers.size(); ++i) unreliable_received += uppers[i]->received;
+
+  const int expected = kUpdates * 12;
+  const MacStats& s = macs[0]->stats();
+  std::printf("Reliable Send:   %4d/%d receptions (%.1f%%), %llu retransmissions, "
+              "%llu drops\n",
+              reliable_received, expected, 100.0 * reliable_received / expected,
+              static_cast<unsigned long long>(s.retransmissions),
+              static_cast<unsigned long long>(s.reliable_dropped));
+  std::printf("Unreliable Send: %4d/%d receptions (%.1f%%), 0 retransmissions by design\n",
+              unreliable_received, expected, 100.0 * unreliable_received / expected);
+  std::printf("\nThe ARQ machinery (MRTS rebuild from silent ABT slots) recovers what\n"
+              "the noisy channel corrupts; the unreliable service shows the raw loss.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// 2-D geometry primitives for node placement and mobility.
+#pragma once
+
+#include <cmath>
+
+namespace rmacsim {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  [[nodiscard]] friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  [[nodiscard]] friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  [[nodiscard]] friend constexpr Vec2 operator*(Vec2 a, double k) noexcept { return {a.x * k, a.y * k}; }
+  [[nodiscard]] friend constexpr Vec2 operator*(double k, Vec2 a) noexcept { return a * k; }
+  [[nodiscard]] friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return x * x + y * y; }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) noexcept { return (a - b).norm_sq(); }
+
+// Axis-aligned deployment area, e.g. the paper's 500 m x 300 m plain.
+struct Rect {
+  double width{0.0};
+  double height{0.0};
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,287 @@
+#include "mac/bmw/bmw_protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace rmacsim {
+
+namespace {
+// BMW's RTS/CTS carry a sequence number (the receiver's expected frame); the
+// generic builders do not, so build the frames directly.
+FramePtr bmw_rts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration) {
+  Frame f;
+  f.type = FrameType::kRts;
+  f.transmitter = tx;
+  f.dest = dest;
+  f.seq = seq;
+  f.duration = duration;
+  return std::make_shared<const Frame>(std::move(f));
+}
+FramePtr bmw_cts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration) {
+  Frame f;
+  f.type = FrameType::kCts;
+  f.transmitter = tx;
+  f.dest = dest;
+  f.seq = seq;
+  f.duration = duration;
+  return std::make_shared<const Frame>(std::move(f));
+}
+}  // namespace
+
+BmwProtocol::BmwProtocol(Scheduler& scheduler, Radio& radio, Rng rng, MacParams params,
+                         Tracer* tracer)
+    : Dot11Base{scheduler, radio, rng, params, tracer} {}
+
+void BmwProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
+  assert(packet != nullptr);
+  if (receivers.empty()) {
+    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    return;
+  }
+  if (!queue_admit(params_)) {
+    ReliableSendResult r;
+    r.packet = std::move(packet);
+    r.failed_receivers = std::move(receivers);
+    report_done(r);
+    return;
+  }
+  TxRequest req;
+  req.reliable = true;
+  req.packet = std::move(packet);
+  req.receivers = std::move(receivers);
+  ++stats_.reliable_requests;
+  queue_.push_back(std::move(req));
+  maybe_start();
+}
+
+void BmwProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
+  assert(packet != nullptr);
+  if (!queue_admit(params_)) return;
+  TxRequest req;
+  req.reliable = false;
+  req.packet = std::move(packet);
+  req.dest = dest;
+  ++stats_.unreliable_requests;
+  queue_.push_back(std::move(req));
+  maybe_start();
+}
+
+void BmwProtocol::maybe_start() {
+  if (step_ != Step::kIdle && step_ != Step::kContend) return;
+  if (!active_.has_value()) {
+    if (queue_.empty()) return;
+    Active a;
+    a.req = std::move(queue_.front());
+    queue_.pop_front();
+    a.pending = a.req.receivers;
+    active_.emplace(std::move(a));
+  }
+  step_ = Step::kContend;
+  contend();
+}
+
+void BmwProtocol::on_contention_won() {
+  if (!active_.has_value()) {
+    if (queue_.empty()) {
+      step_ = Step::kIdle;
+      return;
+    }
+    Active a;
+    a.req = std::move(queue_.front());
+    queue_.pop_front();
+    a.pending = a.req.receivers;
+    active_.emplace(std::move(a));
+  }
+  Active& a = *active_;
+  if (!a.req.reliable) {
+    if (!transmit_now(make_data80211(id(), a.req.dest, {}, a.req.packet, a.req.packet->seq,
+                                     SimTime::zero()))) {
+      step_ = Step::kContend;
+      post_tx_backoff();
+    }
+    return;
+  }
+  ++contention_phases_;
+  if (a.rr >= a.pending.size()) a.rr = 0;
+  current_receiver_ = a.pending[a.rr];
+  unsigned& tries = a.attempts[current_receiver_];
+  ++tries;
+  if (tries > 1) ++stats_.retransmissions;
+  step_ = Step::kWfCts;
+  const SimTime nav = phy_.sifs + airtime_bytes(kCtsBytes) + phy_.sifs +
+                      airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) +
+                      phy_.sifs + airtime_bytes(kAckBytes) + 4 * phy_.max_propagation;
+  FramePtr rts = bmw_rts(id(), current_receiver_, a.req.packet->seq, nav);
+  count_control_tx(*rts);
+  if (!transmit_now(std::move(rts))) receiver_attempt_failed(current_receiver_);
+}
+
+void BmwProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) {
+  if (!active_.has_value()) return;
+  switch (frame->type) {
+    case FrameType::kRts:
+      timeout_ = scheduler_.schedule_in(
+          phy_.sifs + airtime_bytes(kCtsBytes) + 2 * phy_.max_propagation + phy_.slot,
+          [this] { on_cts_timeout(); });
+      return;
+    case FrameType::kData80211:
+      if (!active_->req.reliable) {
+        active_.reset();
+        step_ = Step::kIdle;
+        post_tx_backoff();
+        maybe_start();
+        return;
+      }
+      stats_.reliable_data_tx_time += airtime(*frame);
+      step_ = Step::kWfAck;
+      timeout_ = scheduler_.schedule_in(
+          phy_.sifs + airtime_bytes(kAckBytes) + 2 * phy_.max_propagation + phy_.slot,
+          [this] { on_ack_timeout(); });
+      return;
+    default:
+      return;
+  }
+}
+
+void BmwProtocol::handle_frame(const FramePtr& frame) {
+  switch (frame->type) {
+    case FrameType::kRts: {
+      // Like BMMM, a BMW receiver answers an RTS addressed to it even with a
+      // set NAV: within the sender's receiver round-robin, earlier exchanges
+      // of the same logical broadcast raised it (and a caught-up CTS ends an
+      // exchange far before its advertised reservation).  Only a node busy
+      // with an exchange of its own stays silent.
+      if (step_ != Step::kIdle && step_ != Step::kContend) return;
+      // CTS advertises the sequence we still need: rts.seq if the frame is
+      // missing, rts.seq + 1 if we already overheard it (caught up).
+      const bool caught_up = have_data(frame->transmitter, frame->seq);
+      // A caught-up CTS terminates the exchange: claim nothing beyond itself.
+      const SimTime claim = caught_up
+                                ? SimTime::zero()
+                                : frame->duration - phy_.sifs - airtime_bytes(kCtsBytes);
+      FramePtr cts = bmw_cts(id(), frame->transmitter,
+                             caught_up ? frame->seq + 1 : frame->seq, claim);
+      count_control_tx(*cts);
+      respond_after_sifs(std::move(cts));
+      return;
+    }
+    case FrameType::kCts: {
+      if (step_ != Step::kWfCts || !active_.has_value() ||
+          frame->transmitter != current_receiver_) {
+        return;
+      }
+      scheduler_.cancel(timeout_);
+      timeout_ = kInvalidEvent;
+      if (frame->seq > active_->req.packet->seq) {
+        // Receiver overheard a previous transmission: already has the frame.
+        receiver_confirmed(current_receiver_);
+        return;
+      }
+      const TxRequest& req = active_->req;
+      FramePtr data = make_data80211(id(), current_receiver_, req.receivers, req.packet,
+                                     req.packet->seq, phy_.sifs + airtime_bytes(kAckBytes));
+      respond_after_sifs(std::move(data), [this] {
+        if (step_ == Step::kWfCts && active_.has_value()) {
+          receiver_attempt_failed(current_receiver_);
+        }
+      });
+      return;
+    }
+    case FrameType::kData80211: {
+      // Dedup applies only to data frames that belong to a recovery exchange
+      // (duration > 0: they reserve the medium for their ACK, and can be
+      // retransmitted).  One-shot data — hellos and 802.11-style multicast —
+      // shares the transmitter's seq space with reliable traffic and must
+      // never be swallowed by the duplicate filter.
+      if (frame->duration <= SimTime::zero()) {
+        deliver_up(*frame);
+        return;
+      }
+      if (remember_data(frame->transmitter, frame->seq)) deliver_up(*frame);
+      if (frame->dest == id() && (step_ == Step::kIdle || step_ == Step::kContend)) {
+        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq);
+        count_control_tx(*ack);
+        respond_after_sifs(std::move(ack));
+      }
+      return;
+    }
+    case FrameType::kAck:
+      if (step_ == Step::kWfAck && active_.has_value() &&
+          frame->transmitter == current_receiver_) {
+        scheduler_.cancel(timeout_);
+        timeout_ = kInvalidEvent;
+        receiver_confirmed(current_receiver_);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void BmwProtocol::on_cts_timeout() {
+  timeout_ = kInvalidEvent;
+  if (step_ != Step::kWfCts) return;
+  receiver_attempt_failed(current_receiver_);
+}
+
+void BmwProtocol::on_ack_timeout() {
+  timeout_ = kInvalidEvent;
+  if (step_ != Step::kWfAck) return;
+  receiver_attempt_failed(current_receiver_);
+}
+
+void BmwProtocol::receiver_confirmed(NodeId r) {
+  Active& a = *active_;
+  std::erase(a.pending, r);
+  reset_cw();
+  next_receiver();
+}
+
+void BmwProtocol::receiver_attempt_failed(NodeId r) {
+  Active& a = *active_;
+  if (a.attempts[r] > params_.retry_limit) {
+    a.failed.push_back(r);
+    std::erase(a.pending, r);
+  } else {
+    ++a.rr;  // move on; the round-robin returns to this receiver later
+    bump_cw();
+  }
+  next_receiver();
+}
+
+void BmwProtocol::next_receiver() {
+  Active& a = *active_;
+  if (a.pending.empty()) {
+    finish();
+    return;
+  }
+  step_ = Step::kContend;
+  backoff_.draw(cw_);
+  contend();
+}
+
+void BmwProtocol::finish() {
+  Active& a = *active_;
+  ReliableSendResult result;
+  result.packet = a.req.packet;
+  result.success = a.failed.empty();
+  result.failed_receivers = a.failed;
+  unsigned total = 0;
+  for (const auto& [r, n] : a.attempts) total += n;
+  result.transmissions = total;
+  if (result.success) {
+    ++stats_.reliable_delivered;
+  } else {
+    ++stats_.reliable_dropped;
+  }
+  active_.reset();
+  reset_cw();
+  step_ = Step::kIdle;
+  report_done(result);
+  post_tx_backoff();
+  maybe_start();
+}
+
+}  // namespace rmacsim

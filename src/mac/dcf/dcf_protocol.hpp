@@ -1,0 +1,53 @@
+// IEEE 802.11 DCF baseline.
+//
+// Reliable unicast uses the RTS/CTS/DATA/ACK exchange with NAV-based virtual
+// carrier sense; multicast/broadcast transmit the data frame once without
+// recovery — exactly the 802.11 behaviour the paper's introduction
+// describes.  Serves both as a standalone baseline and as the behavioural
+// reference for the BMMM/BMW extensions built on Dot11Base.
+#pragma once
+
+#include <optional>
+
+#include "mac/dcf/dot11_base.hpp"
+
+namespace rmacsim {
+
+class DcfProtocol final : public Dot11Base {
+public:
+  DcfProtocol(Scheduler& scheduler, Radio& radio, Rng rng, MacParams params = MacParams{},
+              Tracer* tracer = nullptr);
+
+  void reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) override;
+  void unreliable_send(AppPacketPtr packet, NodeId dest) override;
+  [[nodiscard]] std::string name() const override { return "802.11-DCF"; }
+
+  void on_transmit_complete(const FramePtr& frame, bool aborted) override;
+
+  enum class State : std::uint8_t { kIdle, kContend, kWfCts, kWfAck };
+  [[nodiscard]] State state() const noexcept { return state_; }
+
+private:
+  struct Active {
+    TxRequest req;
+    unsigned attempts{0};
+  };
+
+  void on_contention_won() override;
+  void handle_frame(const FramePtr& frame) override;
+
+  void maybe_start();
+  void start_unicast_exchange();
+  void on_cts_timeout();
+  void on_ack_timeout();
+  void attempt_failed();
+  void finish(bool success);
+
+  [[nodiscard]] SimTime exchange_duration_after_rts(std::size_t payload) const;
+
+  State state_{State::kIdle};
+  std::optional<Active> active_;
+  EventId timeout_{kInvalidEvent};
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,27 @@
+// Convenience constructors for the MAC frame types.
+#pragma once
+
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "sim/ids.hpp"
+
+namespace rmacsim {
+
+[[nodiscard]] FramePtr make_mrts(NodeId transmitter, std::vector<NodeId> receivers,
+                                 std::uint32_t seq);
+[[nodiscard]] FramePtr make_reliable_data(NodeId transmitter, std::vector<NodeId> receivers,
+                                          AppPacketPtr packet, std::uint32_t seq);
+[[nodiscard]] FramePtr make_unreliable_data(NodeId transmitter, NodeId dest, AppPacketPtr packet,
+                                            std::uint32_t seq);
+[[nodiscard]] FramePtr make_rts(NodeId transmitter, NodeId dest, SimTime duration);
+[[nodiscard]] FramePtr make_cts(NodeId transmitter, NodeId dest, SimTime duration,
+                                std::uint32_t seq = 0);
+[[nodiscard]] FramePtr make_data80211(NodeId transmitter, NodeId dest,
+                                      std::vector<NodeId> group, AppPacketPtr packet,
+                                      std::uint32_t seq, SimTime duration);
+[[nodiscard]] FramePtr make_ack(NodeId transmitter, NodeId dest, std::uint32_t seq = 0);
+[[nodiscard]] FramePtr make_rak(NodeId transmitter, NodeId dest, std::uint32_t seq,
+                                SimTime duration);
+
+}  // namespace rmacsim

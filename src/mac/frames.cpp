@@ -1,0 +1,96 @@
+#include "mac/frame_builders.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace rmacsim {
+
+namespace {
+FramePtr finish(Frame f) { return std::make_shared<const Frame>(std::move(f)); }
+}  // namespace
+
+FramePtr make_mrts(NodeId transmitter, std::vector<NodeId> receivers, std::uint32_t seq) {
+  Frame f;
+  f.type = FrameType::kMrts;
+  f.transmitter = transmitter;
+  f.dest = kInvalidNode;  // MRTS addresses via the receiver sequence only
+  f.receivers = std::move(receivers);
+  f.seq = seq;
+  return finish(std::move(f));
+}
+
+FramePtr make_reliable_data(NodeId transmitter, std::vector<NodeId> receivers,
+                            AppPacketPtr packet, std::uint32_t seq) {
+  Frame f;
+  f.type = FrameType::kReliableData;
+  f.transmitter = transmitter;
+  f.dest = kInvalidNode;
+  f.receivers = std::move(receivers);
+  f.packet = std::move(packet);
+  f.seq = seq;
+  return finish(std::move(f));
+}
+
+FramePtr make_unreliable_data(NodeId transmitter, NodeId dest, AppPacketPtr packet,
+                              std::uint32_t seq) {
+  Frame f;
+  f.type = FrameType::kUnreliableData;
+  f.transmitter = transmitter;
+  f.dest = dest;
+  f.packet = std::move(packet);
+  f.seq = seq;
+  return finish(std::move(f));
+}
+
+FramePtr make_rts(NodeId transmitter, NodeId dest, SimTime duration) {
+  Frame f;
+  f.type = FrameType::kRts;
+  f.transmitter = transmitter;
+  f.dest = dest;
+  f.duration = duration;
+  return finish(std::move(f));
+}
+
+FramePtr make_cts(NodeId transmitter, NodeId dest, SimTime duration, std::uint32_t seq) {
+  Frame f;
+  f.type = FrameType::kCts;
+  f.transmitter = transmitter;
+  f.dest = dest;
+  f.duration = duration;
+  f.seq = seq;
+  return finish(std::move(f));
+}
+
+FramePtr make_data80211(NodeId transmitter, NodeId dest, std::vector<NodeId> group,
+                        AppPacketPtr packet, std::uint32_t seq, SimTime duration) {
+  Frame f;
+  f.type = FrameType::kData80211;
+  f.transmitter = transmitter;
+  f.dest = dest;
+  f.receivers = std::move(group);
+  f.packet = std::move(packet);
+  f.seq = seq;
+  f.duration = duration;
+  return finish(std::move(f));
+}
+
+FramePtr make_ack(NodeId transmitter, NodeId dest, std::uint32_t seq) {
+  Frame f;
+  f.type = FrameType::kAck;
+  f.transmitter = transmitter;
+  f.dest = dest;
+  f.seq = seq;
+  return finish(std::move(f));
+}
+
+FramePtr make_rak(NodeId transmitter, NodeId dest, std::uint32_t seq, SimTime duration) {
+  Frame f;
+  f.type = FrameType::kRak;
+  f.transmitter = transmitter;
+  f.dest = dest;
+  f.seq = seq;
+  f.duration = duration;
+  return finish(std::move(f));
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,268 @@
+#include "mac/lamm/lamm_protocol.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace rmacsim {
+
+namespace {
+FramePtr make_grts(NodeId tx, std::vector<NodeId> receivers, std::uint32_t seq,
+                   SimTime duration) {
+  Frame f;
+  f.type = FrameType::kGrts;
+  f.transmitter = tx;
+  f.dest = kInvalidNode;
+  f.receivers = std::move(receivers);
+  f.seq = seq;
+  f.duration = duration;
+  return std::make_shared<const Frame>(std::move(f));
+}
+}  // namespace
+
+LammProtocol::LammProtocol(Scheduler& scheduler, Radio& radio, Rng rng, MacParams params,
+                           Tracer* tracer)
+    : Dot11Base{scheduler, radio, rng, params, tracer} {}
+
+void LammProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
+  assert(packet != nullptr);
+  if (receivers.empty()) {
+    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    return;
+  }
+  if (!queue_admit(params_)) {
+    ReliableSendResult r;
+    r.packet = std::move(packet);
+    r.failed_receivers = std::move(receivers);
+    report_done(r);
+    return;
+  }
+  TxRequest req;
+  req.reliable = true;
+  req.packet = std::move(packet);
+  req.receivers = std::move(receivers);
+  ++stats_.reliable_requests;
+  queue_.push_back(std::move(req));
+  maybe_start();
+}
+
+void LammProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
+  assert(packet != nullptr);
+  if (!queue_admit(params_)) return;
+  TxRequest req;
+  req.reliable = false;
+  req.packet = std::move(packet);
+  req.dest = dest;
+  ++stats_.unreliable_requests;
+  queue_.push_back(std::move(req));
+  maybe_start();
+}
+
+void LammProtocol::maybe_start() {
+  if (phase_ != Phase::kIdle && phase_ != Phase::kContend) return;
+  if (!active_.has_value()) {
+    if (queue_.empty()) return;
+    Active a;
+    a.req = std::move(queue_.front());
+    queue_.pop_front();
+    a.remaining = a.req.receivers;
+    active_.emplace(std::move(a));
+  }
+  phase_ = Phase::kContend;
+  contend();
+}
+
+void LammProtocol::on_contention_won() {
+  if (!active_.has_value()) {
+    if (queue_.empty()) {
+      phase_ = Phase::kIdle;
+      return;
+    }
+    Active a;
+    a.req = std::move(queue_.front());
+    queue_.pop_front();
+    a.remaining = a.req.receivers;
+    active_.emplace(std::move(a));
+  }
+  if (!active_->req.reliable) {
+    if (!transmit_now(make_data80211(id(), active_->req.dest, {}, active_->req.packet,
+                                     active_->req.packet->seq, SimTime::zero()))) {
+      phase_ = Phase::kContend;
+      post_tx_backoff();
+    }
+    return;
+  }
+  begin_round();
+}
+
+void LammProtocol::begin_round() {
+  Active& a = *active_;
+  ++a.rounds;
+  if (a.rounds > 1) ++stats_.retransmissions;
+  a.responded.clear();
+  a.acked.clear();
+  const auto n = static_cast<std::int64_t>(a.remaining.size());
+  // NAV from the GRTS covers the CTS window, DATA, and the ACK window.
+  const SimTime nav =
+      n * cts_slot() + phy_.sifs +
+      airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) + phy_.sifs +
+      n * ack_slot() + 8 * phy_.max_propagation;
+  FramePtr grts = make_grts(id(), a.remaining, a.req.packet->seq, nav);
+  stats_.control_tx_time += airtime(*grts);
+  phase_ = Phase::kCtsWindow;
+  if (!transmit_now(std::move(grts))) round_failed();
+}
+
+void LammProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) {
+  if (!active_.has_value()) return;
+  switch (frame->type) {
+    case FrameType::kGrts: {
+      // Listen through all n self-scheduled CTS slots.
+      const auto n = static_cast<std::int64_t>(active_->remaining.size());
+      window_timer_ = scheduler_.schedule_in(
+          n * cts_slot() + 2 * phy_.max_propagation + phy_.slot,
+          [this] { on_cts_window_end(); });
+      return;
+    }
+    case FrameType::kData80211:
+      if (!active_->req.reliable) {
+        active_.reset();
+        phase_ = Phase::kIdle;
+        post_tx_backoff();
+        maybe_start();
+        return;
+      }
+      stats_.reliable_data_tx_time += airtime(*frame);
+      phase_ = Phase::kAckWindow;
+      {
+        const auto n = static_cast<std::int64_t>(active_->remaining.size());
+        window_timer_ = scheduler_.schedule_in(
+            n * ack_slot() + 2 * phy_.max_propagation + phy_.slot,
+            [this] { on_ack_window_end(); });
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void LammProtocol::on_cts_window_end() {
+  window_timer_ = kInvalidEvent;
+  if (!active_.has_value() || phase_ != Phase::kCtsWindow) return;
+  Active& a = *active_;
+  if (a.responded.empty()) {
+    round_failed();
+    return;
+  }
+  const auto n = static_cast<std::int64_t>(a.remaining.size());
+  const SimTime nav = phy_.sifs + n * ack_slot() + 4 * phy_.max_propagation;
+  if (!transmit_now(make_data80211(id(), kInvalidNode, a.remaining, a.req.packet,
+                                   a.req.packet->seq, nav))) {
+    round_failed();
+  }
+}
+
+void LammProtocol::on_ack_window_end() {
+  window_timer_ = kInvalidEvent;
+  if (!active_.has_value() || phase_ != Phase::kAckWindow) return;
+  Active& a = *active_;
+  std::vector<NodeId> failed;
+  for (NodeId r : a.remaining) {
+    if (!a.acked.contains(r)) failed.push_back(r);
+  }
+  if (failed.empty()) {
+    finish(/*success=*/true);
+    return;
+  }
+  a.remaining = std::move(failed);
+  round_failed();
+}
+
+void LammProtocol::handle_frame(const FramePtr& frame) {
+  switch (frame->type) {
+    case FrameType::kGrts: {
+      const auto index = frame->receiver_index(id());
+      if (!index.has_value()) return;
+      if (phase_ != Phase::kIdle && phase_ != Phase::kContend) return;
+      stats_.control_rx_time += airtime(*frame);
+      // Self-scheduled CTS in slot i (location-derived order in real LAMM;
+      // here the GRTS list is the shared ordering).
+      const SimTime at = phy_.sifs + static_cast<std::int64_t>(*index) * cts_slot();
+      FramePtr cts = make_cts(id(), frame->transmitter,
+                              frame->duration - static_cast<std::int64_t>(*index + 1) *
+                                                    cts_slot());
+      count_control_tx(*cts);
+      scheduler_.schedule_in(at, [this, cts = std::move(cts)]() mutable {
+        (void)transmit_now(std::move(cts));  // drop = sender counts us missing
+      });
+      return;
+    }
+    case FrameType::kCts:
+      if (phase_ == Phase::kCtsWindow && active_.has_value()) {
+        active_->responded.insert(frame->transmitter);
+      }
+      return;
+    case FrameType::kData80211: {
+      if (frame->duration <= SimTime::zero()) {
+        deliver_up(*frame);  // one-shot unreliable data
+        return;
+      }
+      const auto index = frame->receiver_index(id());
+      if (index.has_value()) {
+        if (remember_data(frame->transmitter, frame->seq)) deliver_up(*frame);
+        // ACK in slot i — derivable from the DATA's list even if the GRTS
+        // was missed (the location knowledge LAMM postulates).
+        if (phase_ == Phase::kIdle || phase_ == Phase::kContend) {
+          const SimTime at = phy_.sifs + static_cast<std::int64_t>(*index) * ack_slot();
+          FramePtr ack = make_ack(id(), frame->transmitter, frame->seq);
+          count_control_tx(*ack);
+          scheduler_.schedule_in(at, [this, ack = std::move(ack)]() mutable {
+            (void)transmit_now(std::move(ack));
+          });
+        }
+      }
+      return;
+    }
+    case FrameType::kAck:
+      if (phase_ == Phase::kAckWindow && active_.has_value()) {
+        active_->acked.insert(frame->transmitter);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void LammProtocol::round_failed() {
+  Active& a = *active_;
+  if (a.rounds > params_.retry_limit) {
+    finish(/*success=*/false);
+    return;
+  }
+  bump_cw();
+  phase_ = Phase::kContend;
+  backoff_.draw(cw_);
+  contend();
+}
+
+void LammProtocol::finish(bool success) {
+  assert(active_.has_value());
+  ReliableSendResult result;
+  result.packet = active_->req.packet;
+  result.success = success;
+  result.transmissions = active_->rounds;
+  if (success) {
+    ++stats_.reliable_delivered;
+  } else {
+    ++stats_.reliable_dropped;
+    result.failed_receivers = active_->remaining;
+  }
+  active_.reset();
+  reset_cw();
+  phase_ = Phase::kIdle;
+  report_done(result);
+  post_tx_backoff();
+  maybe_start();
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,5 @@
+#include "mac/mac_protocol.hpp"
+
+// Interface-only translation unit; anchors the vtable for MacUpper.
+
+namespace rmacsim {}

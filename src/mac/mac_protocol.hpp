@@ -1,0 +1,99 @@
+// MAC service interface shared by RMAC and the baseline protocols.
+//
+// Mirrors the paper's service model (§3.3): a Reliable Send that transmits a
+// packet to an explicit list of one-hop receivers with recovery, and an
+// Unreliable Send that transmits once with no recovery.  Unicast, multicast
+// and broadcast are all expressed through the receiver list / destination
+// address, exactly as in the paper.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "phy/radio.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmacsim {
+
+// Outcome of one Reliable Send invocation, reported to the upper layer.
+struct ReliableSendResult {
+  AppPacketPtr packet;
+  bool success{false};
+  std::vector<NodeId> failed_receivers;  // receivers never acknowledged
+  unsigned transmissions{0};             // 1 + retransmissions
+};
+
+// Upper-layer callbacks (network layer / application).
+class MacUpper {
+public:
+  virtual ~MacUpper() = default;
+  // An intact data frame addressed to this node arrived.
+  virtual void mac_deliver(const Frame& frame) = 0;
+  // A Reliable Send invocation finished (delivered or dropped).
+  virtual void mac_reliable_done(const ReliableSendResult& /*result*/) {}
+};
+
+// Shared protocol parameters (values per the paper / IEEE 802.11b).
+struct MacParams {
+  unsigned cw_min{31};
+  unsigned cw_max{1023};
+  unsigned retry_limit{7};     // retransmissions allowed per frame
+  unsigned max_receivers{20};  // RMAC §3.4 receiver cap per invocation
+  // Transmission-queue capacity; 0 = unbounded (the paper's setting — its
+  // drop accounting attributes every loss to the retry limit, §4.2.2).
+  std::size_t queue_limit{0};
+};
+
+class MacProtocol : public RadioListener {
+public:
+  ~MacProtocol() override = default;
+
+  // Transmit `packet` reliably to each node in `receivers` (unicast: one
+  // entry; broadcast: the caller's one-hop neighbour list, §3.3.2).
+  virtual void reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) = 0;
+
+  // Transmit `packet` once, unacknowledged, to `dest` (a node id or
+  // kBroadcastId).
+  virtual void unreliable_send(AppPacketPtr packet, NodeId dest) = 0;
+
+  [[nodiscard]] virtual NodeId id() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  void set_upper(MacUpper* upper) noexcept { upper_ = upper; }
+
+  [[nodiscard]] MacStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const MacStats& stats() const noexcept { return stats_; }
+
+protected:
+  // Pending transmission request (FIFO service).
+  struct TxRequest {
+    bool reliable{false};
+    AppPacketPtr packet;
+    std::vector<NodeId> receivers;  // reliable service
+    NodeId dest{kBroadcastId};      // unreliable service
+  };
+
+  // Drop-tail admission control; returns false (and counts the drop) when
+  // the transmission queue is at capacity.
+  [[nodiscard]] bool queue_admit(const MacParams& params) {
+    if (params.queue_limit == 0 || queue_.size() < params.queue_limit) return true;
+    ++stats_.queue_drops;
+    return false;
+  }
+
+  void deliver_up(const Frame& frame) {
+    if (upper_ != nullptr) upper_->mac_deliver(frame);
+  }
+  void report_done(const ReliableSendResult& r) {
+    if (upper_ != nullptr) upper_->mac_reliable_done(r);
+  }
+
+  MacUpper* upper_{nullptr};
+  MacStats stats_;
+  std::deque<TxRequest> queue_;
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,262 @@
+#include "mac/mx/mx_protocol.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rmacsim {
+
+MxProtocol::MxProtocol(Scheduler& scheduler, Radio& radio, ToneChannel& cts_tone,
+                       ToneChannel& nak_tone, Rng rng, MacParams params, Tracer* tracer)
+    : Dot11Base{scheduler, radio, rng, params, tracer},
+      cts_tone_{cts_tone},
+      nak_tone_{nak_tone} {}
+
+MxProtocol::~MxProtocol() = default;
+
+void MxProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
+  assert(packet != nullptr);
+  if (receivers.empty()) {
+    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    return;
+  }
+  if (!queue_admit(params_)) {
+    ReliableSendResult r;
+    r.packet = std::move(packet);
+    r.failed_receivers = std::move(receivers);
+    report_done(r);
+    return;
+  }
+  TxRequest req;
+  req.reliable = true;
+  req.packet = std::move(packet);
+  req.receivers = std::move(receivers);
+  ++stats_.reliable_requests;
+  queue_.push_back(std::move(req));
+  maybe_start();
+}
+
+void MxProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
+  assert(packet != nullptr);
+  if (!queue_admit(params_)) return;
+  TxRequest req;
+  req.reliable = false;
+  req.packet = std::move(packet);
+  req.dest = dest;
+  ++stats_.unreliable_requests;
+  queue_.push_back(std::move(req));
+  maybe_start();
+}
+
+void MxProtocol::maybe_start() {
+  if (state_ != State::kIdle && state_ != State::kContend) return;
+  if (rx_.has_value()) return;  // busy as a receiver
+  if (!active_.has_value()) {
+    if (queue_.empty()) return;
+    active_.emplace(Active{std::move(queue_.front()), 0});
+    queue_.pop_front();
+  }
+  state_ = State::kContend;
+  contend();
+}
+
+void MxProtocol::on_contention_won() {
+  if (!active_.has_value()) {
+    if (queue_.empty()) {
+      state_ = State::kIdle;
+      return;
+    }
+    active_.emplace(Active{std::move(queue_.front()), 0});
+    queue_.pop_front();
+  }
+  if (!active_->req.reliable) {
+    if (!transmit_now(make_data80211(id(), active_->req.dest, {}, active_->req.packet,
+                                     active_->req.packet->seq, SimTime::zero()))) {
+      state_ = State::kContend;
+      post_tx_backoff();
+    }
+    return;
+  }
+  transmit_group_rts();
+}
+
+void MxProtocol::transmit_group_rts() {
+  Active& a = *active_;
+  ++a.attempts;
+  if (a.attempts > 1) ++stats_.retransmissions;
+  // Group RTS: a fixed-size RTS whose receiver list scopes the multicast
+  // group (unlike RMAC's MRTS, no per-receiver ordering is needed — the
+  // tone feedback is anonymous).
+  Frame f;
+  f.type = FrameType::kRts;
+  f.transmitter = id();
+  f.dest = kInvalidNode;
+  f.receivers = a.req.receivers;
+  f.seq = a.req.packet->seq;
+  f.duration = phy_.tone_slot() + phy_.sifs +
+               airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) +
+               phy_.tone_slot() + 4 * phy_.max_propagation;
+  FramePtr rts = std::make_shared<const Frame>(std::move(f));
+  // Wire cost: standard 20 B RTS regardless of group size.
+  stats_.control_tx_time += airtime_bytes(kRtsBytes);
+  if (!transmit_now(std::move(rts))) {
+    attempt_failed();
+  }
+}
+
+void MxProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) {
+  if (!active_.has_value()) return;
+  switch (frame->type) {
+    case FrameType::kRts:
+      state_ = State::kWfCtsTone;
+      anchor_ = scheduler_.now();
+      stats_.abt_check_time += phy_.tone_slot();
+      wait_timer_ =
+          scheduler_.schedule_in(phy_.tone_slot(), [this] { on_cts_tone_check(); });
+      return;
+    case FrameType::kData80211:
+      if (!active_->req.reliable) {
+        active_.reset();
+        state_ = State::kIdle;
+        post_tx_backoff();
+        maybe_start();
+        return;
+      }
+      stats_.reliable_data_tx_time += airtime(*frame);
+      state_ = State::kWfNak;
+      anchor_ = scheduler_.now();
+      stats_.abt_check_time += phy_.tone_slot();
+      wait_timer_ = scheduler_.schedule_in(phy_.tone_slot(), [this] { on_nak_check(); });
+      return;
+    default:
+      return;
+  }
+}
+
+void MxProtocol::on_cts_tone_check() {
+  wait_timer_ = kInvalidEvent;
+  if (state_ != State::kWfCtsTone) return;
+  if (!cts_tone_.detected_in_window(id(), anchor_, scheduler_.now())) {
+    attempt_failed();  // nobody heard the RTS
+    return;
+  }
+  const TxRequest& req = active_->req;
+  if (!transmit_now(make_data80211(id(), kInvalidNode, req.receivers, req.packet,
+                                   req.packet->seq, phy_.tone_slot()))) {
+    attempt_failed();
+  }
+}
+
+void MxProtocol::on_nak_check() {
+  wait_timer_ = kInvalidEvent;
+  if (state_ != State::kWfNak) return;
+  if (nak_tone_.detected_in_window(id(), anchor_, scheduler_.now())) {
+    attempt_failed();  // at least one receiver got a corrupted copy
+    return;
+  }
+  // Silence taken as success — the protocol's structural blind spot: a
+  // receiver that missed the RTS never raises a NAK.
+  ++believed_ok_;
+  finish(/*success=*/true);
+}
+
+void MxProtocol::attempt_failed() {
+  Active& a = *active_;
+  if (a.attempts > params_.retry_limit) {
+    finish(/*success=*/false);
+    return;
+  }
+  bump_cw();
+  state_ = State::kContend;
+  backoff_.draw(cw_);
+  contend();
+}
+
+void MxProtocol::finish(bool success) {
+  ReliableSendResult result;
+  result.packet = active_->req.packet;
+  result.success = success;
+  result.transmissions = active_->attempts;
+  if (success) {
+    ++stats_.reliable_delivered;
+  } else {
+    ++stats_.reliable_dropped;
+    result.failed_receivers = active_->req.receivers;  // identity unknown to MX
+  }
+  active_.reset();
+  reset_cw();
+  state_ = State::kIdle;
+  report_done(result);
+  post_tx_backoff();
+  maybe_start();
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side
+
+void MxProtocol::handle_frame(const FramePtr& frame) {
+  switch (frame->type) {
+    case FrameType::kRts: {
+      if (!frame->receiver_index(id()).has_value()) return;
+      if (state_ != State::kIdle && state_ != State::kContend) return;
+      stats_.control_rx_time += airtime_bytes(kRtsBytes);
+      if (rx_.has_value()) return;  // already expecting another sender's data
+      // Raise the CTS tone for one slot — simultaneous tones don't collide.
+      cts_tone_.set_tone(id(), true);
+      scheduler_.schedule_in(phy_.tone_slot(), [this] { cts_tone_.set_tone(id(), false); });
+      rx_.emplace(RxRole{frame->transmitter, false, kInvalidEvent});
+      // Data should start within tone slot + SIFS (+ slack).
+      rx_->timer = scheduler_.schedule_in(phy_.tone_slot() + phy_.sifs + phy_.slot,
+                                          [this] { on_rx_timeout(); });
+      return;
+    }
+    case FrameType::kData80211: {
+      if (frame->duration <= SimTime::zero()) {
+        deliver_up(*frame);  // one-shot unreliable data (hellos)
+        return;
+      }
+      if (frame->receiver_index(id()).has_value() &&
+          remember_data(frame->transmitter, frame->seq)) {
+        deliver_up(*frame);
+      }
+      if (rx_.has_value() && frame->transmitter == rx_->sender) {
+        end_rx_role(/*nak=*/false);  // intact reception: stay silent
+      }
+      return;
+    }
+    default:
+      return;  // MX uses no CTS/ACK/RAK frames
+  }
+}
+
+void MxProtocol::on_carrier_hook(bool busy) {
+  if (!rx_.has_value()) return;
+  if (busy && !rx_->data_arriving) {
+    rx_->data_arriving = true;
+    if (rx_->timer != kInvalidEvent) {
+      scheduler_.cancel(rx_->timer);
+      rx_->timer = kInvalidEvent;
+    }
+  } else if (!busy && rx_->data_arriving) {
+    // Reception ended without an intact frame for us: negative feedback.
+    end_rx_role(/*nak=*/true);
+  }
+}
+
+void MxProtocol::end_rx_role(bool nak) {
+  if (rx_->timer != kInvalidEvent) scheduler_.cancel(rx_->timer);
+  rx_.reset();
+  if (nak) {
+    nak_tone_.set_tone(id(), true);
+    scheduler_.schedule_in(phy_.tone_slot(), [this] { nak_tone_.set_tone(id(), false); });
+  }
+  maybe_start();
+}
+
+void MxProtocol::on_rx_timeout() {
+  // The data frame never started: the structural blind spot again — the
+  // receiver simply gives up (it cannot know when a NAK window would be).
+  rx_->timer = kInvalidEvent;
+  end_rx_role(/*nak=*/false);
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,84 @@
+// 802.11MX-style receiver-initiated reliable multicast MAC (Gupta, Shankar,
+// Lalwani, ICC'03), the contemporaneous busy-tone design the paper contrasts
+// itself with in §2.
+//
+// Where RMAC is sender-initiated (positive per-receiver feedback via ordered
+// ABTs), MX keeps the 802.11 structure and uses *negative* feedback:
+//
+//   contention -> multicast RTS -> [CTS tone window] -> DATA -> [NAK window]
+//
+// Every receiver of the RTS raises the CTS tone simultaneously (tones do not
+// collide); a receiver whose DATA reception is corrupted raises the NAK tone
+// after the reception ends; the sender retransmits to the whole group while
+// a NAK is sensed.  The structural weakness the paper calls out — and which
+// bench/ablation_mx measures — is that a receiver that missed the RTS never
+// enters the state to send a NAK, so the sender can conclude success while
+// receivers are missing: no full reliability.
+#pragma once
+
+#include <optional>
+
+#include "mac/dcf/dot11_base.hpp"
+#include "phy/tone_channel.hpp"
+
+namespace rmacsim {
+
+class MxProtocol final : public Dot11Base {
+public:
+  // `cts_tone` and `nak_tone` are narrowband channels (physically the same
+  // hardware as RMAC's RBT/ABT pair).
+  MxProtocol(Scheduler& scheduler, Radio& radio, ToneChannel& cts_tone,
+             ToneChannel& nak_tone, Rng rng, MacParams params = MacParams{},
+             Tracer* tracer = nullptr);
+  ~MxProtocol() override;
+
+  void reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) override;
+  void unreliable_send(AppPacketPtr packet, NodeId dest) override;
+  [[nodiscard]] std::string name() const override { return "802.11MX"; }
+
+  void on_transmit_complete(const FramePtr& frame, bool aborted) override;
+  void on_carrier_hook(bool busy) override;
+
+  enum class State : std::uint8_t { kIdle, kContend, kWfCtsTone, kWfNak };
+  [[nodiscard]] State state() const noexcept { return state_; }
+
+  // Sender-believed successes that may silently miss receivers; exposed so
+  // the ablation bench can quantify the false-positive rate.
+  [[nodiscard]] std::uint64_t believed_successes() const noexcept { return believed_ok_; }
+
+private:
+  struct Active {
+    TxRequest req;
+    unsigned attempts{0};
+  };
+  // Receiver-side expectation established by a group RTS.
+  struct RxRole {
+    NodeId sender;
+    bool data_arriving{false};
+    EventId timer{kInvalidEvent};
+  };
+
+  void on_contention_won() override;
+  void handle_frame(const FramePtr& frame) override;
+
+  void maybe_start();
+  void transmit_group_rts();
+  void on_cts_tone_check();
+  void on_nak_check();
+  void attempt_failed();
+  void finish(bool success);
+
+  void end_rx_role(bool nak);
+  void on_rx_timeout();
+
+  ToneChannel& cts_tone_;
+  ToneChannel& nak_tone_;
+  State state_{State::kIdle};
+  std::optional<Active> active_;
+  std::optional<RxRole> rx_;
+  SimTime anchor_{SimTime::zero()};
+  EventId wait_timer_{kInvalidEvent};
+  std::uint64_t believed_ok_{0};
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,130 @@
+// RMAC: the paper's reliable multicast MAC protocol (§3).
+//
+// Sender side of a Reliable Send (Fig. 4):
+//   backoff -> TX_MRTS -> WF_RBT -> TX_RDATA -> WF_ABT -> done / retransmit
+// with the MRTS aborted if an RBT is detected during its transmission, and
+// the retransmitted MRTS containing exactly the receivers whose ABT slot
+// stayed silent.  Receiver side:
+//   MRTS listing me -> RBT on, WF_RDATA -> data -> RBT off, ABT in slot i.
+// The Unreliable Send transmits once and aborts on RBT detection.
+//
+// States and transitions implement Appendix A / Table 1 (conditions C1-C19);
+// state changes are emitted on the tracer (category mac.state) so tests can
+// assert the exact transition sequences.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mac/backoff.hpp"
+#include "mac/mac_protocol.hpp"
+#include "phy/medium.hpp"
+#include "phy/tone_channel.hpp"
+#include "sim/trace.hpp"
+
+namespace rmacsim {
+
+class RmacProtocol final : public MacProtocol {
+public:
+  enum class State : std::uint8_t {
+    kIdle,
+    kBackoff,
+    kWfRbt,
+    kWfRdata,
+    kWfAbt,
+    kTxMrts,
+    kTxRdata,
+    kTxUnrdata,
+  };
+
+  struct Params {
+    MacParams mac{};
+    // Ablation switch (bench/ablation_rbt): when false, the RBT is still
+    // used as the sender/receiver handshake but loses its protective roles —
+    // nodes neither defer to it in backoff nor abort transmissions on it.
+    bool rbt_protection{true};
+  };
+
+  RmacProtocol(Scheduler& scheduler, Radio& radio, ToneChannel& rbt, ToneChannel& abt,
+               Rng rng, Params params, Tracer* tracer = nullptr);
+  ~RmacProtocol() override;
+
+  // --- MacProtocol --------------------------------------------------------
+  void reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) override;
+  void unreliable_send(AppPacketPtr packet, NodeId dest) override;
+  [[nodiscard]] NodeId id() const noexcept override { return radio_.id(); }
+  [[nodiscard]] std::string name() const override { return "RMAC"; }
+
+  // --- RadioListener ------------------------------------------------------
+  void on_frame_received(const FramePtr& frame) override;
+  void on_carrier_changed(bool busy) override;
+  void on_transmit_complete(const FramePtr& frame, bool aborted) override;
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] unsigned contention_window() const noexcept { return cw_; }
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+  [[nodiscard]] static const char* to_string(State s) noexcept;
+
+private:
+  // One Reliable/Unreliable Send invocation in progress.
+  struct Active {
+    TxRequest req;
+    std::vector<NodeId> remaining;  // receivers still to acknowledge
+    unsigned attempts{0};           // MRTS transmissions so far (incl. aborted)
+  };
+  // Receiver role established by an MRTS that listed this node.
+  struct RxRole {
+    NodeId sender;
+    std::size_t index;       // i: position in the MRTS receiver sequence
+    bool data_arriving{false};
+    EventId timer{kInvalidEvent};  // T_wf_rdata
+  };
+
+  void set_state(State next, const char* why);
+  void enqueue(TxRequest req);
+  void maybe_start();
+  void on_backoff_fire();
+  [[nodiscard]] bool channels_idle() const;
+
+  void begin_transmission();
+  void transmit_mrts();
+  void watch_rbt_during_tx();
+  void on_rbt_edge();
+  void on_wf_rbt_expiry();
+  void on_abt_slot_boundary();
+  void conclude_reliable_attempt();
+  void fail_attempt(const char* why);
+  void finish_active(bool success);
+  void post_tx_backoff();
+
+  void handle_mrts(const FramePtr& frame);
+  void handle_reliable_data(const FramePtr& frame);
+  void end_rx_role(bool got_data);
+  void on_wf_rdata_expiry();
+  void schedule_abt(std::size_t index);
+
+  Scheduler& scheduler_;
+  Radio& radio_;
+  ToneChannel& rbt_;
+  ToneChannel& abt_;
+  Rng rng_;
+  Params params_;
+  Tracer* tracer_;
+
+  State state_{State::kIdle};
+  BackoffEngine backoff_;
+  unsigned cw_;
+
+  std::optional<Active> active_;
+  std::optional<RxRole> rx_;
+
+  // Sender-side timing anchors.
+  SimTime tx_start_{SimTime::zero()};
+  SimTime anchor_{SimTime::zero()};  // end of MRTS (WF_RBT) / end of data (WF_ABT)
+  EventId wait_timer_{kInvalidEvent};
+  std::size_t abt_slot_{0};
+  std::vector<bool> abt_seen_;
+};
+
+}  // namespace rmacsim

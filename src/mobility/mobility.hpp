@@ -1,0 +1,92 @@
+// Mobility models.
+//
+// Positions are evaluated analytically at query time: position(t) is a pure
+// function of the model state, so no per-tick stepping events are needed and
+// a stationary 75-node run schedules zero mobility events.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+class MobilityModel {
+public:
+  virtual ~MobilityModel() = default;
+
+  // Position at simulation time t. t must be monotonically reachable
+  // (models may advance internal waypoint legs lazily).
+  [[nodiscard]] virtual Vec2 position(SimTime t) = 0;
+
+  // Highest speed this model can produce (m/s); 0 for stationary.
+  [[nodiscard]] virtual double max_speed() const noexcept = 0;
+};
+
+class StationaryMobility final : public MobilityModel {
+public:
+  explicit StationaryMobility(Vec2 p) noexcept : p_{p} {}
+  [[nodiscard]] Vec2 position(SimTime) override { return p_; }
+  [[nodiscard]] double max_speed() const noexcept override { return 0.0; }
+
+private:
+  Vec2 p_;
+};
+
+// Random waypoint (Bettstetter's categorization, as cited by the paper):
+// pick a uniform destination in the area, move toward it at a speed drawn
+// uniformly from [min_speed, max_speed], pause for `pause`, repeat.
+struct RandomWaypointParams {
+  Rect area;
+  double min_speed_mps{0.0};
+  double max_speed_mps{0.0};
+  SimTime pause{SimTime::zero()};
+};
+
+// Deterministic piecewise-linear trajectory through timed waypoints —
+// the workhorse of mobility *tests*: "walk out of range at t=5 s, return at
+// t=20 s" expressed exactly.
+class ScriptedMobility final : public MobilityModel {
+public:
+  struct Waypoint {
+    SimTime at;
+    Vec2 pos;
+  };
+
+  // Waypoints must be sorted by time and non-empty.  Position is clamped to
+  // the first/last waypoint outside the scripted window.
+  explicit ScriptedMobility(std::vector<Waypoint> waypoints);
+
+  [[nodiscard]] Vec2 position(SimTime t) override;
+  [[nodiscard]] double max_speed() const noexcept override { return max_speed_; }
+
+private:
+  std::vector<Waypoint> waypoints_;
+  double max_speed_{0.0};
+};
+
+class RandomWaypointMobility final : public MobilityModel {
+public:
+  RandomWaypointMobility(Vec2 start, RandomWaypointParams params, Rng rng);
+
+  [[nodiscard]] Vec2 position(SimTime t) override;
+  [[nodiscard]] double max_speed() const noexcept override { return params_.max_speed_mps; }
+
+private:
+  void advance_leg();  // roll the next (destination, speed, pause) leg
+
+  RandomWaypointParams params_;
+  Rng rng_;
+  // Current leg: travel from `from_` to `to_` during [leg_start_, arrive_],
+  // then pause until leg_end_.
+  Vec2 from_;
+  Vec2 to_;
+  SimTime leg_start_{SimTime::zero()};
+  SimTime arrive_{SimTime::zero()};
+  SimTime leg_end_{SimTime::zero()};
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,63 @@
+#include <cassert>
+
+#include "mobility/mobility.hpp"
+
+namespace rmacsim {
+
+ScriptedMobility::ScriptedMobility(std::vector<Waypoint> waypoints)
+    : waypoints_{std::move(waypoints)} {
+  assert(!waypoints_.empty());
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    assert(waypoints_[i].at >= waypoints_[i - 1].at && "waypoints must be time-sorted");
+    const double dt = (waypoints_[i].at - waypoints_[i - 1].at).to_seconds();
+    if (dt > 0.0) {
+      const double v = distance(waypoints_[i - 1].pos, waypoints_[i].pos) / dt;
+      if (v > max_speed_) max_speed_ = v;
+    }
+  }
+}
+
+Vec2 ScriptedMobility::position(SimTime t) {
+  if (t <= waypoints_.front().at) return waypoints_.front().pos;
+  if (t >= waypoints_.back().at) return waypoints_.back().pos;
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (t > waypoints_[i].at) continue;
+    const Waypoint& a = waypoints_[i - 1];
+    const Waypoint& b = waypoints_[i];
+    if (b.at == a.at) return b.pos;
+    const double f = (t - a.at).to_seconds() / (b.at - a.at).to_seconds();
+    return a.pos + (b.pos - a.pos) * f;
+  }
+  return waypoints_.back().pos;
+}
+
+RandomWaypointMobility::RandomWaypointMobility(Vec2 start, RandomWaypointParams params, Rng rng)
+    : params_{params}, rng_{rng}, from_{start}, to_{start} {
+  assert(params_.max_speed_mps >= params_.min_speed_mps);
+  assert(params_.max_speed_mps > 0.0);
+  advance_leg();
+}
+
+void RandomWaypointMobility::advance_leg() {
+  from_ = to_;
+  leg_start_ = leg_end_;
+  to_ = Vec2{rng_.uniform(0.0, params_.area.width), rng_.uniform(0.0, params_.area.height)};
+  // MIN-SPEED may be 0 in the paper's scenarios; a literal 0 m/s leg would
+  // never arrive, so clamp to a small positive floor (standard RWP fix).
+  const double floor_mps = 0.01;
+  double speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  if (speed < floor_mps) speed = floor_mps;
+  const double d = distance(from_, to_);
+  arrive_ = leg_start_ + SimTime::from_seconds(d / speed);
+  leg_end_ = arrive_ + params_.pause;
+}
+
+Vec2 RandomWaypointMobility::position(SimTime t) {
+  while (t >= leg_end_) advance_leg();
+  if (t >= arrive_) return to_;  // pausing at destination
+  if (t <= leg_start_) return from_;
+  const double f = (t - leg_start_).to_seconds() / (arrive_ - leg_start_).to_seconds();
+  return from_ + (to_ - from_) * f;
+}
+
+}  // namespace rmacsim

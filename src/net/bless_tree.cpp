@@ -1,0 +1,159 @@
+#include "net/bless_tree.hpp"
+
+#include <limits>
+#include <memory>
+
+namespace rmacsim {
+
+BlessTree::BlessTree(Scheduler& scheduler, MacProtocol& mac, NodeId root, BlessParams params,
+                     Rng rng)
+    : scheduler_{scheduler},
+      mac_{mac},
+      root_{root},
+      params_{params},
+      rng_{rng},
+      hops_{mac.id() == root ? 0u : params.infinite_hops} {}
+
+void BlessTree::start() {
+  // Desynchronise the first hello across nodes.
+  const SimTime first = SimTime::from_seconds(
+      rng_.uniform(0.0, params_.hello_period.to_seconds()));
+  scheduler_.schedule_in(first, [this] { send_hello(); });
+}
+
+void BlessTree::send_hello() {
+  if (is_root()) ++epoch_;  // each root beacon starts a new freshness epoch
+  expire_and_reselect();
+  auto pkt = std::make_shared<AppPacket>();
+  pkt->kind = AppPacket::Kind::kHello;
+  pkt->origin = id();
+  pkt->seq = hello_seq_++;
+  pkt->payload_bytes = params_.hello_payload_bytes;
+  pkt->created = scheduler_.now();
+  pkt->hello = HelloInfo{hops_, parent_, epoch_};
+  last_hello_ = scheduler_.now();
+  mac_.unreliable_send(std::move(pkt), kBroadcastId);
+
+  const SimTime jitter = SimTime::from_seconds(
+      rng_.uniform(0.0, params_.hello_jitter.to_seconds()));
+  scheduler_.schedule_in(params_.hello_period + jitter, [this] { send_hello(); });
+}
+
+void BlessTree::on_hello(NodeId from, const HelloInfo& info) {
+  const SimTime now = scheduler_.now();
+  const NodeId old_parent = parent_;
+  if (info.hops_to_root < params_.infinite_hops) {
+    neighbours_[from] = NeighbourEntry{info.hops_to_root, info.epoch, now};
+  } else {
+    neighbours_.erase(from);  // neighbour lost its route
+  }
+  if (info.parent == id()) {
+    auto& entry = children_[from];
+    entry.last_heard = now;
+    entry.consecutive_failures = 0;
+  } else {
+    children_.erase(from);  // re-parented away from us
+  }
+  expire_and_reselect();
+  // A triggered hello announces a parent change right away, so the new
+  // parent learns this child in milliseconds instead of a full period.
+  if (parent_ != old_parent && parent_ != kInvalidNode) schedule_triggered_hello();
+}
+
+void BlessTree::schedule_triggered_hello() {
+  // Rate-limit triggered hellos to half a period.
+  const SimTime min_gap = SimTime::ns(params_.hello_period.nanoseconds() / 2);
+  if (scheduler_.now() - last_hello_ < min_gap) return;
+  last_hello_ = scheduler_.now();  // claims the slot; send shortly with jitter
+  const SimTime jitter = SimTime::from_us(rng_.uniform(0.0, 2000.0));
+  scheduler_.schedule_in(jitter, [this] {
+    auto pkt = std::make_shared<AppPacket>();
+    pkt->kind = AppPacket::Kind::kHello;
+    pkt->origin = id();
+    pkt->seq = hello_seq_++;
+    pkt->payload_bytes = params_.hello_payload_bytes;
+    pkt->created = scheduler_.now();
+    pkt->hello = HelloInfo{hops_, parent_, epoch_};
+    mac_.unreliable_send(std::move(pkt), kBroadcastId);
+  });
+}
+
+void BlessTree::expire_and_reselect() {
+  const SimTime now = scheduler_.now();
+  const SimTime horizon = expiry();
+  std::erase_if(neighbours_,
+                [&](const auto& kv) { return now - kv.second.last_heard > horizon; });
+  const SimTime child_horizon =
+      params_.hello_period * static_cast<std::int64_t>(params_.child_expiry_periods) +
+      params_.hello_jitter;
+  std::erase_if(children_, [&](const auto& kv) {
+    return now - kv.second.last_heard > child_horizon;
+  });
+
+  if (is_root()) {
+    hops_ = 0;
+    parent_ = kInvalidNode;
+    return;
+  }
+  // Freshness first: routes derived from a recent root beacon beat stale
+  // ones, which keeps cut-off subtrees from clinging to dead parents (and
+  // prevents count-to-infinity during repair).  One epoch of slack avoids
+  // parent flapping from hello jitter.
+  std::uint32_t best_epoch = 0;
+  for (const auto& [n, e] : neighbours_) best_epoch = std::max(best_epoch, e.epoch);
+
+  NodeId best = kInvalidNode;
+  std::uint32_t best_hops = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t chosen_epoch = 0;
+  for (const auto& [n, e] : neighbours_) {
+    if (e.epoch + params_.epoch_slack < best_epoch) continue;  // stale route
+    // Among fresh candidates prefer the lowest hop count; break ties in
+    // favour of the current parent (stability), then by node id.
+    const bool better =
+        e.hops < best_hops ||
+        (e.hops == best_hops && best != parent_ && (n == parent_ || n < best));
+    if (better) {
+      best = n;
+      best_hops = e.hops;
+      chosen_epoch = e.epoch;
+    }
+  }
+  if (best == kInvalidNode || best_hops >= params_.infinite_hops) {
+    parent_ = kInvalidNode;
+    hops_ = params_.infinite_hops;
+    return;
+  }
+  parent_ = best;
+  hops_ = best_hops + 1;
+  epoch_ = chosen_epoch;
+}
+
+void BlessTree::note_child_send(NodeId child, bool success) {
+  const auto it = children_.find(child);
+  if (it == children_.end()) return;
+  if (success) {
+    it->second.consecutive_failures = 0;
+    return;
+  }
+  if (++it->second.consecutive_failures >= params_.child_failure_evict) {
+    children_.erase(it);
+  }
+}
+
+std::vector<NodeId> BlessTree::children() const {
+  std::vector<NodeId> out;
+  out.reserve(children_.size());
+  for (const auto& [c, t] : children_) out.push_back(c);
+  return out;
+}
+
+std::size_t BlessTree::child_count() const noexcept { return children_.size(); }
+
+std::vector<NodeId> BlessTree::neighbours() const {
+  std::vector<NodeId> out;
+  out.reserve(neighbours_.size());
+  for (const auto& [n, e] : neighbours_) out.push_back(n);
+  return out;
+}
+
+}  // namespace rmacsim

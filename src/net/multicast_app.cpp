@@ -1,0 +1,65 @@
+#include "net/multicast_app.hpp"
+
+namespace rmacsim {
+
+MulticastApp::MulticastApp(Scheduler& scheduler, MacProtocol& mac, BlessTree& tree,
+                           MulticastAppParams params, DeliveryStats& delivery)
+    : scheduler_{scheduler}, mac_{mac}, tree_{tree}, params_{params}, delivery_{delivery} {
+  mac_.set_upper(this);
+}
+
+void MulticastApp::start_source() {
+  generate_next();
+}
+
+void MulticastApp::generate_next() {
+  if (params_.total_packets != 0 && generated_ >= params_.total_packets) return;
+  auto pkt = std::make_shared<AppPacket>();
+  pkt->kind = AppPacket::Kind::kData;
+  pkt->origin = mac_.id();
+  pkt->seq = static_cast<std::uint32_t>(generated_);
+  pkt->payload_bytes = params_.payload_bytes;
+  pkt->created = scheduler_.now();
+  ++generated_;
+  delivery_.note_generated(params_.receivers_per_packet);
+  seen_.insert(pkt->seq);  // the source trivially "has" its own packet
+  forward(pkt);
+  scheduler_.schedule_in(SimTime::from_seconds(1.0 / params_.rate_pps),
+                         [this] { generate_next(); });
+}
+
+void MulticastApp::forward(const AppPacketPtr& packet) {
+  std::vector<NodeId> receivers = params_.strategy == ForwardStrategy::kFlood
+                                      ? tree_.neighbours()
+                                      : tree_.children();
+  if (receivers.empty()) return;  // leaf (tree) or isolated node (flood)
+  ++forwarded_;
+  mac_.reliable_send(packet, std::move(receivers));
+}
+
+void MulticastApp::mac_deliver(const Frame& frame) {
+  if (!frame.packet) return;
+  const AppPacket& pkt = *frame.packet;
+  if (pkt.kind == AppPacket::Kind::kHello) {
+    if (pkt.hello.has_value()) tree_.on_hello(pkt.origin, *pkt.hello);
+    return;
+  }
+  // Data packet: first reception counts; duplicates are suppressed.
+  if (!seen_.insert(pkt.seq).second) return;
+  ++received_unique_;
+  delivery_.note_delivered(scheduler_.now() - pkt.created);
+  forward(frame.packet);
+}
+
+void MulticastApp::mac_reliable_done(const ReliableSendResult& result) {
+  // Feed per-child success back to the tree so departed children are
+  // evicted promptly (BlessParams::child_failure_evict).
+  if (params_.strategy != ForwardStrategy::kTree) return;
+  if (!result.packet || result.packet->kind != AppPacket::Kind::kData) return;
+  for (NodeId r : result.failed_receivers) tree_.note_child_send(r, false);
+  if (result.success) {
+    for (NodeId r : tree_.children()) tree_.note_child_send(r, true);
+  }
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,66 @@
+// Multicast forwarding application (§4.1.1).
+//
+// The root generates fixed-size packets at a configured rate; every node
+// that receives a data packet for the first time records the delivery
+// (for R_deliv and the end-to-end delay) and forwards it to its current
+// tree children via the MAC's Reliable Send.  Duplicates — possible after
+// re-parenting under mobility — are suppressed by source sequence number.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "net/bless_tree.hpp"
+#include "stats/metrics.hpp"
+
+namespace rmacsim {
+
+// How a node chooses the one-hop receivers it forwards to.
+//
+// kTree is the paper's evaluation setup (forward to current tree children).
+// kFlood forwards to *all* fresh neighbours — the mesh-flavoured strategy
+// the paper's introduction contrasts trees against: robust to mobility
+// (multiple upstream copies) at the price of redundant transmissions.
+enum class ForwardStrategy : std::uint8_t { kTree, kFlood };
+
+struct MulticastAppParams {
+  double rate_pps{10.0};            // source packet rate
+  std::uint32_t total_packets{0};   // 0 = unlimited
+  std::size_t payload_bytes{500};
+  std::uint32_t receivers_per_packet{0};  // expected receivers (N - 1), for R_deliv
+  ForwardStrategy strategy{ForwardStrategy::kTree};
+};
+
+class MulticastApp final : public MacUpper {
+public:
+  MulticastApp(Scheduler& scheduler, MacProtocol& mac, BlessTree& tree,
+               MulticastAppParams params, DeliveryStats& delivery);
+
+  // Root only: begin generating packets.
+  void start_source();
+
+  // --- MacUpper ------------------------------------------------------------
+  void mac_deliver(const Frame& frame) override;
+  void mac_reliable_done(const ReliableSendResult& result) override;
+
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+  [[nodiscard]] std::uint64_t received_unique() const noexcept { return received_unique_; }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+
+private:
+  void generate_next();
+  void forward(const AppPacketPtr& packet);
+
+  Scheduler& scheduler_;
+  MacProtocol& mac_;
+  BlessTree& tree_;
+  MulticastAppParams params_;
+  DeliveryStats& delivery_;
+
+  std::unordered_set<std::uint32_t> seen_;  // source seqs already delivered here
+  std::uint64_t generated_{0};
+  std::uint64_t received_unique_{0};
+  std::uint64_t forwarded_{0};
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,158 @@
+// Wire-level frame and packet definitions.
+//
+// Frame lengths follow the paper exactly:
+//  * MRTS (Fig. 3): 1 B type + 6 B transmitter + 1 B count + 6n B receiver
+//    addresses + 4 B FCS = 12 + 6n bytes.
+//  * RMAC data frame: 22 B of MAC framing + payload.  22 B makes the paper's
+//    §3.4 arithmetic exact: shortest MRTS (18 B -> 168 us) plus shortest data
+//    frame (22 B -> 184 us) totals 352 us.
+//  * 802.11 control frames (used by the DCF/BMMM/BMW baselines): RTS 20 B,
+//    CTS/ACK/RAK 14 B; 802.11 data framing 28 B (24 B header + 4 B FCS).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+// ---------------------------------------------------------------------------
+// Upper-layer packet carried inside data frames.
+
+// Routing hello contents (BLESS-lite: periodic one-hop broadcast, §4.1.1).
+// `epoch` is the root-originated beacon version the advertised route was
+// derived from; it lets nodes rank route freshness and prevents stale or
+// looping subtrees from attracting children (see BlessTree).
+struct HelloInfo {
+  std::uint32_t hops_to_root{0};
+  NodeId parent{kInvalidNode};
+  std::uint32_t epoch{0};
+};
+
+struct AppPacket {
+  enum class Kind : std::uint8_t { kData, kHello };
+
+  Kind kind{Kind::kData};
+  NodeId origin{kInvalidNode};      // node that created the packet
+  std::uint32_t seq{0};             // origin-scoped sequence number
+  std::size_t payload_bytes{0};     // application payload size
+  SimTime created{SimTime::zero()}; // creation time at the origin (for e2e delay)
+  std::optional<HelloInfo> hello;   // set when kind == kHello
+};
+
+using AppPacketPtr = std::shared_ptr<const AppPacket>;
+
+// ---------------------------------------------------------------------------
+// MAC frames.
+
+enum class FrameType : std::uint8_t {
+  kMrts,            // RMAC multicast request-to-send (variable length)
+  kReliableData,    // RMAC reliable data frame
+  kUnreliableData,  // RMAC unreliable data frame
+  kRts,             // 802.11 / BMMM / BMW
+  kCts,
+  kData80211,
+  kAck,
+  kRak,             // BMMM request-for-ACK
+  kGrts,            // LAMM group RTS (ordered receiver list, like the MRTS)
+};
+
+[[nodiscard]] constexpr const char* to_string(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kMrts: return "MRTS";
+    case FrameType::kReliableData: return "RDATA";
+    case FrameType::kUnreliableData: return "UDATA";
+    case FrameType::kRts: return "RTS";
+    case FrameType::kCts: return "CTS";
+    case FrameType::kData80211: return "DATA";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kRak: return "RAK";
+    case FrameType::kGrts: return "GRTS";
+  }
+  return "?";
+}
+
+// Frame-size constants (bytes).
+inline constexpr std::size_t kMrtsFixedBytes = 12;       // type+txaddr+count+FCS
+inline constexpr std::size_t kMrtsPerReceiverBytes = 6;  // one MAC address
+inline constexpr std::size_t kRmacDataFramingBytes = 22;
+inline constexpr std::size_t kRtsBytes = 20;
+inline constexpr std::size_t kCtsBytes = 14;
+inline constexpr std::size_t kAckBytes = 14;
+inline constexpr std::size_t kRakBytes = 14;
+inline constexpr std::size_t kDot11DataFramingBytes = 28;
+
+struct Frame {
+  FrameType type{FrameType::kUnreliableData};
+  NodeId transmitter{kInvalidNode};
+  // Unicast destination, kBroadcastId, or unused (MRTS uses `receivers`).
+  NodeId dest{kBroadcastId};
+  // MRTS ordered receiver list; also used by data frames to scope a
+  // MAC-level multicast group.
+  std::vector<NodeId> receivers;
+  std::uint32_t seq{0};     // MAC-level sequence number
+  AppPacketPtr packet;      // payload (data frames only)
+  // NAV reservation (802.11-style frames): time the medium is claimed for,
+  // measured from the end of this frame.
+  SimTime duration{SimTime::zero()};
+
+  // MAC-level length in bytes, per the table at the top of this header.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    switch (type) {
+      case FrameType::kMrts:
+      case FrameType::kGrts:
+        return kMrtsFixedBytes + kMrtsPerReceiverBytes * receivers.size();
+      case FrameType::kReliableData:
+      case FrameType::kUnreliableData:
+        return kRmacDataFramingBytes + (packet ? packet->payload_bytes : 0);
+      case FrameType::kRts: return kRtsBytes;
+      case FrameType::kCts: return kCtsBytes;
+      case FrameType::kAck: return kAckBytes;
+      case FrameType::kRak: return kRakBytes;
+      case FrameType::kData80211:
+        return kDot11DataFramingBytes + (packet ? packet->payload_bytes : 0);
+    }
+    return 0;
+  }
+
+  [[nodiscard]] bool is_control() const noexcept {
+    switch (type) {
+      case FrameType::kMrts:
+      case FrameType::kGrts:
+      case FrameType::kRts:
+      case FrameType::kCts:
+      case FrameType::kAck:
+      case FrameType::kRak:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] bool is_data() const noexcept { return !is_control(); }
+
+  // Index of `node` in the MRTS receiver sequence (the paper's `i`), or
+  // nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> receiver_index(NodeId node) const noexcept {
+    for (std::size_t i = 0; i < receivers.size(); ++i) {
+      if (receivers[i] == node) return i;
+    }
+    return std::nullopt;
+  }
+
+  // Whether a node should accept this frame (unicast match, broadcast, or
+  // membership in the receiver list).
+  [[nodiscard]] bool addressed_to(NodeId node) const noexcept {
+    if (dest == kBroadcastId || dest == node) return true;
+    return receiver_index(node).has_value();
+  }
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+}  // namespace rmacsim

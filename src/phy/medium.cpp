@@ -1,0 +1,108 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include "sim/strfmt.hpp"
+
+namespace rmacsim {
+
+Medium::Medium(Scheduler& scheduler, PhyParams params, Rng rng, Tracer* tracer)
+    : params_{params}, scheduler_{scheduler}, rng_{rng}, tracer_{tracer} {}
+
+void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+
+void Medium::detach(Radio& radio) noexcept {
+  std::erase(radios_, &radio);
+  active_.erase(&radio);
+}
+
+std::vector<NodeId> Medium::neighbours_of(NodeId of) const {
+  std::vector<NodeId> out;
+  const Radio* self = nullptr;
+  for (const Radio* r : radios_) {
+    if (r->id() == of) {
+      self = r;
+      break;
+    }
+  }
+  if (self == nullptr) return out;
+  const Vec2 p = self->position();
+  const double r2 = params_.range_m * params_.range_m;
+  for (const Radio* r : radios_) {
+    if (r == self) continue;
+    if (distance_sq(p, r->position()) <= r2) out.push_back(r->id());
+  }
+  return out;
+}
+
+SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
+  assert(!active_.contains(&tx) && "radio already has a transmission in flight");
+  const SimTime airtime = params_.frame_airtime(frame->wire_bytes());
+  auto t = std::make_shared<Transmission>();
+  t->frame = frame;
+  t->start = scheduler_.now();
+  ++tx_started_;
+
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->emit(scheduler_.now(), TraceCategory::kPhy, tx.id(),
+                  cat("tx-start ", to_string(frame->type), " ", frame->wire_bytes(), "B air=",
+                      airtime.to_us(), "us"));
+  }
+
+  const Vec2 origin = tx.position();
+  const double ir = params_.effective_interference_range();
+  const double ir2 = ir * ir;
+  const double r2 = params_.range_m * params_.range_m;
+  const double bits = static_cast<double>(frame->wire_bytes()) * 8.0;
+  for (Radio* rx : radios_) {
+    if (rx == &tx) continue;
+    const double d2 = distance_sq(origin, rx->position());
+    if (d2 > ir2) continue;
+    const double dist = std::sqrt(d2);
+    const SimTime prop = params_.propagation_delay(dist);
+    const std::uint64_t sig = next_sig_++;
+    // Beyond range_m the signal interferes but can never be decoded.
+    const bool ber_ok = d2 <= r2 &&
+                        (params_.bit_error_rate <= 0.0 ||
+                         rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits)));
+    scheduler_.schedule_in(prop,
+                           [rx, sig, frame, dist] { rx->signal_begin(sig, frame, dist); });
+    const EventId end_ev = scheduler_.schedule_in(
+        prop + airtime, [rx, sig, t, ber_ok] { rx->signal_end(sig, !t->aborted && ber_ok); });
+    t->receptions.push_back(Reception{rx, sig, end_ev, prop, ber_ok});
+  }
+
+  Radio* txp = &tx;
+  t->done_event = scheduler_.schedule_in(airtime, [this, txp, frame] {
+    active_.erase(txp);
+    txp->transmit_finished(frame, /*aborted=*/false);
+  });
+  active_.emplace(&tx, std::move(t));
+  return airtime;
+}
+
+void Medium::abort_transmission(Radio& tx) {
+  auto it = active_.find(&tx);
+  assert(it != active_.end() && "no transmission to abort");
+  const std::shared_ptr<Transmission> t = it->second;
+  t->aborted = true;
+  scheduler_.cancel(t->done_event);
+  // Truncate the signal at every receiver: the tail that would have arrived
+  // after now + prop never airs; the partial frame is corrupt.
+  for (const Reception& rc : t->receptions) {
+    scheduler_.cancel(rc.end_event);
+    Radio* rx = rc.rx;
+    const std::uint64_t sig = rc.sig;
+    scheduler_.schedule_in(rc.prop, [rx, sig] { rx->signal_end(sig, /*intact=*/false); });
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->emit(scheduler_.now(), TraceCategory::kPhy, tx.id(),
+                  cat("tx-abort ", to_string(t->frame->type)));
+  }
+  FramePtr frame = t->frame;
+  active_.erase(it);
+  tx.transmit_finished(frame, /*aborted=*/true);
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,73 @@
+// The shared wireless data channel.
+//
+// Disk propagation: a transmission reaches exactly the radios within
+// `range_m` of the transmitter at transmission start, each after its own
+// propagation delay (distance / c).  Signals from concurrent transmissions
+// overlap at receivers and corrupt each other (no capture), matching the
+// paper's GloMoSim configuration at equal transmit power.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "phy/params.hpp"
+#include "phy/radio.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace rmacsim {
+
+class Medium {
+public:
+  Medium(Scheduler& scheduler, PhyParams params, Rng rng, Tracer* tracer = nullptr);
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  void attach(Radio& radio);
+  void detach(Radio& radio) noexcept;
+
+  [[nodiscard]] const PhyParams& params() const noexcept { return params_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+
+  // Radios within range of `of` right now (neighbourhood snapshot; used by
+  // upper layers that need the ground-truth topology, e.g. tests/benches).
+  [[nodiscard]] std::vector<NodeId> neighbours_of(NodeId of) const;
+
+  // --- Radio-facing interface ---------------------------------------------
+  SimTime begin_transmission(Radio& tx, FramePtr frame);
+  void abort_transmission(Radio& tx);
+
+  // Counters for diagnostics.
+  [[nodiscard]] std::uint64_t transmissions_started() const noexcept { return tx_started_; }
+
+private:
+  struct Reception {
+    Radio* rx;
+    std::uint64_t sig;
+    EventId end_event;
+    SimTime prop;
+    bool ber_ok;
+  };
+  struct Transmission {
+    FramePtr frame;
+    SimTime start;
+    bool aborted{false};
+    EventId done_event{kInvalidEvent};
+    std::vector<Reception> receptions;
+  };
+
+  PhyParams params_;
+  Scheduler& scheduler_;
+  Rng rng_;
+  Tracer* tracer_;
+  std::vector<Radio*> radios_;
+  std::unordered_map<Radio*, std::shared_ptr<Transmission>> active_;
+  std::uint64_t next_sig_{1};
+  std::uint64_t tx_started_{0};
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,66 @@
+// Physical-layer parameters, fixed per the paper (§3.3) to IEEE 802.11b.
+//
+// Every frame carries a 72-bit preamble at 1 Mb/s plus a 48-bit PLCP header
+// at 2 Mb/s — 96 us of overhead per frame (§2) — and its body at 2 Mb/s.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+struct PhyParams {
+  double range_m{75.0};                 // radio propagation range (paper §4.1.1)
+  double data_rate_bps{2e6};            // body rate (802.11b, paper)
+  double preamble_bits{72.0};           // @ 1 Mb/s
+  double preamble_rate_bps{1e6};
+  double plcp_header_bits{48.0};        // @ 2 Mb/s
+  double plcp_header_rate_bps{2e6};
+  SimTime slot{SimTime::us(20)};        // backoff slot incl. CCA (§3.3.1)
+  SimTime cca{SimTime::us(15)};         // lambda: busy-tone / carrier detect time
+  SimTime sifs{SimTime::us(10)};        // used by the 802.11-based baselines
+  SimTime difs{SimTime::us(50)};
+  SimTime max_propagation{SimTime::us(1)};  // tau: paper assumes range < 300 m
+  double bit_error_rate{0.0};           // independent BER on frame bodies
+  double propagation_speed_mps{3e8};
+  // Capture effect: a reception already in progress survives an interfering
+  // signal whose transmitter is at least `capture_ratio` times farther away
+  // (a distance-domain proxy for an SINR threshold; with path-loss exponent
+  // 2, ratio 2 ~ 6 dB).  0 disables capture — the paper-default collision
+  // model where any overlap corrupts both frames.
+  double capture_ratio{0.0};
+  // Radius within which a signal still interferes (corrupts overlapping
+  // receptions, raises carrier sense) even though it cannot be decoded.
+  // 0 = equal to range_m (the paper-default disk model).
+  double interference_range_m{0.0};
+
+  [[nodiscard]] constexpr double effective_interference_range() const noexcept {
+    return interference_range_m > range_m ? interference_range_m : range_m;
+  }
+
+  // 96 us for the default parameters.
+  [[nodiscard]] constexpr SimTime phy_overhead() const noexcept {
+    const double us = preamble_bits / preamble_rate_bps * 1e6 +
+                      plcp_header_bits / plcp_header_rate_bps * 1e6;
+    return SimTime::from_us(us);
+  }
+
+  // Total airtime of a frame whose MAC-level length is `bytes`.
+  [[nodiscard]] constexpr SimTime frame_airtime(std::size_t bytes) const noexcept {
+    const double body_us = static_cast<double>(bytes) * 8.0 / data_rate_bps * 1e6;
+    return phy_overhead() + SimTime::from_us(body_us);
+  }
+
+  // One-way propagation delay over `distance_m` metres.
+  [[nodiscard]] constexpr SimTime propagation_delay(double distance_m) const noexcept {
+    return SimTime::from_seconds(distance_m / propagation_speed_mps);
+  }
+
+  // l_abt = |T_wf_rbt| = |T_wf_rdata| = |T_wf_abt| = 2*tau_max + lambda = 17 us.
+  [[nodiscard]] constexpr SimTime tone_slot() const noexcept {
+    return 2 * max_propagation + cca;
+  }
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,86 @@
+#include "phy/radio.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "phy/medium.hpp"
+
+namespace rmacsim {
+
+Radio::Radio(Medium& medium, NodeId id, MobilityModel& mobility)
+    : medium_{medium}, id_{id}, mobility_{&mobility} {
+  medium_.attach(*this);
+}
+
+Radio::~Radio() { medium_.detach(*this); }
+
+Vec2 Radio::position() const {
+  return mobility_->position(medium_.scheduler().now());
+}
+
+void Radio::notify_carrier(bool busy_before) {
+  const bool busy_now = carrier_busy();
+  if (busy_now != busy_before && listener_ != nullptr) {
+    listener_->on_carrier_changed(busy_now);
+  }
+}
+
+SimTime Radio::transmit(FramePtr frame) {
+  assert(!transmitting_ && "radio is half-duplex: already transmitting");
+  const bool busy_before = carrier_busy();
+  transmitting_ = true;
+  // Half-duplex: anything we were receiving is lost.
+  for (auto& [sig, in] : incoming_) in.clean = false;
+  const SimTime airtime = medium_.begin_transmission(*this, std::move(frame));
+  notify_carrier(busy_before);
+  return airtime;
+}
+
+void Radio::abort_transmission() {
+  if (!transmitting_) return;
+  medium_.abort_transmission(*this);
+}
+
+void Radio::signal_begin(std::uint64_t sig, FramePtr frame, double distance_m) {
+  const bool busy_before = carrier_busy();
+  // A signal arriving while we transmit, or while another signal is on the
+  // air, is corrupted — and corrupts whatever else overlaps it, unless the
+  // capture effect lets a much stronger (closer) reception survive the
+  // interference.
+  const double capture = medium_.params().capture_ratio;
+  const bool clean = !transmitting_ && incoming_.empty();
+  if (!clean) {
+    for (auto& [other, in] : incoming_) {
+      if (capture > 0.0 && in.clean && distance_m >= capture * in.distance_m) {
+        continue;  // captured: the established reception shrugs this off
+      }
+      in.clean = false;
+    }
+  }
+  incoming_.emplace(sig, Incoming{std::move(frame), clean, distance_m});
+  notify_carrier(busy_before);
+}
+
+void Radio::signal_end(std::uint64_t sig, bool intact) {
+  auto it = incoming_.find(sig);
+  assert(it != incoming_.end());
+  const bool deliver = it->second.clean && intact && !transmitting_;
+  FramePtr frame = std::move(it->second.frame);
+  const bool busy_before = carrier_busy();
+  incoming_.erase(it);
+  // Deliver before the carrier-idle notification: frame decode completes at
+  // the trailing edge, and MAC logic (e.g. RMAC's WF_RDATA role) must see
+  // the frame before it sees the channel go idle.
+  if (deliver && listener_ != nullptr) listener_->on_frame_received(frame);
+  notify_carrier(busy_before);
+}
+
+void Radio::transmit_finished(const FramePtr& frame, bool aborted) {
+  assert(transmitting_);
+  const bool busy_before = carrier_busy();
+  transmitting_ = false;
+  notify_carrier(busy_before);
+  if (listener_ != nullptr) listener_->on_transmit_complete(frame, aborted);
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,84 @@
+// Half-duplex data-channel radio.
+//
+// A radio belongs to one node; the shared `Medium` delivers signal
+// begin/end events to it.  Reception bookkeeping implements the collision
+// model: a frame is delivered intact iff it was the only signal on the air
+// at this radio for its whole duration, the radio never transmitted during
+// it, the transmitter did not abort, and the BER draw passed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "geom/vec2.hpp"
+#include "mobility/mobility.hpp"
+#include "phy/frame.hpp"
+#include "sim/ids.hpp"
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+class Medium;
+
+class RadioListener {
+public:
+  virtual ~RadioListener() = default;
+  // A frame was received intact.
+  virtual void on_frame_received(const FramePtr& frame) = 0;
+  // Physical carrier-sense transition (busy = receiving signal(s) or transmitting).
+  virtual void on_carrier_changed(bool /*busy*/) {}
+  // Own transmission finished (aborted = cut short by abort_transmission()).
+  virtual void on_transmit_complete(const FramePtr& /*frame*/, bool /*aborted*/) {}
+};
+
+class Radio {
+public:
+  Radio(Medium& medium, NodeId id, MobilityModel& mobility);
+  ~Radio();
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  void set_listener(RadioListener* listener) noexcept { listener_ = listener; }
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Medium& medium() const noexcept { return medium_; }
+  [[nodiscard]] Vec2 position() const;  // at the current simulation time
+  [[nodiscard]] MobilityModel& mobility() const noexcept { return *mobility_; }
+
+  [[nodiscard]] bool transmitting() const noexcept { return transmitting_; }
+  // Physical carrier sense: any in-flight signal, or own transmission.
+  [[nodiscard]] bool carrier_busy() const noexcept {
+    return transmitting_ || !incoming_.empty();
+  }
+
+  // Start transmitting `frame`; returns its airtime.  Must not already be
+  // transmitting.  Any reception in progress is corrupted (half-duplex).
+  SimTime transmit(FramePtr frame);
+
+  // Truncate the transmission in flight (RMAC aborts MRTS / unreliable data
+  // on RBT detection).  No-op if not transmitting.
+  void abort_transmission();
+
+  // --- Medium-facing interface -------------------------------------------
+  void signal_begin(std::uint64_t sig, FramePtr frame, double distance_m);
+  void signal_end(std::uint64_t sig, bool intact);
+  void transmit_finished(const FramePtr& frame, bool aborted);
+
+private:
+  struct Incoming {
+    FramePtr frame;
+    bool clean;
+    double distance_m;
+  };
+
+  void notify_carrier(bool busy_before);
+
+  Medium& medium_;
+  NodeId id_;
+  MobilityModel* mobility_;
+  RadioListener* listener_{nullptr};
+  bool transmitting_{false};
+  std::unordered_map<std::uint64_t, Incoming> incoming_;
+};
+
+}  // namespace rmacsim

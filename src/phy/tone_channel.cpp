@@ -1,0 +1,119 @@
+#include "phy/tone_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include "sim/strfmt.hpp"
+
+namespace rmacsim {
+
+namespace {
+// History older than this is irrelevant to any protocol timer (longest
+// window is the ABT scan of a 20-receiver MRTS: 20 * 17 us = 340 us).
+constexpr SimTime kHistoryKeep = SimTime::ms(10);
+}  // namespace
+
+ToneChannel::ToneChannel(Scheduler& scheduler, const PhyParams& params, std::string name,
+                         Tracer* tracer)
+    : scheduler_{scheduler}, params_{params}, name_{std::move(name)}, tracer_{tracer} {}
+
+void ToneChannel::attach(NodeId id, MobilityModel& mobility) {
+  sources_.emplace(id, Source{&mobility, false, {}});
+}
+
+void ToneChannel::detach(NodeId id) noexcept {
+  sources_.erase(id);
+  edge_subs_.erase(id);
+}
+
+void ToneChannel::prune(Source& s) const {
+  const SimTime cutoff = scheduler_.now() - kHistoryKeep;
+  while (!s.history.empty() && s.history.front().off < cutoff) s.history.pop_front();
+}
+
+bool ToneChannel::in_range(const Source& a, const Source& b, SimTime t) const {
+  const double r2 = params_.range_m * params_.range_m;
+  return distance_sq(a.mobility->position(t), b.mobility->position(t)) <= r2;
+}
+
+void ToneChannel::set_tone(NodeId id, bool on) {
+  auto it = sources_.find(id);
+  assert(it != sources_.end() && "set_tone on unattached node");
+  Source& s = it->second;
+  if (s.on == on) return;
+  const SimTime now = scheduler_.now();
+  s.on = on;
+  if (on) {
+    s.history.push_back(Interval{now, SimTime::max()});
+    prune(s);
+    // Notify edge subscribers that are in range, after propagation plus the
+    // lambda detection latency.
+    for (const auto& [listener, cb] : edge_subs_) {
+      if (listener == id) continue;
+      const auto lit = sources_.find(listener);
+      if (lit == sources_.end() || !in_range(s, lit->second, now)) continue;
+      const double d = distance(s.mobility->position(now), lit->second.mobility->position(now));
+      const SimTime latency = params_.propagation_delay(d) + params_.cca;
+      // Copy the callback: the subscription may change before delivery.
+      scheduler_.schedule_in(latency, [cb, id] { cb(id); });
+    }
+  } else {
+    assert(!s.history.empty());
+    s.history.back().off = now;
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->emit(now, TraceCategory::kTone, id,
+                  cat(name_, on ? " on" : " off"));
+  }
+}
+
+bool ToneChannel::my_tone_on(NodeId id) const noexcept {
+  const auto it = sources_.find(id);
+  return it != sources_.end() && it->second.on;
+}
+
+bool ToneChannel::sensed_at(NodeId listener) const {
+  const auto lit = sources_.find(listener);
+  if (lit == sources_.end()) return false;
+  const SimTime now = scheduler_.now();
+  for (const auto& [id, s] : sources_) {
+    if (id == listener || s.history.empty()) continue;
+    if (!in_range(s, lit->second, now)) continue;
+    const double d =
+        distance(s.mobility->position(now), lit->second.mobility->position(now));
+    const SimTime arrival_shift = params_.propagation_delay(d);
+    // The signal present at the listener now left the source `prop` ago.
+    const SimTime src_time = now - arrival_shift;
+    for (const Interval& iv : s.history) {
+      if (iv.on <= src_time && src_time < iv.off) return true;
+    }
+  }
+  return false;
+}
+
+bool ToneChannel::detected_in_window(NodeId listener, SimTime from, SimTime to) const {
+  const auto lit = sources_.find(listener);
+  if (lit == sources_.end()) return false;
+  const SimTime now = scheduler_.now();
+  for (const auto& [id, s] : sources_) {
+    if (id == listener || s.history.empty()) continue;
+    if (!in_range(s, lit->second, now)) continue;
+    const double d =
+        distance(s.mobility->position(now), lit->second.mobility->position(now));
+    const SimTime prop = params_.propagation_delay(d);
+    for (const Interval& iv : s.history) {
+      // Tone present at the listener during [on + prop, off + prop).
+      const SimTime lo = std::max(iv.on + prop, from);
+      const SimTime hi = iv.off == SimTime::max() ? to : std::min(iv.off + prop, to);
+      if (hi - lo >= params_.cca) return true;
+    }
+  }
+  return false;
+}
+
+void ToneChannel::subscribe_edges(NodeId listener, EdgeCallback cb) {
+  edge_subs_[listener] = std::move(cb);
+}
+
+void ToneChannel::unsubscribe_edges(NodeId listener) noexcept { edge_subs_.erase(listener); }
+
+}  // namespace rmacsim

@@ -1,0 +1,80 @@
+// Narrow-bandwidth busy-tone channel (one instance per tone: RBT, ABT).
+//
+// A tone is a sine on its own out-of-band channel: it carries no bits, never
+// collides, and can only be sensed present / not present (paper §3.1).  The
+// channel keeps a short on/off interval history per source so protocol
+// timers can ask, after the fact, "was a foreign tone present at me for at
+// least lambda within this window?" — exactly the semantics of the paper's
+// T_wf_rbt and T_wf_abt checks.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+#include "phy/params.hpp"
+#include "sim/ids.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace rmacsim {
+
+class ToneChannel {
+public:
+  ToneChannel(Scheduler& scheduler, const PhyParams& params, std::string name,
+              Tracer* tracer = nullptr);
+  ToneChannel(const ToneChannel&) = delete;
+  ToneChannel& operator=(const ToneChannel&) = delete;
+
+  void attach(NodeId id, MobilityModel& mobility);
+  void detach(NodeId id) noexcept;
+
+  // Turn this node's tone on/off.  Idempotent.
+  void set_tone(NodeId id, bool on);
+  [[nodiscard]] bool my_tone_on(NodeId id) const noexcept;
+
+  // Instantaneous presence: is a foreign tone's signal on the air at
+  // `listener` right now (leading edge arrived, trailing edge not yet)?
+  [[nodiscard]] bool sensed_at(NodeId listener) const;
+
+  // Detection semantics: was a foreign tone present at `listener` for at
+  // least the CCA time (lambda) within [from, to]?
+  [[nodiscard]] bool detected_in_window(NodeId listener, SimTime from, SimTime to) const;
+
+  // Leading-edge subscription: `cb(source)` fires lambda after a foreign
+  // tone's leading edge reaches the subscribed listener (detection latency —
+  // this is what makes MRTS abortion rare, §3.3.2 note 3).
+  using EdgeCallback = std::function<void(NodeId source)>;
+  void subscribe_edges(NodeId listener, EdgeCallback cb);
+  void unsubscribe_edges(NodeId listener) noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const PhyParams& params() const noexcept { return params_; }
+
+private:
+  struct Interval {
+    SimTime on;
+    SimTime off;  // SimTime::max() while still on
+  };
+  struct Source {
+    MobilityModel* mobility;
+    bool on{false};
+    std::deque<Interval> history;
+  };
+
+  void prune(Source& s) const;
+  [[nodiscard]] bool in_range(const Source& a, const Source& b, SimTime t) const;
+
+  Scheduler& scheduler_;
+  const PhyParams& params_;
+  std::string name_;
+  Tracer* tracer_;
+  std::unordered_map<NodeId, Source> sources_;
+  std::unordered_map<NodeId, EdgeCallback> edge_subs_;
+};
+
+}  // namespace rmacsim

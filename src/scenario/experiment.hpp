@@ -1,0 +1,79 @@
+// One evaluation experiment (§4.1.2): a protocol + mobility scenario +
+// source rate + seed, run end to end, producing every metric the paper's
+// Figures 7-13 report.
+#pragma once
+
+#include <string>
+
+#include "scenario/network_builder.hpp"
+#include "stats/percentile.hpp"
+
+namespace rmacsim {
+
+struct ExperimentConfig {
+  Protocol protocol{Protocol::kRmac};
+  MobilityScenario mobility{MobilityScenario::kStationary};
+  double rate_pps{10.0};
+  std::uint32_t num_packets{10000};
+  std::size_t payload_bytes{500};
+  unsigned num_nodes{75};
+  Rect area{500.0, 300.0};
+  std::uint64_t seed{1};
+  SimTime warmup{SimTime::sec(15)};  // tree-formation window before the source starts
+  SimTime drain{SimTime::sec(10)};   // settle time after the last generated packet
+  PhyParams phy{};
+  MacParams mac{};
+  bool rbt_protection{true};
+  ForwardStrategy strategy{ForwardStrategy::kTree};
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+
+  // Fig. 7 / Fig. 9: delivery and end-to-end delay.
+  double delivery_ratio{0.0};
+  double avg_delay_s{0.0};
+  double p99_delay_s{0.0};
+
+  // Figs. 8, 10, 11: averages over non-leaf (forwarding) nodes.
+  double avg_drop_ratio{0.0};
+  double avg_retx_ratio{0.0};
+  double avg_txoh_ratio{0.0};
+
+  // Fig. 12: MRTS lengths (bytes), all MRTS transmissions in the run.
+  double mrts_len_avg{0.0};
+  double mrts_len_p99{0.0};
+  double mrts_len_max{0.0};
+
+  // Fig. 13: per-non-leaf-node MRTS abortion ratios.
+  double abort_avg{0.0};
+  double abort_p99{0.0};
+  double abort_max{0.0};
+
+  // §4.1.1 tree statistics, sampled at the end of warm-up.
+  double tree_hops_avg{0.0};
+  double tree_hops_p99{0.0};
+  double tree_children_avg{0.0};
+  double tree_children_p99{0.0};
+
+  // Fraction of Reliable Send invocations the MACs *believe* succeeded —
+  // for receiver-initiated protocols (802.11MX) this can exceed the actual
+  // delivery ratio (the §2 "no full reliability" argument).
+  double mac_believed_success{0.0};
+
+  std::uint64_t generated{0};
+  std::uint64_t delivered{0};
+  std::uint64_t expected{0};
+  std::uint64_t events_executed{0};
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// Average the per-seed results of one sweep point (the paper averages ten
+// placements per data point); percentile/max fields take the max of maxima
+// and the mean of percentiles.
+[[nodiscard]] ExperimentResult average_results(const std::vector<ExperimentResult>& runs);
+
+}  // namespace rmacsim

@@ -1,0 +1,154 @@
+#include "scenario/network_builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mac/bmmm/bmmm_protocol.hpp"
+#include "mac/bmw/bmw_protocol.hpp"
+#include "mac/dcf/dcf_protocol.hpp"
+#include "mac/lamm/lamm_protocol.hpp"
+#include "mac/mx/mx_protocol.hpp"
+
+namespace rmacsim {
+
+const char* to_string(MobilityScenario m) noexcept {
+  switch (m) {
+    case MobilityScenario::kStationary: return "stationary";
+    case MobilityScenario::kSpeed1: return "speed1";
+    case MobilityScenario::kSpeed2: return "speed2";
+  }
+  return "?";
+}
+
+bool Network::placement_connected(const std::vector<Vec2>& pts, double range_m) {
+  if (pts.empty()) return true;
+  const double r2 = range_m * range_m;
+  std::vector<bool> visited(pts.size(), false);
+  std::vector<std::size_t> stack{0};
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v = 0; v < pts.size(); ++v) {
+      if (visited[v] || distance_sq(pts[u], pts[v]) > r2) continue;
+      visited[v] = true;
+      ++reached;
+      stack.push_back(v);
+    }
+  }
+  return reached == pts.size();
+}
+
+std::vector<Vec2> Network::draw_placement(Rng& rng) const {
+  std::vector<Vec2> pts(config_.num_nodes);
+  for (unsigned attempt = 0; attempt < config_.placement_attempts; ++attempt) {
+    for (auto& p : pts) {
+      p = Vec2{rng.uniform(0.0, config_.area.width), rng.uniform(0.0, config_.area.height)};
+    }
+    if (!config_.ensure_connected || placement_connected(pts, config_.phy.range_m)) {
+      return pts;
+    }
+  }
+  throw std::runtime_error("could not draw a connected placement; "
+                           "lower density demands or disable ensure_connected");
+}
+
+Network::Network(NetworkConfig config) : config_{config} {
+  Rng master{config_.seed};
+  Rng placement_rng = master.fork(Rng::hash_label("placement"));
+  Rng medium_rng = master.fork(Rng::hash_label("medium"));
+
+  medium_ = std::make_unique<Medium>(scheduler_, config_.phy, medium_rng, &tracer_);
+  rbt_ = std::make_unique<ToneChannel>(scheduler_, medium_->params(), "RBT", &tracer_);
+  abt_ = std::make_unique<ToneChannel>(scheduler_, medium_->params(), "ABT", &tracer_);
+
+  const std::vector<Vec2> placement = draw_placement(placement_rng);
+
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    Node n;
+    n.id = i;
+    Rng node_rng = master.fork(0x1000 + i);
+
+    switch (config_.mobility) {
+      case MobilityScenario::kStationary:
+        n.mobility = std::make_unique<StationaryMobility>(placement[i]);
+        break;
+      case MobilityScenario::kSpeed1:
+        n.mobility = std::make_unique<RandomWaypointMobility>(
+            placement[i], RandomWaypointParams{config_.area, 0.0, 4.0, SimTime::sec(10)},
+            node_rng.fork(Rng::hash_label("rwp")));
+        break;
+      case MobilityScenario::kSpeed2:
+        n.mobility = std::make_unique<RandomWaypointMobility>(
+            placement[i], RandomWaypointParams{config_.area, 0.0, 8.0, SimTime::sec(5)},
+            node_rng.fork(Rng::hash_label("rwp")));
+        break;
+    }
+
+    n.radio = std::make_unique<Radio>(*medium_, i, *n.mobility);
+    rbt_->attach(i, *n.mobility);
+    abt_->attach(i, *n.mobility);
+
+    Rng mac_rng = node_rng.fork(Rng::hash_label("mac"));
+    switch (config_.protocol) {
+      case Protocol::kRmac: {
+        RmacProtocol::Params p;
+        p.mac = config_.mac;
+        p.rbt_protection = config_.rbt_protection;
+        n.mac = std::make_unique<RmacProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng, p,
+                                               &tracer_);
+        break;
+      }
+      case Protocol::kBmmm:
+        n.mac = std::make_unique<BmmmProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                               &tracer_);
+        break;
+      case Protocol::kDcf:
+        n.mac = std::make_unique<DcfProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                              &tracer_);
+        break;
+      case Protocol::kBmw:
+        n.mac = std::make_unique<BmwProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                              &tracer_);
+        break;
+      case Protocol::kMx:
+        // MX reuses the two tone channels as its CTS/NAK tones.
+        n.mac = std::make_unique<MxProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng,
+                                             config_.mac, &tracer_);
+        break;
+      case Protocol::kLamm:
+        n.mac = std::make_unique<LammProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                               &tracer_);
+        break;
+    }
+
+    n.tree = std::make_unique<BlessTree>(scheduler_, *n.mac, config_.root, config_.bless,
+                                         node_rng.fork(Rng::hash_label("bless")));
+
+    MulticastAppParams app = config_.app;
+    app.receivers_per_packet = config_.num_nodes - 1;
+    n.app = std::make_unique<MulticastApp>(scheduler_, *n.mac, *n.tree, app, delivery_);
+    nodes_.push_back(std::move(n));
+  }
+}
+
+void Network::start_routing() {
+  for (Node& n : nodes_) n.tree->start();
+}
+
+void Network::start_source() {
+  nodes_[config_.root].app->start_source();
+}
+
+bool Network::connected_now() const {
+  std::vector<Vec2> pts;
+  pts.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    pts.push_back(n.mobility->position(scheduler_.now()));
+  }
+  return placement_connected(pts, config_.phy.range_m);
+}
+
+}  // namespace rmacsim

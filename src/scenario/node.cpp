@@ -1,0 +1,17 @@
+#include "scenario/node.hpp"
+
+namespace rmacsim {
+
+const char* to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kRmac: return "RMAC";
+    case Protocol::kBmmm: return "BMMM";
+    case Protocol::kDcf: return "802.11-DCF";
+    case Protocol::kBmw: return "BMW";
+    case Protocol::kMx: return "802.11MX";
+    case Protocol::kLamm: return "LAMM";
+  }
+  return "?";
+}
+
+}  // namespace rmacsim

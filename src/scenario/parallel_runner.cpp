@@ -1,0 +1,41 @@
+#include "scenario/parallel_runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace rmacsim {
+
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentConfig>& configs, unsigned threads,
+    const std::function<void(const ExperimentResult&)>& progress) {
+  std::vector<ExperimentResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(configs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::mutex progress_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      results[i] = run_experiment(configs[i]);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock{progress_mu};
+        progress(results[i]);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,15 @@
+// Node identifiers shared by every layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rmacsim {
+
+using NodeId = std::uint32_t;
+
+// Reserved destination id meaning "all one-hop neighbours".
+inline constexpr NodeId kBroadcastId = std::numeric_limits<NodeId>::max();
+inline constexpr NodeId kInvalidNode = kBroadcastId - 1;
+
+}  // namespace rmacsim

@@ -1,0 +1,68 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rmacsim {
+
+EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  auto entry = std::make_unique<Entry>(Entry{at, id, std::move(fn)});
+  live_.emplace(id, entry.get());
+  heap_.push(std::move(entry));
+  return id;
+}
+
+EventId Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) noexcept {
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->fn = nullptr;  // lazy deletion: popped entries with null fn are skipped
+  live_.erase(it);
+  return true;
+}
+
+bool Scheduler::pending(EventId id) const noexcept { return live_.contains(id); }
+
+SimTime Scheduler::next_event_time() const noexcept {
+  // The top may be a cancelled tombstone; a cancelled event still bounds the
+  // next live event's time from below, so for run loops this is only used as
+  // a hint; step() does the authoritative skipping.
+  return heap_.empty() ? SimTime::max() : heap_.top()->at;
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; we must move the entry out to run it.
+    auto& top = const_cast<std::unique_ptr<Entry>&>(heap_.top());
+    std::unique_ptr<Entry> entry = std::move(top);
+    heap_.pop();
+    if (!entry->fn) continue;  // cancelled
+    live_.erase(entry->id);
+    now_ = entry->at;
+    ++executed_;
+    entry->fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime until) {
+  for (;;) {
+    if (heap_.empty()) break;
+    if (heap_.top()->at > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,77 @@
+// Discrete-event scheduler: the beating heart of the simulator.
+//
+// A binary heap of (time, sequence) ordered events with O(log n)
+// schedule/pop and O(1) cancellation (lazy deletion).  Ties at equal
+// timestamps are broken by scheduling order, which makes every run fully
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Scheduler {
+public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Schedule `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  // Schedule `fn` to run `delay` after now().
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  // Cancel a pending event. Returns true if it was still pending.
+  bool cancel(EventId id) noexcept;
+
+  [[nodiscard]] bool pending(EventId id) const noexcept;
+
+  // Time of the next pending event, or SimTime::max() if none.
+  [[nodiscard]] SimTime next_event_time() const noexcept;
+
+  // Run events until the queue is empty or `until` is passed; advances
+  // now() to `until` on return unless the queue drained earlier.
+  void run_until(SimTime until);
+
+  // Run everything.
+  void run();
+
+  // Execute at most one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending_count() const noexcept { return live_.size(); }
+  [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
+
+private:
+  struct Entry {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const std::unique_ptr<Entry>& a, const std::unique_ptr<Entry>& b) const noexcept {
+      if (a->at != b->at) return a->at > b->at;
+      return a->id > b->id;  // FIFO among equal timestamps
+    }
+  };
+
+  SimTime now_{SimTime::zero()};
+  EventId next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<std::unique_ptr<Entry>, std::vector<std::unique_ptr<Entry>>, Later> heap_;
+  std::unordered_map<EventId, Entry*> live_;
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,17 @@
+// Minimal string building helper (libstdc++ 12 has no <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rmacsim {
+
+// cat("tx ", 3, " frames") -> "tx 3 frames"
+template <typename... Args>
+[[nodiscard]] std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,73 @@
+// Simulation time as a strongly-typed nanosecond count.
+//
+// The paper specifies all protocol timing in microseconds (slot = 20 us,
+// CCA = 15 us, tau <= 1 us, ...); nanosecond resolution lets us represent
+// sub-microsecond propagation delays (75 m range -> 0.25 us) exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace rmacsim {
+
+class SimTime {
+public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime ns(std::int64_t v) noexcept { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime us(std::int64_t v) noexcept { return SimTime{v * 1'000}; }
+  [[nodiscard]] static constexpr SimTime ms(std::int64_t v) noexcept { return SimTime{v * 1'000'000}; }
+  [[nodiscard]] static constexpr SimTime sec(std::int64_t v) noexcept { return SimTime{v * 1'000'000'000}; }
+
+  // Fractional constructors for rate-derived intervals (e.g. 1/120 s).
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr SimTime from_us(double us_val) noexcept {
+    return SimTime{static_cast<std::int64_t>(us_val * 1e3)};
+  }
+
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_us() const noexcept { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimTime& operator+=(SimTime o) noexcept { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) noexcept { ns_ -= o.ns_; return *this; }
+
+  [[nodiscard]] friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept { return SimTime{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept { return SimTime{a.ns_ - b.ns_}; }
+  [[nodiscard]] friend constexpr SimTime operator*(SimTime a, std::int64_t k) noexcept { return SimTime{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr SimTime operator*(std::int64_t k, SimTime a) noexcept { return SimTime{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr auto operator<=>(SimTime a, SimTime b) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.to_us() << "us";
+  }
+
+private:
+  constexpr explicit SimTime(std::int64_t v) noexcept : ns_{v} {}
+  std::int64_t ns_{0};
+};
+
+namespace literals {
+[[nodiscard]] constexpr SimTime operator""_ns(unsigned long long v) noexcept {
+  return SimTime::ns(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr SimTime operator""_us(unsigned long long v) noexcept {
+  return SimTime::us(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr SimTime operator""_ms(unsigned long long v) noexcept {
+  return SimTime::ms(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr SimTime operator""_s(unsigned long long v) noexcept {
+  return SimTime::sec(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace rmacsim

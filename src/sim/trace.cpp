@@ -1,0 +1,17 @@
+#include "sim/trace.hpp"
+
+namespace rmacsim {
+
+std::string_view to_string(TraceCategory c) noexcept {
+  switch (c) {
+    case TraceCategory::kPhy: return "phy";
+    case TraceCategory::kTone: return "tone";
+    case TraceCategory::kMac: return "mac";
+    case TraceCategory::kMacState: return "mac.state";
+    case TraceCategory::kNet: return "net";
+    case TraceCategory::kApp: return "app";
+  }
+  return "?";
+}
+
+}  // namespace rmacsim

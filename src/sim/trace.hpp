@@ -1,0 +1,52 @@
+// Lightweight structured trace facility.
+//
+// Protocol modules emit trace records (state transitions, frame events);
+// a run installs a sink when it wants them (tests assert on traces, the
+// frame_trace example pretty-prints them).  With no sink installed tracing
+// is a branch and nothing more.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+enum class TraceCategory : std::uint8_t {
+  kPhy,
+  kTone,
+  kMac,
+  kMacState,
+  kNet,
+  kApp,
+};
+
+[[nodiscard]] std::string_view to_string(TraceCategory c) noexcept;
+
+struct TraceRecord {
+  SimTime at;
+  TraceCategory category;
+  std::uint32_t node;
+  std::string message;
+};
+
+class Tracer {
+public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void clear_sink() { sink_ = nullptr; }
+  [[nodiscard]] bool enabled() const noexcept { return static_cast<bool>(sink_); }
+
+  void emit(SimTime at, TraceCategory category, std::uint32_t node, std::string message) const {
+    if (sink_) sink_(TraceRecord{at, category, node, std::move(message)});
+  }
+
+private:
+  Sink sink_;
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,5 @@
+#include "stats/metrics.hpp"
+
+// Currently header-only accumulators; this TU anchors the library target.
+
+namespace rmacsim {}

@@ -1,0 +1,87 @@
+// Per-node and network-wide metric accumulators matching the paper's
+// evaluation metrics (§4.2, §4.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+// Counters a MAC protocol instance maintains for one node.
+struct MacStats {
+  // Reliable-service bookkeeping ("packets to be transmitted by that node").
+  std::uint64_t reliable_requests{0};   // reliable packets handed to the MAC
+  std::uint64_t reliable_delivered{0};  // completed with every receiver ACKed
+  std::uint64_t reliable_dropped{0};    // retry limit exceeded
+  std::uint64_t retransmissions{0};     // retransmission attempts (Fig. 10)
+
+  std::uint64_t unreliable_requests{0};
+  std::uint64_t queue_drops{0};         // requests refused by a full queue
+
+  // RMAC-specific (Figs. 12, 13).
+  std::uint64_t mrts_transmissions{0};  // MRTS transmissions attempted
+  std::uint64_t mrts_aborted{0};        // aborted on RBT detection
+  std::vector<double> mrts_lengths_bytes;
+
+  // Transmission-overhead accounting (Fig. 11): time spent transmitting and
+  // receiving control frames, checking ABTs, and transmitting reliable data.
+  SimTime control_tx_time{SimTime::zero()};
+  SimTime control_rx_time{SimTime::zero()};
+  SimTime abt_check_time{SimTime::zero()};
+  SimTime reliable_data_tx_time{SimTime::zero()};
+
+  [[nodiscard]] double drop_ratio() const noexcept {
+    return reliable_requests == 0
+               ? 0.0
+               : static_cast<double>(reliable_dropped) / static_cast<double>(reliable_requests);
+  }
+  [[nodiscard]] double retransmission_ratio() const noexcept {
+    return reliable_requests == 0
+               ? 0.0
+               : static_cast<double>(retransmissions) / static_cast<double>(reliable_requests);
+  }
+  [[nodiscard]] double tx_overhead_ratio() const noexcept {
+    const double data = reliable_data_tx_time.to_seconds();
+    if (data <= 0.0) return 0.0;
+    return (control_tx_time + control_rx_time + abt_check_time).to_seconds() / data;
+  }
+  [[nodiscard]] double mrts_abort_ratio() const noexcept {
+    return mrts_transmissions == 0
+               ? 0.0
+               : static_cast<double>(mrts_aborted) / static_cast<double>(mrts_transmissions);
+  }
+};
+
+// Network-wide delivery accounting for the multicast application (Fig. 7, 9).
+class DeliveryStats {
+public:
+  void note_generated(std::uint32_t receivers_expected) noexcept {
+    ++generated_;
+    expected_receptions_ += receivers_expected;
+  }
+  void note_delivered(SimTime e2e_delay) {
+    ++delivered_;
+    delays_s_.push_back(e2e_delay.to_seconds());
+  }
+
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t expected() const noexcept { return expected_receptions_; }
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return expected_receptions_ == 0
+               ? 0.0
+               : static_cast<double>(delivered_) / static_cast<double>(expected_receptions_);
+  }
+  [[nodiscard]] const std::vector<double>& delays_seconds() const noexcept { return delays_s_; }
+
+private:
+  std::uint64_t generated_{0};
+  std::uint64_t delivered_{0};
+  std::uint64_t expected_receptions_{0};
+  std::vector<double> delays_s_;
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,41 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmacsim {
+
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  // Nearest-rank: ceil(p/100 * N)-th smallest value.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+double mean(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : sample) s += v;
+  return s / static_cast<double>(sample.size());
+}
+
+double maximum(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  return *std::max_element(sample.begin(), sample.end());
+}
+
+double SampleStats::mean() const noexcept { return rmacsim::mean(values_); }
+double SampleStats::max() const noexcept { return rmacsim::maximum(values_); }
+double SampleStats::min() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+double SampleStats::percentile(double p) const { return rmacsim::percentile(values_, p); }
+
+}  // namespace rmacsim

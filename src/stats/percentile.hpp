@@ -1,0 +1,40 @@
+// Summary statistics helpers used by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rmacsim {
+
+// p in [0, 100]; nearest-rank percentile of an unsorted sample.
+// Returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+[[nodiscard]] double mean(std::span<const double> sample) noexcept;
+[[nodiscard]] double maximum(std::span<const double> sample) noexcept;
+
+// Streaming accumulator for scalar samples (keeps the raw values so exact
+// percentiles stay available; experiment sample counts are small enough
+// that this is the right trade).
+class SampleStats {
+public:
+  void add(double v) { values_.push_back(v); }
+  void add_all(std::span<const double> vs) { values_.insert(values_.end(), vs.begin(), vs.end()); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+  void merge(const SampleStats& other) { add_all(other.values_); }
+  void clear() noexcept { values_.clear(); }
+
+private:
+  std::vector<double> values_;
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,147 @@
+// End-to-end experiment harness tests: metric sanity, determinism, and
+// serial/parallel equivalence.
+#include "scenario/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/parallel_runner.hpp"
+
+namespace rmacsim {
+namespace {
+
+ExperimentConfig small_config(Protocol proto, std::uint64_t seed) {
+  ExperimentConfig c;
+  c.protocol = proto;
+  c.mobility = MobilityScenario::kStationary;
+  c.rate_pps = 10.0;
+  c.num_packets = 40;
+  c.num_nodes = 20;
+  c.area = Rect{250.0, 250.0};
+  c.seed = seed;
+  c.warmup = SimTime::sec(12);
+  c.drain = SimTime::sec(5);
+  return c;
+}
+
+TEST(Experiment, RmacStationaryProducesSaneMetrics) {
+  const ExperimentResult r = run_experiment(small_config(Protocol::kRmac, 1));
+  EXPECT_EQ(r.generated, 40u);
+  EXPECT_EQ(r.expected, 40u * 19u);
+  EXPECT_GT(r.delivery_ratio, 0.95);
+  EXPECT_LE(r.delivery_ratio, 1.0);
+  EXPECT_GT(r.avg_delay_s, 0.0);
+  EXPECT_LT(r.avg_delay_s, 1.0);
+  EXPECT_LT(r.avg_drop_ratio, 0.05);
+  EXPECT_GE(r.avg_retx_ratio, 0.0);
+  EXPECT_GT(r.events_executed, 1000u);
+  // Tree formed during warm-up.
+  EXPECT_GT(r.tree_hops_avg, 0.0);
+  EXPECT_GT(r.tree_children_avg, 0.0);
+  // MRTS lengths within Fig. 3 bounds.
+  EXPECT_GE(r.mrts_len_avg, 18.0);
+  EXPECT_LE(r.mrts_len_max, 12.0 + 6.0 * 20.0);
+}
+
+TEST(Experiment, BmmmStationaryRuns) {
+  const ExperimentResult r = run_experiment(small_config(Protocol::kBmmm, 1));
+  EXPECT_GT(r.delivery_ratio, 0.8);
+  EXPECT_EQ(r.mrts_len_avg, 0.0);  // BMMM has no MRTS
+  EXPECT_GT(r.avg_txoh_ratio, 0.5);  // 2n control pairs are expensive
+}
+
+TEST(Experiment, SameSeedIsBitwiseDeterministic) {
+  const ExperimentResult a = run_experiment(small_config(Protocol::kRmac, 7));
+  const ExperimentResult b = run_experiment(small_config(Protocol::kRmac, 7));
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_DOUBLE_EQ(a.avg_delay_s, b.avg_delay_s);
+  EXPECT_DOUBLE_EQ(a.avg_retx_ratio, b.avg_retx_ratio);
+  EXPECT_DOUBLE_EQ(a.mrts_len_avg, b.mrts_len_avg);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  const ExperimentResult a = run_experiment(small_config(Protocol::kRmac, 1));
+  const ExperimentResult b = run_experiment(small_config(Protocol::kRmac, 2));
+  EXPECT_NE(a.events_executed, b.events_executed);
+}
+
+TEST(Experiment, ParallelRunnerMatchesSerial) {
+  std::vector<ExperimentConfig> configs{small_config(Protocol::kRmac, 3),
+                                        small_config(Protocol::kRmac, 4)};
+  const auto parallel = run_experiments(configs, 2);
+  ASSERT_EQ(parallel.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const ExperimentResult serial = run_experiment(configs[i]);
+    EXPECT_EQ(parallel[i].delivered, serial.delivered) << i;
+    EXPECT_EQ(parallel[i].events_executed, serial.events_executed) << i;
+    EXPECT_DOUBLE_EQ(parallel[i].delivery_ratio, serial.delivery_ratio) << i;
+  }
+}
+
+TEST(Experiment, ParallelRunnerReportsProgress) {
+  std::vector<ExperimentConfig> configs{small_config(Protocol::kRmac, 5)};
+  int progress_calls = 0;
+  (void)run_experiments(configs, 1, [&](const ExperimentResult&) { ++progress_calls; });
+  EXPECT_EQ(progress_calls, 1);
+}
+
+TEST(Experiment, MobileScenarioRunsAndDeliversSomething) {
+  ExperimentConfig c = small_config(Protocol::kRmac, 1);
+  c.mobility = MobilityScenario::kSpeed2;
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_GT(r.delivery_ratio, 0.3);  // mobility hurts, but traffic flows
+  EXPECT_LE(r.delivery_ratio, 1.0);
+}
+
+TEST(Experiment, LabelIsHumanReadable) {
+  const ExperimentConfig c = small_config(Protocol::kRmac, 9);
+  const std::string label = c.label();
+  EXPECT_NE(label.find("RMAC"), std::string::npos);
+  EXPECT_NE(label.find("stationary"), std::string::npos);
+  EXPECT_NE(label.find("seed9"), std::string::npos);
+}
+
+TEST(Experiment, AverageResultsAveragesAndMaxes) {
+  ExperimentResult a;
+  a.delivery_ratio = 0.8;
+  a.mrts_len_max = 30.0;
+  a.abort_max = 0.01;
+  ExperimentResult b;
+  b.delivery_ratio = 1.0;
+  b.mrts_len_max = 60.0;
+  b.abort_max = 0.002;
+  const ExperimentResult avg = average_results({a, b});
+  EXPECT_DOUBLE_EQ(avg.delivery_ratio, 0.9);
+  EXPECT_DOUBLE_EQ(avg.mrts_len_max, 60.0);
+  EXPECT_DOUBLE_EQ(avg.abort_max, 0.01);
+}
+
+TEST(NetworkBuilder, ConnectivityChecker) {
+  EXPECT_TRUE(Network::placement_connected({{0, 0}, {50, 0}, {100, 0}}, 75.0));
+  EXPECT_FALSE(Network::placement_connected({{0, 0}, {50, 0}, {300, 0}}, 75.0));
+  EXPECT_TRUE(Network::placement_connected({}, 75.0));
+  EXPECT_TRUE(Network::placement_connected({{5, 5}}, 75.0));
+}
+
+TEST(NetworkBuilder, EnsureConnectedPlacementIsConnected) {
+  NetworkConfig c;
+  c.num_nodes = 30;
+  c.area = Rect{300.0, 300.0};
+  c.seed = 11;
+  Network net{c};
+  EXPECT_TRUE(net.connected_now());
+}
+
+TEST(NetworkBuilder, ScenarioNames) {
+  EXPECT_STREQ(to_string(MobilityScenario::kStationary), "stationary");
+  EXPECT_STREQ(to_string(MobilityScenario::kSpeed1), "speed1");
+  EXPECT_STREQ(to_string(MobilityScenario::kSpeed2), "speed2");
+  EXPECT_STREQ(to_string(Protocol::kRmac), "RMAC");
+  EXPECT_STREQ(to_string(Protocol::kBmmm), "BMMM");
+  EXPECT_STREQ(to_string(Protocol::kBmw), "BMW");
+  EXPECT_STREQ(to_string(Protocol::kDcf), "802.11-DCF");
+}
+
+}  // namespace
+}  // namespace rmacsim

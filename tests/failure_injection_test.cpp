@@ -1,0 +1,200 @@
+// Failure injection across the protocol zoo: periodic jammers, bursty
+// interference, noisy channels, and receivers that vanish mid-exchange.
+// Every reliable protocol must either deliver or report an honest failure —
+// never hang, never double-deliver after dedup, never crash.
+#include <gtest/gtest.h>
+
+#include "mac/frame_builders.hpp"
+#include "test_util.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+using test::TestNet;
+using test::make_packet;
+
+RmacProtocol::Params rmac_params() { return RmacProtocol::Params{MacParams{}, true}; }
+
+// Schedule a jammer that transmits `burst_bytes` of noise every `period`.
+void install_jammer(TestNet& net, Radio& jammer, SimTime start, SimTime period, int bursts,
+                    std::size_t burst_bytes = 800) {
+  for (int i = 0; i < bursts; ++i) {
+    net.sched().schedule_at(start + i * period, [&jammer, burst_bytes, i] {
+      if (!jammer.transmitting()) {
+        // Noise addressed to a nonexistent node: it interferes but is never
+        // delivered as data anywhere.
+        jammer.transmit(make_unreliable_data(999, 888,
+                                             test::make_packet(999, 0, burst_bytes),
+                                             static_cast<std::uint32_t>(i)));
+      }
+    });
+  }
+}
+
+TEST(FailureInjection, RmacSurvivesPeriodicHiddenJammer) {
+  TestNet net;
+  RmacProtocol& a = net.add_rmac({0, 0}, rmac_params());
+  net.add_rmac({70, 0}, rmac_params());
+  Radio& jammer = net.add_bare({140, 0});  // hidden from the sender
+  install_jammer(net, jammer, 1_ms, 8_ms, 40);
+  for (std::uint32_t s = 0; s < 10; ++s) a.reliable_send(make_packet(0, s), {1});
+  net.run_for(2_s);
+  // Honest accounting under interference: every request concluded, the
+  // great majority recovered, and retries actually happened.
+  const MacStats& st = a.stats();
+  EXPECT_EQ(st.reliable_delivered + st.reliable_dropped, 10u);
+  EXPECT_GE(st.reliable_delivered, 8u);
+  EXPECT_EQ(net.upper(1).delivered.size(), st.reliable_delivered);
+  EXPECT_GE(st.retransmissions, 1u);
+}
+
+TEST(FailureInjection, BmmmSurvivesPeriodicHiddenJammer) {
+  TestNet net;
+  BmmmProtocol& a = net.add_bmmm({0, 0});
+  net.add_bmmm({70, 0});
+  Radio& jammer = net.add_bare({140, 0});
+  install_jammer(net, jammer, 1_ms, 8_ms, 40);
+  for (std::uint32_t s = 0; s < 10; ++s) a.reliable_send(make_packet(0, s), {1});
+  net.run_for(3_s);
+  EXPECT_EQ(a.stats().reliable_delivered + a.stats().reliable_dropped, 10u);
+  EXPECT_GE(a.stats().reliable_delivered, 7u);
+  EXPECT_GE(a.stats().retransmissions, 1u);
+}
+
+TEST(FailureInjection, DcfSurvivesPeriodicHiddenJammer) {
+  TestNet net;
+  DcfProtocol& a = net.add_dcf({0, 0});
+  net.add_dcf({70, 0});
+  Radio& jammer = net.add_bare({140, 0});
+  install_jammer(net, jammer, 1_ms, 8_ms, 40);
+  for (std::uint32_t s = 0; s < 10; ++s) a.reliable_send(make_packet(0, s), {1});
+  net.run_for(3_s);
+  EXPECT_EQ(a.stats().reliable_delivered + a.stats().reliable_dropped, 10u);
+  EXPECT_GE(a.stats().reliable_delivered, 7u);
+}
+
+TEST(FailureInjection, ContinuousJamExhaustsRetriesHonestly) {
+  // A jammer that is ALWAYS on during the test window: the sender must give
+  // up with an explicit failure, not hang.
+  TestNet net;
+  RmacProtocol& a = net.add_rmac({0, 0}, rmac_params());
+  net.add_rmac({70, 0}, rmac_params());
+  Radio& jammer = net.add_bare({140, 0});
+  // Back-to-back long bursts for the whole run.
+  install_jammer(net, jammer, 100_us, SimTime::from_us(3400.0), 600, 800);
+  a.reliable_send(make_packet(0, 1), {1});
+  net.run_for(3_s);
+  ASSERT_EQ(net.upper(0).results.size(), 1u);
+  // Either it slipped a data frame through a gap (success) or it reported
+  // the drop — both are honest; what is forbidden is silence.
+  if (!net.upper(0).results[0].success) {
+    EXPECT_EQ(a.stats().reliable_dropped, 1u);
+    EXPECT_EQ(net.upper(0).results[0].failed_receivers, (std::vector<NodeId>{1}));
+  }
+}
+
+class NoisyChannelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoisyChannelSweep, RmacMulticastRecoversFromBitErrors) {
+  PhyParams phy;
+  phy.bit_error_rate = GetParam();
+  TestNet net{phy};
+  RmacProtocol& a = net.add_rmac({0, 0}, rmac_params());
+  net.add_rmac({30, 0}, rmac_params());
+  net.add_rmac({0, 30}, rmac_params());
+  int delivered_all = 0;
+  for (std::uint32_t s = 0; s < 20; ++s) a.reliable_send(make_packet(0, s), {1, 2});
+  net.run_for(5_s);
+  // With retry limit 7 and BER <= 1e-4 on ~4 kbit frames, nearly every
+  // packet is recoverable; verify no hangs and honest accounting.
+  const MacStats& st = a.stats();
+  EXPECT_EQ(st.reliable_delivered + st.reliable_dropped, 20u);
+  delivered_all = static_cast<int>(st.reliable_delivered);
+  EXPECT_GE(delivered_all, 18);
+  // At BER 1e-4 a 522-byte frame is corrupted ~35% of the time: retries are
+  // statistically certain; at 2e-5 they merely may occur.
+  if (GetParam() >= 1e-4) {
+    EXPECT_GT(st.retransmissions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ber, NoisyChannelSweep, ::testing::Values(2e-5, 1e-4));
+
+TEST(FailureInjection, ReceiverVanishesMidRun) {
+  // The receiver's tree of packets 0..4 works; then it "dies" (we emulate by
+  // teleporting it out of range via a mobility swap being impossible — so we
+  // use the MAC-visible equivalent: it stops existing for the medium by
+  // detaching its radio listener and jamming itself busy).  The sender must
+  // transition from successes to honest drops.
+  TestNet net;
+  RmacProtocol& a = net.add_rmac({0, 0}, rmac_params());
+  net.add_rmac({40, 0}, rmac_params());
+  for (std::uint32_t s = 0; s < 3; ++s) a.reliable_send(make_packet(0, s), {1});
+  net.run_for(200_ms);
+  EXPECT_EQ(a.stats().reliable_delivered, 3u);
+  // Death: the receiver's radio stops hearing (listener detached => its MAC
+  // never reacts again; its RBT/ABT stay silent).
+  net.radio(1).set_listener(nullptr);
+  for (std::uint32_t s = 10; s < 13; ++s) a.reliable_send(make_packet(0, s), {1});
+  net.run_for(2_s);
+  EXPECT_EQ(a.stats().reliable_dropped, 3u);
+  ASSERT_EQ(net.upper(0).results.size(), 6u);
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_FALSE(net.upper(0).results[i].success);
+  }
+}
+
+TEST(FailureInjection, MxSilentlyLosesWhatRmacReports) {
+  // Same dead-receiver scenario head-to-head: RMAC reports the failure, MX
+  // only notices while the CTS tone stays silent — but with a second, live
+  // receiver the CTS tone IS present, and the dead one is lost silently.
+  TestNet rmac_net;
+  RmacProtocol& ra = rmac_net.add_rmac({0, 0}, rmac_params());
+  rmac_net.add_rmac({40, 0}, rmac_params());
+  rmac_net.add_rmac({0, 40}, rmac_params());
+  rmac_net.radio(2).set_listener(nullptr);  // dead
+  ra.reliable_send(make_packet(0, 1), {1, 2});
+  rmac_net.run_for(2_s);
+  ASSERT_EQ(rmac_net.upper(0).results.size(), 1u);
+  EXPECT_FALSE(rmac_net.upper(0).results[0].success);
+  EXPECT_EQ(rmac_net.upper(0).results[0].failed_receivers, (std::vector<NodeId>{2}));
+
+  TestNet mx_net;
+  MxProtocol& ma = mx_net.add_mx({0, 0});
+  mx_net.add_mx({40, 0});
+  mx_net.add_mx({0, 40});
+  mx_net.radio(2).set_listener(nullptr);  // dead
+  ma.reliable_send(make_packet(0, 1), {1, 2});
+  mx_net.run_for(2_s);
+  ASSERT_EQ(mx_net.upper(0).results.size(), 1u);
+  EXPECT_TRUE(mx_net.upper(0).results[0].success);  // blind success
+  EXPECT_TRUE(mx_net.upper(2).delivered.empty());
+}
+
+TEST(FailureInjection, AllProtocolsDrainQueuesUnderChurnLoad) {
+  // Stress: three senders, shared receivers, interleaved reliable and
+  // unreliable traffic.  Every MAC must finish every request.
+  TestNet net;
+  RmacProtocol& a = net.add_rmac({0, 0}, rmac_params());
+  RmacProtocol& b = net.add_rmac({10, 0}, rmac_params());
+  RmacProtocol& c = net.add_rmac({0, 10}, rmac_params());
+  net.add_rmac({30, 20}, rmac_params());
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    a.reliable_send(make_packet(0, s), {3});
+    b.reliable_send(make_packet(1, s), {3});
+    c.unreliable_send(make_packet(2, s), kBroadcastId);
+  }
+  net.run_for(3_s);
+  const auto done = [&](RmacProtocol& m) {
+    return m.stats().reliable_delivered + m.stats().reliable_dropped;
+  };
+  EXPECT_EQ(done(a), 10u);
+  EXPECT_EQ(done(b), 10u);
+  EXPECT_EQ(c.stats().unreliable_requests, 10u);
+  // The shared receiver heard everything reliable (20 packets).
+  EXPECT_EQ(net.upper(3).delivered.size() >= 20u, true);
+}
+
+}  // namespace
+}  // namespace rmacsim

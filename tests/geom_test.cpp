@@ -1,0 +1,41 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmacsim {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, Norm) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ((Vec2{}).norm(), 0.0);
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec2{0.0, 0.0}, Vec2{75.0, 0.0}), 75.0);
+  EXPECT_DOUBLE_EQ(distance_sq(Vec2{1.0, 1.0}, Vec2{4.0, 5.0}), 25.0);
+  EXPECT_DOUBLE_EQ(distance(Vec2{2.0, 3.0}, Vec2{2.0, 3.0}), 0.0);
+}
+
+TEST(Rect, ContainsPaperArea) {
+  // The paper's 500 m x 300 m plain.
+  const Rect area{500.0, 300.0};
+  EXPECT_TRUE(area.contains(Vec2{0.0, 0.0}));
+  EXPECT_TRUE(area.contains(Vec2{500.0, 300.0}));
+  EXPECT_TRUE(area.contains(Vec2{250.0, 150.0}));
+  EXPECT_FALSE(area.contains(Vec2{-0.1, 10.0}));
+  EXPECT_FALSE(area.contains(Vec2{500.1, 10.0}));
+  EXPECT_FALSE(area.contains(Vec2{10.0, 300.1}));
+}
+
+}  // namespace
+}  // namespace rmacsim

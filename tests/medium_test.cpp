@@ -1,0 +1,302 @@
+#include "phy/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/frame_builders.hpp"
+#include "mobility/mobility.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+struct PhyRecorder final : RadioListener {
+  std::vector<FramePtr> frames;
+  std::vector<bool> carrier_edges;
+  int tx_complete{0};
+  int tx_aborted{0};
+
+  void on_frame_received(const FramePtr& f) override { frames.push_back(f); }
+  void on_carrier_changed(bool busy) override { carrier_edges.push_back(busy); }
+  void on_transmit_complete(const FramePtr&, bool aborted) override {
+    ++tx_complete;
+    if (aborted) ++tx_aborted;
+  }
+};
+
+AppPacketPtr packet(std::size_t bytes = 100) {
+  auto p = std::make_shared<AppPacket>();
+  p->payload_bytes = bytes;
+  return p;
+}
+
+class MediumTest : public ::testing::Test {
+protected:
+  MediumTest() : medium_{sched_, PhyParams{}, Rng{7}} {}
+
+  Radio& add(Vec2 pos) {
+    mobs_.push_back(std::make_unique<StationaryMobility>(pos));
+    radios_.push_back(std::make_unique<Radio>(medium_, next_id_++, *mobs_.back()));
+    recorders_.push_back(std::make_unique<PhyRecorder>());
+    radios_.back()->set_listener(recorders_.back().get());
+    return *radios_.back();
+  }
+
+  PhyRecorder& rec(std::size_t i) { return *recorders_[i]; }
+
+  Scheduler sched_;
+  Medium medium_;
+  std::vector<std::unique_ptr<StationaryMobility>> mobs_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::unique_ptr<PhyRecorder>> recorders_;
+  NodeId next_id_{0};
+};
+
+TEST_F(MediumTest, DeliversIntactFrameInRange) {
+  Radio& a = add({0, 0});
+  add({50, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched_.run();
+  ASSERT_EQ(rec(1).frames.size(), 1u);
+  EXPECT_EQ(rec(1).frames[0]->type, FrameType::kUnreliableData);
+  EXPECT_EQ(rec(0).tx_complete, 1);
+  EXPECT_EQ(rec(0).tx_aborted, 0);
+}
+
+TEST_F(MediumTest, NoDeliveryOutOfRange) {
+  Radio& a = add({0, 0});
+  add({80, 0});  // beyond the 75 m disk
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched_.run();
+  EXPECT_TRUE(rec(1).frames.empty());
+  EXPECT_TRUE(rec(1).carrier_edges.empty());  // not even carrier sensed
+}
+
+TEST_F(MediumTest, ExactRangeBoundaryDelivers) {
+  Radio& a = add({0, 0});
+  add({75, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched_.run();
+  EXPECT_EQ(rec(1).frames.size(), 1u);
+}
+
+TEST_F(MediumTest, PropagationDelayObserved) {
+  Radio& a = add({0, 0});
+  add({75, 0});
+  const SimTime airtime = a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  // Carrier at the receiver rises after 250 ns propagation.
+  sched_.run_until(200_ns);
+  EXPECT_TRUE(rec(1).carrier_edges.empty());
+  sched_.run_until(300_ns);
+  ASSERT_EQ(rec(1).carrier_edges.size(), 1u);
+  EXPECT_TRUE(rec(1).carrier_edges[0]);
+  // Frame completes at airtime + prop.
+  sched_.run_until(airtime + 250_ns);
+  EXPECT_EQ(rec(1).frames.size(), 1u);
+}
+
+TEST_F(MediumTest, OverlappingTransmissionsCollideAtReceiver) {
+  Radio& a = add({0, 0});
+  Radio& b = add({0, 40});
+  add({0, 20});  // hears both
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched_.run_until(100_us);  // mid-frame
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(), 2));
+  sched_.run();
+  EXPECT_TRUE(rec(2).frames.empty());  // both corrupted
+}
+
+TEST_F(MediumTest, HiddenNodeCollision) {
+  // Classic hidden terminal: A and C are out of range of each other, B hears
+  // both.  Without protection, simultaneous sends corrupt B's reception.
+  Radio& a = add({0, 0});
+  add({70, 0});   // B
+  Radio& c = add({140, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  c.transmit(make_unreliable_data(2, kBroadcastId, packet(), 2));
+  sched_.run();
+  EXPECT_TRUE(rec(1).frames.empty());
+}
+
+TEST_F(MediumTest, SequentialTransmissionsBothDeliver) {
+  Radio& a = add({0, 0});
+  Radio& b = add({0, 40});
+  add({0, 20});
+  const SimTime airtime = a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched_.run_until(airtime + 10_us);
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(), 2));
+  sched_.run();
+  EXPECT_EQ(rec(2).frames.size(), 2u);
+}
+
+TEST_F(MediumTest, HalfDuplexTransmitterHearsNothing) {
+  Radio& a = add({0, 0});
+  Radio& b = add({10, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(), 2));
+  sched_.run();
+  EXPECT_TRUE(rec(0).frames.empty());
+  EXPECT_TRUE(rec(1).frames.empty());
+}
+
+TEST_F(MediumTest, TransmitWhileReceivingCorruptsReception) {
+  Radio& a = add({0, 0});
+  Radio& b = add({10, 0});
+  add({20, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched_.run_until(50_us);
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(50), 2));
+  sched_.run();
+  // b never gets a's frame (was transmitting while it ended).
+  EXPECT_TRUE(rec(1).frames.empty());
+}
+
+TEST_F(MediumTest, AbortTruncatesFrameAndCorruptsIt) {
+  Radio& a = add({0, 0});
+  add({30, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(400), 1));
+  sched_.run_until(100_us);
+  a.abort_transmission();
+  sched_.run();
+  EXPECT_EQ(rec(0).tx_complete, 1);
+  EXPECT_EQ(rec(0).tx_aborted, 1);
+  EXPECT_TRUE(rec(1).frames.empty());
+  // Carrier at the receiver must have fallen shortly after the abort.
+  ASSERT_GE(rec(1).carrier_edges.size(), 2u);
+  EXPECT_FALSE(rec(1).carrier_edges.back());
+}
+
+TEST_F(MediumTest, AbortFreesChannelForLaterTraffic) {
+  Radio& a = add({0, 0});
+  add({30, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(400), 1));
+  sched_.run_until(100_us);
+  a.abort_transmission();
+  sched_.run_until(200_us);
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(50), 2));
+  sched_.run();
+  ASSERT_EQ(rec(1).frames.size(), 1u);
+  EXPECT_EQ(rec(1).frames[0]->seq, 2u);
+}
+
+TEST_F(MediumTest, CarrierBusyDuringOwnTransmission) {
+  Radio& a = add({0, 0});
+  EXPECT_FALSE(a.carrier_busy());
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  EXPECT_TRUE(a.carrier_busy());
+  EXPECT_TRUE(a.transmitting());
+  sched_.run();
+  EXPECT_FALSE(a.carrier_busy());
+  EXPECT_FALSE(a.transmitting());
+}
+
+TEST_F(MediumTest, NeighboursOfReportsDiskGraph) {
+  add({0, 0});
+  add({50, 0});
+  add({120, 0});
+  const auto n0 = medium_.neighbours_of(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 1u);
+  const auto n1 = medium_.neighbours_of(1);
+  EXPECT_EQ(n1.size(), 2u);
+}
+
+TEST_F(MediumTest, BitErrorsCorruptFrames) {
+  PhyParams noisy;
+  noisy.bit_error_rate = 1e-3;  // 522-byte frame: ~1.5% survival
+  Scheduler sched;
+  Medium medium{sched, noisy, Rng{11}};
+  StationaryMobility ma{{0, 0}}, mb{{10, 0}};
+  Radio a{medium, 0, ma}, b{medium, 1, mb};
+  PhyRecorder rb;
+  b.set_listener(&rb);
+  int sent = 0;
+  for (int i = 0; i < 50; ++i) {
+    a.transmit(make_unreliable_data(0, kBroadcastId, packet(500), static_cast<std::uint32_t>(i)));
+    ++sent;
+    sched.run();
+  }
+  EXPECT_LT(rb.frames.size(), 10u);  // most frames corrupted
+}
+
+TEST_F(MediumTest, ZeroBerDeliversEverything) {
+  Radio& a = add({0, 0});
+  add({10, 0});
+  for (int i = 0; i < 20; ++i) {
+    a.transmit(make_unreliable_data(0, kBroadcastId, packet(500), static_cast<std::uint32_t>(i)));
+    sched_.run();
+  }
+  EXPECT_EQ(rec(1).frames.size(), 20u);
+}
+
+
+TEST_F(MediumTest, CaptureDisabledByDefaultBothCorrupt) {
+  Radio& a = add({0, 0});    // 10 m from receiver
+  Radio& b = add({0, 100});  // 60 m from receiver
+  add({0, 40});              // receiver hears both
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched_.run_until(50_us);
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(50), 2));
+  sched_.run();
+  EXPECT_TRUE(rec(2).frames.empty());
+}
+
+TEST_F(MediumTest, CaptureLetsStrongReceptionSurviveFarInterferer) {
+  PhyParams phy;
+  phy.capture_ratio = 2.0;
+  Scheduler sched;
+  Medium medium{sched, phy, Rng{3}};
+  StationaryMobility ma{{0, 0}}, mb{{0, 100}}, mr{{0, 10}};
+  Radio a{medium, 0, ma}, b{medium, 1, mb}, r{medium, 2, mr};
+  PhyRecorder rr;
+  r.set_listener(&rr);
+  // a is 10 m away, b is 90 m away from r (> 2 x 10 m): capture holds.
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched.run_until(50_us);
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(50), 2));
+  sched.run();
+  ASSERT_EQ(rr.frames.size(), 1u);
+  EXPECT_EQ(rr.frames[0]->seq, 1u);  // a's frame survived; b's was never clean
+}
+
+TEST_F(MediumTest, CaptureFailsWhenInterfererTooClose) {
+  PhyParams phy;
+  phy.capture_ratio = 2.0;
+  Scheduler sched;
+  Medium medium{sched, phy, Rng{3}};
+  StationaryMobility ma{{0, 0}}, mb{{0, 25}}, mr{{0, 10}};
+  Radio a{medium, 0, ma}, b{medium, 1, mb}, r{medium, 2, mr};
+  PhyRecorder rr;
+  r.set_listener(&rr);
+  // b is 15 m from r — less than 2 x 10 m: both corrupted.
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched.run_until(50_us);
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(50), 2));
+  sched.run();
+  EXPECT_TRUE(rr.frames.empty());
+}
+
+TEST_F(MediumTest, CaptureNeverRescuesTheLateSignal) {
+  PhyParams phy;
+  phy.capture_ratio = 2.0;
+  Scheduler sched;
+  Medium medium{sched, phy, Rng{3}};
+  // The LATE frame comes from very close; the early one from far away.  The
+  // early reception is corrupted, but the late one cannot be captured either
+  // (its preamble was missed mid-reception).
+  StationaryMobility ma{{0, 70}}, mb{{0, 5}}, mr{{0, 0}};
+  Radio a{medium, 0, ma}, b{medium, 1, mb}, r{medium, 2, mr};
+  PhyRecorder rr;
+  r.set_listener(&rr);
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 1));
+  sched.run_until(50_us);
+  b.transmit(make_unreliable_data(1, kBroadcastId, packet(50), 2));
+  sched.run();
+  EXPECT_TRUE(rr.frames.empty());
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -1,0 +1,153 @@
+#include "mobility/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+TEST(Stationary, NeverMoves) {
+  StationaryMobility m{Vec2{10.0, 20.0}};
+  EXPECT_EQ(m.position(SimTime::zero()), (Vec2{10.0, 20.0}));
+  EXPECT_EQ(m.position(1000_s), (Vec2{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(m.max_speed(), 0.0);
+}
+
+RandomWaypointParams paper_speed1() {
+  return RandomWaypointParams{Rect{500.0, 300.0}, 0.0, 4.0, 10_s};
+}
+RandomWaypointParams paper_speed2() {
+  return RandomWaypointParams{Rect{500.0, 300.0}, 0.0, 8.0, 5_s};
+}
+
+TEST(RandomWaypoint, StartsAtGivenPosition) {
+  RandomWaypointMobility m{Vec2{100.0, 100.0}, paper_speed1(), Rng{1}};
+  EXPECT_EQ(m.position(SimTime::zero()), (Vec2{100.0, 100.0}));
+}
+
+TEST(RandomWaypoint, MaxSpeedReported) {
+  RandomWaypointMobility m1{Vec2{0, 0}, paper_speed1(), Rng{1}};
+  RandomWaypointMobility m2{Vec2{0, 0}, paper_speed2(), Rng{1}};
+  EXPECT_DOUBLE_EQ(m1.max_speed(), 4.0);
+  EXPECT_DOUBLE_EQ(m2.max_speed(), 8.0);
+}
+
+// Property sweep over seeds: the trajectory must stay in the area and never
+// exceed the speed bound between samples.
+class RwpProperty : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(RwpProperty, StaysInAreaAndRespectsSpeedBound) {
+  const auto [seed, scenario] = GetParam();
+  const RandomWaypointParams params = scenario == 1 ? paper_speed1() : paper_speed2();
+  RandomWaypointMobility m{Vec2{250.0, 150.0}, params, Rng{seed}};
+  Vec2 prev = m.position(SimTime::zero());
+  const SimTime step = 500_ms;
+  for (int i = 1; i <= 600; ++i) {  // five simulated minutes
+    const SimTime t = i * step;
+    const Vec2 p = m.position(t);
+    EXPECT_TRUE(params.area.contains(p)) << "left area at t=" << t;
+    const double moved = distance(prev, p);
+    EXPECT_LE(moved, params.max_speed_mps * step.to_seconds() + 1e-9)
+        << "speed bound violated at t=" << t;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RwpProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                       ::testing::Values(1, 2)));
+
+TEST(RandomWaypoint, PausesAtDestination) {
+  // With a long pause, sampling densely must find intervals of zero motion.
+  RandomWaypointParams params{Rect{100.0, 100.0}, 2.0, 2.0, 20_s};
+  RandomWaypointMobility m{Vec2{50.0, 50.0}, params, Rng{3}};
+  int stationary_samples = 0;
+  Vec2 prev = m.position(SimTime::zero());
+  for (int i = 1; i < 2'000; ++i) {
+    const Vec2 p = m.position(i * 100_ms);
+    if (distance(prev, p) < 1e-12) ++stationary_samples;
+    prev = p;
+  }
+  // At 2 m/s over a 100 m plain, a leg averages ~26 s of travel against a
+  // 20 s pause, so well over a quarter of the samples must be stationary.
+  EXPECT_GT(stationary_samples, 600);
+}
+
+TEST(RandomWaypoint, EventuallyMoves) {
+  RandomWaypointMobility m{Vec2{10.0, 10.0}, paper_speed2(), Rng{4}};
+  const Vec2 start = m.position(SimTime::zero());
+  bool moved = false;
+  for (int i = 1; i <= 600 && !moved; ++i) {
+    if (distance(start, m.position(i * 1_s)) > 1.0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(RandomWaypoint, MonotoneQueriesAreConsistent) {
+  // position(t) sampled twice at increasing times must agree with a fresh
+  // model replaying the same seed.
+  RandomWaypointMobility a{Vec2{0.0, 0.0}, paper_speed1(), Rng{9}};
+  RandomWaypointMobility b{Vec2{0.0, 0.0}, paper_speed1(), Rng{9}};
+  for (int i = 0; i <= 300; ++i) {
+    const SimTime t = i * 1_s;
+    EXPECT_EQ(a.position(t), b.position(t));
+  }
+}
+
+TEST(RandomWaypoint, ZeroMinSpeedDoesNotStall) {
+  // MIN-SPEED = 0 in the paper's scenarios; the model must not divide by
+  // zero or stall forever on a zero-speed leg.
+  RandomWaypointParams params{Rect{500.0, 300.0}, 0.0, 0.05, 1_s};
+  RandomWaypointMobility m{Vec2{250.0, 150.0}, params, Rng{10}};
+  const Vec2 p = m.position(3600_s);  // one simulated hour must terminate
+  EXPECT_TRUE(params.area.contains(p));
+}
+
+
+TEST(ScriptedMobility, ClampsOutsideWindowAndInterpolatesInside) {
+  ScriptedMobility m{{
+      {10_s, {0.0, 0.0}},
+      {20_s, {100.0, 0.0}},
+      {30_s, {100.0, 50.0}},
+  }};
+  EXPECT_EQ(m.position(0_s), (Vec2{0.0, 0.0}));     // clamp before
+  EXPECT_EQ(m.position(10_s), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(m.position(15_s), (Vec2{50.0, 0.0}));   // midpoint of leg 1
+  EXPECT_EQ(m.position(20_s), (Vec2{100.0, 0.0}));
+  EXPECT_EQ(m.position(25_s), (Vec2{100.0, 25.0}));
+  EXPECT_EQ(m.position(99_s), (Vec2{100.0, 50.0})); // clamp after
+}
+
+TEST(ScriptedMobility, MaxSpeedIsSteepestLeg) {
+  ScriptedMobility m{{
+      {0_s, {0.0, 0.0}},
+      {10_s, {10.0, 0.0}},   // 1 m/s
+      {15_s, {60.0, 0.0}},   // 10 m/s
+  }};
+  EXPECT_DOUBLE_EQ(m.max_speed(), 10.0);
+}
+
+TEST(ScriptedMobility, SinglePointIsStationary) {
+  ScriptedMobility m{{{5_s, {7.0, 8.0}}}};
+  EXPECT_EQ(m.position(0_s), (Vec2{7.0, 8.0}));
+  EXPECT_EQ(m.position(100_s), (Vec2{7.0, 8.0}));
+  EXPECT_DOUBLE_EQ(m.max_speed(), 0.0);
+}
+
+TEST(ScriptedMobility, InstantTeleportWaypoint) {
+  ScriptedMobility m{{
+      {0_s, {0.0, 0.0}},
+      {10_s, {0.0, 0.0}},
+      {10_s, {200.0, 0.0}},  // teleport at t=10
+      {20_s, {200.0, 0.0}},
+  }};
+  EXPECT_EQ(m.position(9_s), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(m.position(11_s), (Vec2{200.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -1,0 +1,216 @@
+// Multicast forwarding application: source pacing, tree forwarding,
+// duplicate suppression, delivery/delay accounting.
+#include "net/multicast_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+// Three-node chain 0 -> 1 -> 2 with real RMAC underneath.
+struct Chain {
+  test::TestNet net;
+  std::vector<std::unique_ptr<BlessTree>> trees;
+  std::vector<std::unique_ptr<MulticastApp>> apps;
+  DeliveryStats delivery;
+
+  explicit Chain(int n, MulticastAppParams app_params) {
+    for (int i = 0; i < n; ++i) {
+      RmacProtocol& mac = net.add_rmac({60.0 * i, 0.0},
+                                       RmacProtocol::Params{MacParams{}, true});
+      trees.push_back(std::make_unique<BlessTree>(net.sched(), mac, 0, BlessParams{},
+                                                  Rng{static_cast<std::uint64_t>(i) + 5}));
+      app_params.receivers_per_packet = static_cast<std::uint32_t>(n - 1);
+      apps.push_back(
+          std::make_unique<MulticastApp>(net.sched(), mac, *trees.back(), app_params, delivery));
+    }
+  }
+
+  void warmup(SimTime t = SimTime::sec(12)) {
+    for (auto& tr : trees) tr->start();
+    net.sched().run_until(t);
+  }
+};
+
+TEST(MulticastApp, SourceGeneratesAtConfiguredRate) {
+  MulticastAppParams p;
+  p.rate_pps = 10.0;
+  p.total_packets = 25;
+  Chain chain{3, p};
+  chain.warmup();
+  chain.apps[0]->start_source();
+  chain.net.sched().run_until(20_s);
+  EXPECT_EQ(chain.apps[0]->generated(), 25u);
+  EXPECT_EQ(chain.delivery.generated(), 25u);
+}
+
+TEST(MulticastApp, PacketsFlowDownTheTree) {
+  MulticastAppParams p;
+  p.rate_pps = 20.0;
+  p.total_packets = 10;
+  Chain chain{3, p};
+  chain.warmup();
+  chain.apps[0]->start_source();
+  chain.net.sched().run_until(20_s);
+  EXPECT_EQ(chain.apps[1]->received_unique(), 10u);
+  EXPECT_EQ(chain.apps[2]->received_unique(), 10u);
+  // Every node but the source receives every packet: 2 * 10 receptions.
+  EXPECT_EQ(chain.delivery.delivered(), 20u);
+  EXPECT_DOUBLE_EQ(chain.delivery.delivery_ratio(), 1.0);
+}
+
+TEST(MulticastApp, EndToEndDelayGrowsWithDepth) {
+  MulticastAppParams p;
+  p.rate_pps = 5.0;
+  p.total_packets = 5;
+  Chain chain{3, p};
+  chain.warmup();
+  chain.apps[0]->start_source();
+  chain.net.sched().run_until(20_s);
+  const auto& delays = chain.delivery.delays_seconds();
+  ASSERT_EQ(delays.size(), 10u);
+  // Each hop costs at least the 522-byte data airtime (~2.2 ms).
+  for (double d : delays) EXPECT_GT(d, 0.002);
+  // And nothing takes absurdly long on an idle chain.
+  for (double d : delays) EXPECT_LT(d, 0.5);
+}
+
+TEST(MulticastApp, DuplicateReceptionsSuppressed) {
+  // Deliver the same packet twice by hand; only the first counts.
+  test::TestNet net;
+  RmacProtocol& mac = net.add_rmac({0, 0}, RmacProtocol::Params{MacParams{}, true});
+  BlessTree tree{net.sched(), mac, 0, BlessParams{}, Rng{3}};
+  DeliveryStats delivery;
+  MulticastAppParams p;
+  p.receivers_per_packet = 1;
+  MulticastApp app{net.sched(), mac, tree, p, delivery};
+
+  auto pkt = test::make_packet(9, 4);
+  Frame f;
+  f.type = FrameType::kReliableData;
+  f.transmitter = 9;
+  f.packet = pkt;
+  app.mac_deliver(f);
+  app.mac_deliver(f);
+  EXPECT_EQ(app.received_unique(), 1u);
+  EXPECT_EQ(delivery.delivered(), 1u);
+}
+
+TEST(MulticastApp, HelloPacketsRouteToTreeNotDelivery) {
+  test::TestNet net;
+  RmacProtocol& mac = net.add_rmac({0, 0}, RmacProtocol::Params{MacParams{}, true});
+  BlessTree tree{net.sched(), mac, 5, BlessParams{}, Rng{3}};  // root elsewhere
+  DeliveryStats delivery;
+  MulticastApp app{net.sched(), mac, tree, MulticastAppParams{}, delivery};
+
+  auto hello = std::make_shared<AppPacket>();
+  hello->kind = AppPacket::Kind::kHello;
+  hello->origin = 2;
+  hello->hello = HelloInfo{0, kInvalidNode};  // node 2 is at the root
+  Frame f;
+  f.type = FrameType::kUnreliableData;
+  f.transmitter = 2;
+  f.dest = kBroadcastId;
+  f.packet = hello;
+  app.mac_deliver(f);
+  EXPECT_EQ(delivery.delivered(), 0u);
+  EXPECT_EQ(tree.parent(), 2u);  // the hello updated the tree
+  EXPECT_EQ(tree.hops_to_root(), 1u);
+}
+
+TEST(MulticastApp, LeafDoesNotForward) {
+  MulticastAppParams p;
+  p.rate_pps = 10.0;
+  p.total_packets = 5;
+  Chain chain{2, p};
+  chain.warmup();
+  chain.apps[0]->start_source();
+  chain.net.sched().run_until(20_s);
+  EXPECT_EQ(chain.apps[1]->received_unique(), 5u);
+  EXPECT_EQ(chain.apps[1]->forwarded(), 0u);  // node 1 is a leaf
+}
+
+
+TEST(MulticastApp, FloodingForwardsToAllNeighbours) {
+  // Triangle 0-1-2 all mutually in range: under flooding, node 1 forwards
+  // the packet onward to BOTH neighbours (0 included; dedup absorbs it).
+  MulticastAppParams p;
+  p.rate_pps = 10.0;
+  p.total_packets = 3;
+  p.strategy = ForwardStrategy::kFlood;
+  test::TestNet net;
+  std::vector<std::unique_ptr<BlessTree>> trees;
+  std::vector<std::unique_ptr<MulticastApp>> apps;
+  DeliveryStats delivery;
+  const Vec2 pos[] = {{0, 0}, {40, 0}, {0, 40}};
+  for (int i = 0; i < 3; ++i) {
+    RmacProtocol& mac = net.add_rmac(pos[i], RmacProtocol::Params{MacParams{}, true});
+    trees.push_back(std::make_unique<BlessTree>(net.sched(), mac, 0, BlessParams{},
+                                                Rng{static_cast<std::uint64_t>(i) + 31}));
+    p.receivers_per_packet = 2;
+    apps.push_back(std::make_unique<MulticastApp>(net.sched(), mac, *trees.back(), p,
+                                                  delivery));
+  }
+  for (auto& t : trees) t->start();
+  net.sched().run_until(10_s);
+  apps[0]->start_source();
+  net.sched().run_until(20_s);
+  EXPECT_DOUBLE_EQ(delivery.delivery_ratio(), 1.0);
+  // Flooding redundancy: non-source nodes also forwarded (a tree would make
+  // them leaves).
+  EXPECT_GT(apps[1]->forwarded() + apps[2]->forwarded(), 0u);
+}
+
+TEST(MulticastApp, FloodingSurvivesParentLinkBreakage) {
+  // Line 0-1-2 where node 1's tree link to 2 never forms because 2 also
+  // hears 0 directly... instead, construct the intro's failure: kill the
+  // tree child registration by making node 2 the child of a node that then
+  // vanishes.  Simpler deterministic variant: flooding delivers even when
+  // the tree has not converged yet (no warm-up at all).
+  MulticastAppParams p;
+  p.rate_pps = 10.0;
+  p.total_packets = 5;
+  p.strategy = ForwardStrategy::kFlood;
+  test::TestNet net;
+  std::vector<std::unique_ptr<BlessTree>> trees;
+  std::vector<std::unique_ptr<MulticastApp>> apps;
+  DeliveryStats delivery;
+  const Vec2 pos[] = {{0, 0}, {60, 0}, {120, 0}};
+  for (int i = 0; i < 3; ++i) {
+    RmacProtocol& mac = net.add_rmac(pos[i], RmacProtocol::Params{MacParams{}, true});
+    trees.push_back(std::make_unique<BlessTree>(net.sched(), mac, 0, BlessParams{},
+                                                Rng{static_cast<std::uint64_t>(i) + 77}));
+    p.receivers_per_packet = 2;
+    apps.push_back(std::make_unique<MulticastApp>(net.sched(), mac, *trees.back(), p,
+                                                  delivery));
+  }
+  for (auto& t : trees) t->start();
+  // Minimal warm-up: one hello round is enough for neighbour tables (the
+  // tree's children need the naming round-trip, flooding does not).
+  net.sched().run_until(600_ms);
+  apps[0]->start_source();
+  net.sched().run_until(10_s);
+  EXPECT_EQ(apps[2]->received_unique(), 5u);  // two hops via flooding
+}
+
+TEST(DeliveryStats, RatioArithmetic) {
+  DeliveryStats d;
+  EXPECT_DOUBLE_EQ(d.delivery_ratio(), 0.0);
+  d.note_generated(74);
+  d.note_generated(74);
+  d.note_delivered(100_ms);
+  d.note_delivered(200_ms);
+  d.note_delivered(300_ms);
+  EXPECT_EQ(d.expected(), 148u);
+  EXPECT_EQ(d.delivered(), 3u);
+  EXPECT_NEAR(d.delivery_ratio(), 3.0 / 148.0, 1e-12);
+  ASSERT_EQ(d.delays_seconds().size(), 3u);
+  EXPECT_DOUBLE_EQ(d.delays_seconds()[1], 0.2);
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -1,0 +1,78 @@
+#include "stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmacsim {
+namespace {
+
+TEST(Percentile, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(maximum({}), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.0);
+}
+
+TEST(Percentile, NearestRankDefinition) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 100.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+}
+
+TEST(Percentile, MeanAndMax) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(maximum(v), 4.0);
+}
+
+TEST(SampleStats, Accumulates) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  s.add(2.0);
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 4.0);
+}
+
+TEST(SampleStats, Merge) {
+  SampleStats a;
+  a.add(1.0);
+  SampleStats b;
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(SampleStats, AddAllAndClear) {
+  SampleStats s;
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  s.add_all(v);
+  EXPECT_EQ(s.count(), 3u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace rmacsim

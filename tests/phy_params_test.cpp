@@ -1,0 +1,84 @@
+#include "phy/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/frame.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+// §2: preamble (72 bits @ 1 Mb/s) + PLCP header (48 bits @ 2 Mb/s) = 96 us.
+TEST(PhyParams, PhyOverheadIs96us) {
+  const PhyParams p;
+  EXPECT_EQ(p.phy_overhead(), 96_us);
+}
+
+// §2: "the transmission of an ACK frame (14 bytes) only takes 56 us if
+// transmitted at 2 Mbps" — i.e. 96 + 56 = 152 us with PHY overhead.
+TEST(PhyParams, AckAirtimeMatchesPaper) {
+  const PhyParams p;
+  EXPECT_EQ(p.frame_airtime(14) - p.phy_overhead(), 56_us);
+  EXPECT_EQ(p.frame_airtime(kAckBytes), 152_us);
+}
+
+TEST(PhyParams, RtsAirtime) {
+  const PhyParams p;
+  // RTS: 20 bytes -> 80 us at 2 Mb/s, plus 96 us overhead.
+  EXPECT_EQ(p.frame_airtime(kRtsBytes), 176_us);
+}
+
+// §2 arithmetic: 2n pairs of control frames cost 632n us in BMMM.
+TEST(PhyParams, BmmmControlCostPerReceiverIs632us) {
+  const PhyParams p;
+  const SimTime per_receiver = p.frame_airtime(kRtsBytes) + p.frame_airtime(kCtsBytes) +
+                               p.frame_airtime(kRakBytes) + p.frame_airtime(kAckBytes);
+  EXPECT_EQ(per_receiver, 632_us);
+}
+
+// §3.4: shortest MRTS + shortest data frame = 352 us, giving the receiver
+// cap of 352/17 = 20.
+TEST(PhyParams, ReceiverCapArithmetic) {
+  const PhyParams p;
+  const std::size_t shortest_mrts = kMrtsFixedBytes + kMrtsPerReceiverBytes;  // 18 B
+  const std::size_t shortest_data = kRmacDataFramingBytes;                    // 22 B
+  const SimTime total = p.frame_airtime(shortest_mrts) + p.frame_airtime(shortest_data);
+  EXPECT_EQ(total, 352_us);
+  const SimTime abt_detect = p.tone_slot();
+  EXPECT_EQ(abt_detect, 17_us);
+  EXPECT_EQ(total.nanoseconds() / abt_detect.nanoseconds(), 20);
+}
+
+TEST(PhyParams, ToneSlotIs17us) {
+  const PhyParams p;
+  EXPECT_EQ(p.tone_slot(), 2 * 1_us + 15_us);
+}
+
+TEST(PhyParams, PropagationDelay) {
+  const PhyParams p;
+  // 75 m at 3e8 m/s = 250 ns; 300 m = 1 us (the paper's tau bound).
+  EXPECT_EQ(p.propagation_delay(75.0), 250_ns);
+  EXPECT_EQ(p.propagation_delay(300.0), 1_us);
+  EXPECT_EQ(p.propagation_delay(0.0), SimTime::zero());
+}
+
+TEST(PhyParams, DataFrameAirtime) {
+  const PhyParams p;
+  // 500 B payload + 22 B RMAC framing = 522 B -> 2088 us + 96 us.
+  EXPECT_EQ(p.frame_airtime(kRmacDataFramingBytes + 500), 2184_us);
+}
+
+TEST(PhyParams, DefaultsMatchPaper) {
+  const PhyParams p;
+  EXPECT_DOUBLE_EQ(p.range_m, 75.0);
+  EXPECT_DOUBLE_EQ(p.data_rate_bps, 2e6);
+  EXPECT_EQ(p.slot, 20_us);
+  EXPECT_EQ(p.cca, 15_us);
+  EXPECT_EQ(p.max_propagation, 1_us);
+  EXPECT_EQ(p.sifs, 10_us);
+  EXPECT_EQ(p.difs, 50_us);
+}
+
+}  // namespace
+}  // namespace rmacsim

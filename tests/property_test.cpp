@@ -1,0 +1,94 @@
+// Property-style sweeps over seeds: the paper's headline qualitative claims
+// must hold on every randomly generated (connected) topology.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace rmacsim {
+namespace {
+
+ExperimentConfig base_config(Protocol proto, std::uint64_t seed) {
+  ExperimentConfig c;
+  c.protocol = proto;
+  c.mobility = MobilityScenario::kStationary;
+  c.rate_pps = 10.0;
+  c.num_packets = 30;
+  c.num_nodes = 20;
+  c.area = Rect{250.0, 250.0};
+  c.seed = seed;
+  c.warmup = SimTime::sec(12);
+  c.drain = SimTime::sec(5);
+  return c;
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// §4.2.1: "when the nodes are stationary, R_deliv for RMAC is close to 1".
+TEST_P(SeedSweep, RmacStationaryDeliveryNearPerfect) {
+  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  EXPECT_GE(r.delivery_ratio, 0.97) << "seed " << GetParam();
+}
+
+// §4.2.2: RMAC's packet drops are rare when stationary.
+TEST_P(SeedSweep, RmacStationaryDropsRare) {
+  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  EXPECT_LT(r.avg_drop_ratio, 0.02) << "seed " << GetParam();
+}
+
+// §4.3.3: every MRTS respects the Fig. 3 format bounds and the §3.4 cap.
+TEST_P(SeedSweep, MrtsLengthsWithinProtocolBounds) {
+  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  EXPECT_GE(r.mrts_len_avg, 18.0);
+  EXPECT_LE(r.mrts_len_max, 132.0);  // 12 + 6*20
+}
+
+// §4.3.4: MRTS abortion is a rare phenomenon.
+TEST_P(SeedSweep, MrtsAbortionRare) {
+  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  EXPECT_LT(r.abort_avg, 0.05) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class HeadToHead : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Figs. 7/11's qualitative claim on identical placements: RMAC delivers at
+// least as well as BMMM and with lower transmission overhead.
+TEST_P(HeadToHead, RmacAtLeastMatchesBmmmDeliveryWithLowerOverhead) {
+  const ExperimentResult rmac = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  const ExperimentResult bmmm = run_experiment(base_config(Protocol::kBmmm, GetParam()));
+  EXPECT_GE(rmac.delivery_ratio, bmmm.delivery_ratio - 0.02) << "seed " << GetParam();
+  EXPECT_LT(rmac.avg_txoh_ratio, bmmm.avg_txoh_ratio) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeadToHead, ::testing::Values(1u, 2u, 3u));
+
+// Bit errors on the channel: RMAC's ARQ must still deliver (local recovery),
+// while delivery stays <= 1 and drops stay bounded by the retry limit.
+class BerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BerSweep, RmacRecoversFromBitErrors) {
+  ExperimentConfig c = base_config(Protocol::kRmac, 2);
+  c.phy.bit_error_rate = GetParam();
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_GE(r.delivery_ratio, 0.85) << "BER " << GetParam();
+  EXPECT_GT(r.avg_retx_ratio, 0.0) << "BER " << GetParam();  // errors force retries
+}
+
+INSTANTIATE_TEST_SUITE_P(Ber, BerSweep, ::testing::Values(1e-6, 5e-6));
+
+// Rate sweep: delivery must not collapse and delay must grow monotonically
+// enough to reflect queueing (weak monotonicity with slack).
+class RateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateSweep, RmacStableAcrossSourceRates) {
+  ExperimentConfig c = base_config(Protocol::kRmac, 3);
+  c.rate_pps = GetParam();
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_GE(r.delivery_ratio, 0.9) << "rate " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(5.0, 20.0, 60.0));
+
+}  // namespace
+}  // namespace rmacsim

@@ -1,0 +1,86 @@
+// Randomized scenario fuzzing: random connected topologies, random protocol
+// and load, full stack.  No matter the draw, global accounting invariants
+// must hold — every request concluded, no impossible metrics, no hangs.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace rmacsim {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  Protocol protocol;
+  double rate;
+  unsigned nodes;
+};
+
+class RandomScenario : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RandomScenario, GlobalInvariantsHold) {
+  const FuzzCase fc = GetParam();
+  // Derive the remaining knobs from the seed deterministically.
+  Rng knobs{fc.seed, 777};
+  ExperimentConfig c;
+  c.protocol = fc.protocol;
+  c.mobility = static_cast<MobilityScenario>(knobs.uniform_int(std::uint64_t{3}));
+  c.rate_pps = fc.rate;
+  c.num_packets = 30 + static_cast<std::uint32_t>(knobs.uniform_int(std::uint64_t{40}));
+  c.num_nodes = fc.nodes;
+  c.area = Rect{200.0 + knobs.uniform(0.0, 150.0), 200.0 + knobs.uniform(0.0, 100.0)};
+  c.seed = fc.seed;
+  c.warmup = SimTime::sec(10);
+  c.drain = SimTime::sec(6);
+  c.phy.bit_error_rate = knobs.bernoulli(0.3) ? 1e-5 : 0.0;
+
+  const ExperimentResult r = run_experiment(c);
+
+  // Accounting invariants.
+  EXPECT_EQ(r.generated, c.num_packets);
+  EXPECT_EQ(r.expected, static_cast<std::uint64_t>(c.num_packets) * (c.num_nodes - 1));
+  EXPECT_LE(r.delivered, r.expected);
+  EXPECT_GE(r.delivery_ratio, 0.0);
+  EXPECT_LE(r.delivery_ratio, 1.0);
+  EXPECT_GE(r.avg_delay_s, 0.0);
+  EXPECT_GE(r.p99_delay_s, 0.0);
+  EXPECT_GE(r.avg_drop_ratio, 0.0);
+  EXPECT_LE(r.avg_drop_ratio, 1.0);
+  EXPECT_GE(r.avg_retx_ratio, 0.0);
+  EXPECT_GE(r.mac_believed_success, 0.0);
+  EXPECT_LE(r.mac_believed_success, 1.0);
+  // MRTS format bounds (RMAC only emits them).
+  if (r.mrts_len_avg > 0.0) {
+    EXPECT_GE(r.mrts_len_avg, 18.0);
+    EXPECT_LE(r.mrts_len_max, 132.0);
+    EXPECT_GE(r.abort_avg, 0.0);
+    EXPECT_LE(r.abort_max, 1.0);
+  }
+  // Something must actually have happened, and in a connected static start
+  // the network cannot be totally mute.
+  EXPECT_GT(r.events_executed, 1'000u);
+  EXPECT_GT(r.delivered, 0u);
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  const Protocol protos[] = {Protocol::kRmac, Protocol::kBmmm, Protocol::kLamm,
+                             Protocol::kMx};
+  Rng gen{20260707};
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    FuzzCase fc;
+    fc.seed = 1000 + i;
+    fc.protocol = protos[gen.uniform_int(std::uint64_t{4})];
+    fc.rate = 5.0 + gen.uniform(0.0, 55.0);
+    fc.nodes = 12 + static_cast<unsigned>(gen.uniform_int(std::uint64_t{16}));
+    cases.push_back(fc);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomScenario, ::testing::ValuesIn(fuzz_cases()),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace rmacsim

@@ -1,0 +1,179 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rmacsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a{77, 0};
+  Rng b{77, 1};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{5};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r{6};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r{7};
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = r.uniform(3.0, 8.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 8.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r{8};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = r.uniform_int(std::uint64_t{7});
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every bucket hit
+}
+
+TEST(Rng, UniformIntZeroBound) {
+  Rng r{9};
+  EXPECT_EQ(r.uniform_int(std::uint64_t{0}), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r{10};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::int64_t v = r.uniform_int(std::int64_t{-3}, std::int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BackoffDrawCoversZeroToCw) {
+  // The backoff procedure draws BI in [0, CW]; both endpoints must occur.
+  Rng r{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) seen.insert(r.uniform_int(std::int64_t{0}, std::int64_t{31}));
+  EXPECT_TRUE(seen.contains(0));
+  EXPECT_TRUE(seen.contains(31));
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{12};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r{13};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r{14};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r{15};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{16};
+  Rng child = parent.fork(1);
+  Rng parent2{16};
+  (void)parent2.next_u64();  // parent consumed one draw for the fork
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent2.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a{17};
+  Rng b{17};
+  Rng ca = a.fork(5);
+  Rng cb = b.fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, HashLabelStableAndDistinct) {
+  EXPECT_EQ(Rng::hash_label("placement"), Rng::hash_label("placement"));
+  EXPECT_NE(Rng::hash_label("placement"), Rng::hash_label("medium"));
+  EXPECT_NE(Rng::hash_label(""), Rng::hash_label("a"));
+}
+
+TEST(Rng, ChiSquareUniformBuckets) {
+  // 64 buckets, 64k draws: chi-square should be well under a generous bound.
+  Rng r{18};
+  constexpr int kBuckets = 64;
+  constexpr int kDraws = 65'536;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[r.uniform_int(std::uint64_t{kBuckets})];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 dof; p=0.001 critical value ~ 103. Allow margin.
+  EXPECT_LT(chi2, 120.0);
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -1,0 +1,147 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), SimTime::zero());
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30_us, [&] { order.push_back(3); });
+  s.schedule_at(10_us, [&] { order.push_back(1); });
+  s.schedule_at(20_us, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30_us);
+}
+
+TEST(Scheduler, EqualTimestampsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_at(5_us, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  SimTime fired = SimTime::zero();
+  s.schedule_at(10_us, [&] {
+    s.schedule_in(5_us, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, 15_us);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(10_us, [&] { ran = true; });
+  EXPECT_TRUE(s.pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.pending(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelFromInsideEarlierEvent) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(10_us, [&] { ran = true; });
+  s.schedule_at(5_us, [&] { s.cancel(id); });
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10_us, [&] { ++count; });
+  s.schedule_at(20_us, [&] { ++count; });
+  s.schedule_at(30_us, [&] { ++count; });
+  s.run_until(20_us);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20_us);
+  s.run_until(25_us);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 25_us);  // clock advances even with no events
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1_us, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, EventsScheduledDuringExecutionRun) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_in(1_us, recurse);
+  };
+  s.schedule_at(1_us, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 5_us);
+}
+
+TEST(Scheduler, ExecutedCountExcludesCancelled) {
+  Scheduler s;
+  s.schedule_at(1_us, [] {});
+  const EventId id = s.schedule_at(2_us, [] {});
+  s.cancel(id);
+  s.schedule_at(3_us, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_count(), 2u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  SimTime last = SimTime::zero();
+  bool monotone = true;
+  // Deterministic pseudo-random times.
+  std::uint64_t x = 0x12345678;
+  for (int i = 0; i < 10'000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const SimTime at = SimTime::ns(static_cast<std::int64_t>(x % 1'000'000));
+    s.schedule_at(at, [&, at] {
+      if (s.now() < last || s.now() != at) monotone = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.executed_count(), 10'000u);
+}
+
+TEST(Scheduler, PendingCountTracksLiveEvents) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1_us, [] {});
+  s.schedule_at(2_us, [] {});
+  EXPECT_EQ(s.pending_count(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_count(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rmacsim

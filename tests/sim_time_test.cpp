@@ -1,0 +1,75 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.nanoseconds(), 0);
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, UnitFactories) {
+  EXPECT_EQ(SimTime::us(1).nanoseconds(), 1'000);
+  EXPECT_EQ(SimTime::ms(1).nanoseconds(), 1'000'000);
+  EXPECT_EQ(SimTime::sec(1).nanoseconds(), 1'000'000'000);
+  EXPECT_EQ(SimTime::ns(17), 17_ns);
+  EXPECT_EQ(SimTime::us(17), 17_us);
+  EXPECT_EQ(SimTime::ms(3), 3_ms);
+  EXPECT_EQ(SimTime::sec(2), 2_s);
+}
+
+TEST(SimTime, FractionalFactories) {
+  EXPECT_EQ(SimTime::from_seconds(0.5), 500_ms);
+  EXPECT_EQ(SimTime::from_us(1.5).nanoseconds(), 1'500);
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(1.0 / 8.0).to_seconds(), 0.125);
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(20_us + 15_us, 35_us);
+  EXPECT_EQ(20_us - 15_us, 5_us);
+  EXPECT_EQ(3 * 17_us, 51_us);
+  EXPECT_EQ(17_us * 3, 51_us);
+  SimTime t = 10_us;
+  t += 5_us;
+  EXPECT_EQ(t, 15_us);
+  t -= 20_us;
+  EXPECT_EQ(t, SimTime::zero() - 5_us);
+  EXPECT_LT(t, SimTime::zero());
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_LE(1_ms, 1000_us);
+  EXPECT_GE(1_s, 1000_ms);
+  EXPECT_LT(SimTime::zero(), SimTime::max());
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ((96_us).to_us(), 96.0);
+  EXPECT_DOUBLE_EQ((2_s).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((1500_ns).to_us(), 1.5);
+}
+
+TEST(SimTime, StreamOutput) {
+  std::ostringstream os;
+  os << 17_us;
+  EXPECT_EQ(os.str(), "17us");
+}
+
+// The paper's derived constant: l_abt = 2*tau + lambda = 17 us.
+TEST(SimTime, PaperToneSlotArithmetic) {
+  const SimTime tau = 1_us;
+  const SimTime lambda = 15_us;
+  EXPECT_EQ(2 * tau + lambda, 17_us);
+}
+
+}  // namespace
+}  // namespace rmacsim

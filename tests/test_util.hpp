@@ -1,0 +1,175 @@
+// Shared fixtures for protocol-level tests: a small stationary network with
+// explicit node positions, any MAC protocol per node, and upper-layer
+// recorders capturing deliveries and send results.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mac/bmmm/bmmm_protocol.hpp"
+#include "mac/bmw/bmw_protocol.hpp"
+#include "mac/dcf/dcf_protocol.hpp"
+#include "mac/lamm/lamm_protocol.hpp"
+#include "mac/mx/mx_protocol.hpp"
+#include "mac/rmac/rmac_protocol.hpp"
+#include "phy/medium.hpp"
+#include "phy/tone_channel.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rmacsim::test {
+
+using namespace rmacsim::literals;
+
+struct UpperRecorder final : MacUpper {
+  std::vector<Frame> delivered;
+  std::vector<ReliableSendResult> results;
+
+  void mac_deliver(const Frame& frame) override { delivered.push_back(frame); }
+  void mac_reliable_done(const ReliableSendResult& r) override { results.push_back(r); }
+
+  [[nodiscard]] std::size_t data_count() const {
+    std::size_t n = 0;
+    for (const Frame& f : delivered) {
+      if (f.is_data()) ++n;
+    }
+    return n;
+  }
+};
+
+inline AppPacketPtr make_packet(NodeId origin, std::uint32_t seq, std::size_t bytes = 500) {
+  auto p = std::make_shared<AppPacket>();
+  p->kind = AppPacket::Kind::kData;
+  p->origin = origin;
+  p->seq = seq;
+  p->payload_bytes = bytes;
+  return p;
+}
+
+// A hand-placed stationary network harness.
+class TestNet {
+public:
+  explicit TestNet(PhyParams phy = {}, std::uint64_t seed = 42)
+      : phy_{phy},
+        medium_{sched_, phy_, Rng{seed, 999}, &tracer_},
+        rbt_{sched_, medium_.params(), "RBT", &tracer_},
+        abt_{sched_, medium_.params(), "ABT", &tracer_} {}
+
+  struct NodeBundle {
+    std::unique_ptr<StationaryMobility> mobility;
+    std::unique_ptr<Radio> radio;
+    std::unique_ptr<MacProtocol> mac;
+    std::unique_ptr<UpperRecorder> upper;
+  };
+
+  RmacProtocol& add_rmac(Vec2 pos, RmacProtocol::Params params = {MacParams{}, true}) {
+    NodeBundle b = base(pos);
+    auto mac = std::make_unique<RmacProtocol>(sched_, *b.radio, rbt_, abt_,
+                                              Rng{seed_counter_++}, params, &tracer_);
+    RmacProtocol& ref = *mac;
+    finish(std::move(b), std::move(mac));
+    return ref;
+  }
+
+  DcfProtocol& add_dcf(Vec2 pos, MacParams params = MacParams{}) {
+    NodeBundle b = base(pos);
+    auto mac = std::make_unique<DcfProtocol>(sched_, *b.radio, Rng{seed_counter_++}, params,
+                                             &tracer_);
+    DcfProtocol& ref = *mac;
+    finish(std::move(b), std::move(mac));
+    return ref;
+  }
+
+  BmmmProtocol& add_bmmm(Vec2 pos, MacParams params = MacParams{}) {
+    NodeBundle b = base(pos);
+    auto mac = std::make_unique<BmmmProtocol>(sched_, *b.radio, Rng{seed_counter_++}, params,
+                                              &tracer_);
+    BmmmProtocol& ref = *mac;
+    finish(std::move(b), std::move(mac));
+    return ref;
+  }
+
+  LammProtocol& add_lamm(Vec2 pos, MacParams params = MacParams{}) {
+    NodeBundle b = base(pos);
+    auto mac = std::make_unique<LammProtocol>(sched_, *b.radio, Rng{seed_counter_++},
+                                              params, &tracer_);
+    LammProtocol& ref = *mac;
+    finish(std::move(b), std::move(mac));
+    return ref;
+  }
+
+  MxProtocol& add_mx(Vec2 pos, MacParams params = MacParams{}) {
+    NodeBundle b = base(pos);
+    auto mac = std::make_unique<MxProtocol>(sched_, *b.radio, rbt_, abt_,
+                                            Rng{seed_counter_++}, params, &tracer_);
+    MxProtocol& ref = *mac;
+    finish(std::move(b), std::move(mac));
+    return ref;
+  }
+
+  BmwProtocol& add_bmw(Vec2 pos, MacParams params = MacParams{}) {
+    NodeBundle b = base(pos);
+    auto mac = std::make_unique<BmwProtocol>(sched_, *b.radio, Rng{seed_counter_++}, params,
+                                             &tracer_);
+    BmwProtocol& ref = *mac;
+    finish(std::move(b), std::move(mac));
+    return ref;
+  }
+
+  // A radio with no MAC attached (for hand-crafted frame injection).
+  Radio& add_bare(Vec2 pos) {
+    NodeBundle b = base(pos);
+    Radio& ref = *b.radio;
+    b.upper = std::make_unique<UpperRecorder>();
+    nodes_.push_back(std::move(b));
+    return ref;
+  }
+
+  // Attach a MAC-less tone source (for injecting RBT/ABT signals by hand).
+  NodeId attach_tone_source(Vec2 pos) {
+    tone_mobs_.push_back(std::make_unique<StationaryMobility>(pos));
+    const NodeId id = 1000 + static_cast<NodeId>(tone_mobs_.size());
+    rbt_.attach(id, *tone_mobs_.back());
+    abt_.attach(id, *tone_mobs_.back());
+    return id;
+  }
+
+  [[nodiscard]] Scheduler& sched() noexcept { return sched_; }
+  [[nodiscard]] Medium& medium() noexcept { return medium_; }
+  [[nodiscard]] ToneChannel& rbt() noexcept { return rbt_; }
+  [[nodiscard]] ToneChannel& abt() noexcept { return abt_; }
+  [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] UpperRecorder& upper(std::size_t i) noexcept { return *nodes_[i].upper; }
+  [[nodiscard]] Radio& radio(std::size_t i) noexcept { return *nodes_[i].radio; }
+
+  void run_for(SimTime t) { sched_.run_until(sched_.now() + t); }
+
+private:
+  NodeBundle base(Vec2 pos) {
+    NodeBundle b;
+    b.mobility = std::make_unique<StationaryMobility>(pos);
+    b.radio = std::make_unique<Radio>(medium_, next_id_, *b.mobility);
+    rbt_.attach(next_id_, *b.mobility);
+    abt_.attach(next_id_, *b.mobility);
+    ++next_id_;
+    return b;
+  }
+  void finish(NodeBundle b, std::unique_ptr<MacProtocol> mac) {
+    b.upper = std::make_unique<UpperRecorder>();
+    mac->set_upper(b.upper.get());
+    b.mac = std::move(mac);
+    nodes_.push_back(std::move(b));
+  }
+
+  Tracer tracer_;
+  Scheduler sched_;
+  PhyParams phy_;
+  Medium medium_;
+  ToneChannel rbt_;
+  ToneChannel abt_;
+  std::vector<NodeBundle> nodes_;
+  std::vector<std::unique_ptr<StationaryMobility>> tone_mobs_;
+  NodeId next_id_{0};
+  std::uint64_t seed_counter_{1000};
+};
+
+}  // namespace rmacsim::test

@@ -1,0 +1,40 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "rmacsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmacsim {
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheSingleHeader) {
+  Scheduler sched;
+  Medium medium{sched, PhyParams{}, Rng{1}};
+  ToneChannel rbt{sched, medium.params(), "RBT"};
+  ToneChannel abt{sched, medium.params(), "ABT"};
+  StationaryMobility ma{{0.0, 0.0}};
+  StationaryMobility mb{{30.0, 0.0}};
+  Radio ra{medium, 0, ma};
+  Radio rb{medium, 1, mb};
+  rbt.attach(0, ma);
+  rbt.attach(1, mb);
+  abt.attach(0, ma);
+  abt.attach(1, mb);
+  RmacProtocol a{sched, ra, rbt, abt, Rng{2}, {MacParams{}, true}};
+  RmacProtocol b{sched, rb, rbt, abt, Rng{3}, {MacParams{}, true}};
+
+  struct Upper final : MacUpper {
+    int got{0};
+    void mac_deliver(const Frame&) override { ++got; }
+  } upper;
+  b.set_upper(&upper);
+
+  auto pkt = std::make_shared<AppPacket>();
+  pkt->payload_bytes = 100;
+  a.reliable_send(pkt, {1});
+  sched.run_until(SimTime::ms(50));
+  EXPECT_EQ(upper.got, 1);
+  EXPECT_EQ(a.stats().reliable_delivered, 1u);
+}
+
+}  // namespace
+}  // namespace rmacsim

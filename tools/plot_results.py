@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from paper_sweep CSV output.
+
+Usage:
+    ./build/examples/paper_sweep 2 300 > results.csv
+    python3 tools/plot_results.py results.csv [outdir]
+
+Produces one PNG per reproduced figure (7-13) in the paper's 3-panel layout
+when matplotlib is available; otherwise prints per-panel text tables so the
+tool remains useful on minimal machines.
+"""
+import csv
+import statistics
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+SCENARIOS = ["stationary", "speed1", "speed2"]
+FIGURES = [
+    ("fig07_delivery", "delivery_ratio", "Packet Delivery Ratio (Fig. 7)"),
+    ("fig08_drop", "drop_ratio", "Average Packet Drop Ratio (Fig. 8)"),
+    ("fig09_delay", "avg_delay_s", "Average End-to-End Delay, s (Fig. 9)"),
+    ("fig10_retx", "retx_ratio", "Average Retransmission Ratio (Fig. 10)"),
+    ("fig11_overhead", "txoh_ratio", "Transmission Overhead Ratio (Fig. 11)"),
+    ("fig12_mrts_len", "mrts_len_avg", "Average MRTS Length, bytes (Fig. 12)"),
+    ("fig13_abort", "abort_avg", "Average MRTS Abortion Ratio (Fig. 13)"),
+]
+
+
+def load(path):
+    """rows[(protocol, mobility, rate)] -> list of per-seed row dicts."""
+    rows = defaultdict(list)
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            key = (row["protocol"], row["mobility"], float(row["rate_pps"]))
+            rows[key].append(row)
+    return rows
+
+
+def averaged(rows, metric):
+    """series[(protocol, mobility)] -> sorted [(rate, mean value)]."""
+    series = defaultdict(list)
+    for (proto, mob, rate), seed_rows in rows.items():
+        vals = [float(r[metric]) for r in seed_rows]
+        series[(proto, mob)].append((rate, statistics.fmean(vals)))
+    for key in series:
+        series[key].sort()
+    return series
+
+
+def text_report(rows):
+    for _, metric, title in FIGURES:
+        series = averaged(rows, metric)
+        protocols = sorted({p for p, _ in series})
+        print(f"\n== {title} ==")
+        for mob in SCENARIOS:
+            print(f"-- {mob} --")
+            header = "rate".rjust(8) + "".join(p.rjust(12) for p in protocols)
+            print(header)
+            rates = sorted({r for key, pts in series.items() if key[1] == mob
+                            for r, _ in pts})
+            for rate in rates:
+                cells = [f"{rate:8.0f}"]
+                for proto in protocols:
+                    pts = dict(series.get((proto, mob), []))
+                    cells.append(f"{pts.get(rate, float('nan')):12.4f}")
+                print("".join(cells))
+
+
+def plot(rows, outdir):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, metric, title in FIGURES:
+        series = averaged(rows, metric)
+        protocols = sorted({p for p, _ in series})
+        fig, axes = plt.subplots(1, 3, figsize=(13, 4), sharey=True)
+        for ax, mob in zip(axes, SCENARIOS):
+            for proto in protocols:
+                pts = series.get((proto, mob), [])
+                if not pts:
+                    continue
+                xs, ys = zip(*pts)
+                ax.plot(xs, ys, marker="o", label=proto)
+            ax.set_title(mob)
+            ax.set_xlabel("source rate (pkt/s)")
+            ax.grid(True, alpha=0.3)
+        axes[0].set_ylabel(title)
+        axes[0].legend()
+        fig.suptitle(title)
+        fig.tight_layout()
+        out = outdir / f"{name}.png"
+        fig.savefig(out, dpi=120)
+        plt.close(fig)
+        print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    rows = load(sys.argv[1])
+    if not rows:
+        print("no rows parsed — is this a paper_sweep CSV?", file=sys.stderr)
+        return 1
+    outdir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("plots")
+    try:
+        plot(rows, outdir)
+    except ImportError:
+        print("(matplotlib not available — text report instead)")
+        text_report(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
