@@ -3,10 +3,12 @@
 // small experiment as the end-to-end figure of merit.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "mac/frame_builders.hpp"
+#include "mobility/spatial_index.hpp"
 #include "phy/medium.hpp"
 #include "phy/tone_channel.hpp"
 #include "scenario/experiment.hpp"
@@ -50,6 +52,33 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerCancelHeavy);
 
+// Slot-pool churn: a working set of pending timers constantly cancelled and
+// rescheduled, the dominant pattern of MAC wait-timers.  Exercises free-list
+// reuse and the generation check; with the slab pool this cycle performs no
+// heap allocation at all.
+void BM_SchedulerPoolChurn(benchmark::State& state) {
+  constexpr std::size_t kLive = 1'024;
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<EventId> ids(kLive, kInvalidEvent);
+    std::uint64_t x = 0x2545F4914F6CDD1DULL;
+    for (std::size_t round = 0; round < 64; ++round) {
+      for (std::size_t i = 0; i < kLive; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if (ids[i] != kInvalidEvent) sched.cancel(ids[i]);
+        ids[i] = sched.schedule_in(SimTime::ns(static_cast<std::int64_t>(x % 1'000'000)), [] {});
+      }
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          static_cast<std::int64_t>(kLive));
+}
+BENCHMARK(BM_SchedulerPoolChurn);
+
 void BM_MediumBroadcastFanout(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Scheduler sched;
@@ -71,7 +100,46 @@ void BM_MediumBroadcastFanout(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_MediumBroadcastFanout)->Arg(8)->Arg(75);
+// 8/75 cluster everything near node 0 (dense contention); 300/1000 extend
+// the same lattice into a long strip, so the transmitter's neighbourhood
+// stays bounded while the attached-radio count grows — the grid path must
+// stay ~linear in neighbours, not radios (no quadratic blow-up at 1000).
+BENCHMARK(BM_MediumBroadcastFanout)->Arg(8)->Arg(75)->Arg(300)->Arg(1000);
+
+// Pure spatial-index lookup at paper scale and beyond, constant density
+// (~75-node/500x300 m): cost must track the in-range neighbour count.
+void BM_SpatialGridQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Scheduler sched;
+  SpatialIndex index{75.0};
+  // Constant density: scale the paper's 500x300 m area with n.
+  const double scale = std::sqrt(static_cast<double>(n) / 75.0);
+  const double w = 500.0 * scale;
+  const double h = 300.0 * scale;
+  std::vector<std::unique_ptr<StationaryMobility>> mobs;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  auto next01 = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(Vec2{next01() * w, next01() * h}));
+    index.insert(static_cast<NodeId>(i), *mobs.back());
+  }
+  std::size_t probe = 0;
+  for (auto _ : state) {
+    const Vec2 center = mobs[probe % n]->position(SimTime::zero());
+    std::size_t hits = 0;
+    index.for_each_in_range(center, 75.0, sched.now(),
+                            [&](NodeId, void*, Vec2, double) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+    ++probe;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpatialGridQuery)->Arg(75)->Arg(300)->Arg(1000);
 
 void BM_ToneWindowQuery(benchmark::State& state) {
   Scheduler sched;

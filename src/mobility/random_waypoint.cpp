@@ -1,4 +1,5 @@
 #include <cassert>
+#include <limits>
 
 #include "mobility/mobility.hpp"
 
@@ -10,9 +11,14 @@ ScriptedMobility::ScriptedMobility(std::vector<Waypoint> waypoints)
   for (std::size_t i = 1; i < waypoints_.size(); ++i) {
     assert(waypoints_[i].at >= waypoints_[i - 1].at && "waypoints must be time-sorted");
     const double dt = (waypoints_[i].at - waypoints_[i - 1].at).to_seconds();
+    const double step = distance(waypoints_[i - 1].pos, waypoints_[i].pos);
     if (dt > 0.0) {
-      const double v = distance(waypoints_[i - 1].pos, waypoints_[i].pos) / dt;
+      const double v = step / dt;
       if (v > max_speed_) max_speed_ = v;
+    } else if (step > 0.0) {
+      // A zero-duration displacement is a teleport: infinite speed.  Spatial
+      // consumers (SpatialIndex) must not assume bounded drift for this model.
+      max_speed_ = std::numeric_limits<double>::infinity();
     }
   }
 }

@@ -8,31 +8,34 @@
 namespace rmacsim {
 
 Medium::Medium(Scheduler& scheduler, PhyParams params, Rng rng, Tracer* tracer)
-    : params_{params}, scheduler_{scheduler}, rng_{rng}, tracer_{tracer} {}
+    : params_{params},
+      scheduler_{scheduler},
+      rng_{rng},
+      tracer_{tracer},
+      index_{params_.effective_interference_range()} {}
 
-void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+void Medium::attach(Radio& radio) {
+  radios_by_id_[radio.id()] = &radio;
+  index_.insert(radio.id(), radio.mobility(), &radio);
+}
 
 void Medium::detach(Radio& radio) noexcept {
-  std::erase(radios_, &radio);
+  radios_by_id_.erase(radio.id());
+  index_.remove(radio.id());
   active_.erase(&radio);
 }
 
 std::vector<NodeId> Medium::neighbours_of(NodeId of) const {
   std::vector<NodeId> out;
-  const Radio* self = nullptr;
-  for (const Radio* r : radios_) {
-    if (r->id() == of) {
-      self = r;
-      break;
-    }
-  }
-  if (self == nullptr) return out;
-  const Vec2 p = self->position();
-  const double r2 = params_.range_m * params_.range_m;
-  for (const Radio* r : radios_) {
-    if (r == self) continue;
-    if (distance_sq(p, r->position()) <= r2) out.push_back(r->id());
-  }
+  const auto it = radios_by_id_.find(of);
+  if (it == radios_by_id_.end()) return out;
+  Radio* self = it->second;
+  out.reserve(16);
+  index_.for_each_in_range(self->position(), params_.range_m, scheduler_.now(),
+                           [&](NodeId id, void* payload, Vec2, double) {
+                             if (static_cast<Radio*>(payload) != self) out.push_back(id);
+                           });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -52,18 +55,28 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
 
   const Vec2 origin = tx.position();
   const double ir = params_.effective_interference_range();
-  const double ir2 = ir * ir;
   const double r2 = params_.range_m * params_.range_m;
   const double bits = static_cast<double>(frame->wire_bytes()) * 8.0;
-  for (Radio* rx : radios_) {
-    if (rx == &tx) continue;
-    const double d2 = distance_sq(origin, rx->position());
-    if (d2 > ir2) continue;
-    const double dist = std::sqrt(d2);
+
+  // Grid query; sorted by id so signal events, sequence numbers, and BER
+  // draws are assigned in a platform-independent order.
+  scratch_.clear();
+  index_.for_each_in_range(origin, ir, scheduler_.now(),
+                           [&](NodeId, void* payload, Vec2, double d2) {
+                             Radio* rx = static_cast<Radio*>(payload);
+                             if (rx != &tx) scratch_.push_back(Candidate{rx, d2});
+                           });
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Candidate& a, const Candidate& b) { return a.rx->id() < b.rx->id(); });
+
+  t->receptions.reserve(scratch_.size());
+  for (const Candidate& c : scratch_) {
+    Radio* rx = c.rx;
+    const double dist = std::sqrt(c.dist_sq);
     const SimTime prop = params_.propagation_delay(dist);
     const std::uint64_t sig = next_sig_++;
     // Beyond range_m the signal interferes but can never be decoded.
-    const bool ber_ok = d2 <= r2 &&
+    const bool ber_ok = c.dist_sq <= r2 &&
                         (params_.bit_error_rate <= 0.0 ||
                          rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits)));
     scheduler_.schedule_in(prop,

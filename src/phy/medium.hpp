@@ -5,6 +5,12 @@
 // propagation delay (distance / c).  Signals from concurrent transmissions
 // overlap at receivers and corrupt each other (no capture), matching the
 // paper's GloMoSim configuration at equal transmit power.
+//
+// Receiver lookup goes through a uniform-grid SpatialIndex: a transmission
+// only examines the cells within interference range instead of every
+// attached radio, so fan-out cost scales with neighbourhood size, not
+// network size.  Candidates are visited in ascending NodeId order to keep
+// event ordering platform-independent.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mobility/spatial_index.hpp"
 #include "phy/frame.hpp"
 #include "phy/params.hpp"
 #include "phy/radio.hpp"
@@ -33,8 +40,9 @@ public:
   [[nodiscard]] const PhyParams& params() const noexcept { return params_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
 
-  // Radios within range of `of` right now (neighbourhood snapshot; used by
-  // upper layers that need the ground-truth topology, e.g. tests/benches).
+  // Radios within range of `of` right now, in ascending id order
+  // (neighbourhood snapshot; used by upper layers that need the ground-truth
+  // topology, e.g. tests/benches).
   [[nodiscard]] std::vector<NodeId> neighbours_of(NodeId of) const;
 
   // --- Radio-facing interface ---------------------------------------------
@@ -59,12 +67,18 @@ private:
     EventId done_event{kInvalidEvent};
     std::vector<Reception> receptions;
   };
+  struct Candidate {
+    Radio* rx;
+    double dist_sq;
+  };
 
   PhyParams params_;
   Scheduler& scheduler_;
   Rng rng_;
   Tracer* tracer_;
-  std::vector<Radio*> radios_;
+  std::unordered_map<NodeId, Radio*> radios_by_id_;
+  mutable SpatialIndex index_;
+  mutable std::vector<Candidate> scratch_;  // reused per transmission / query
   std::unordered_map<Radio*, std::shared_ptr<Transmission>> active_;
   std::uint64_t next_sig_{1};
   std::uint64_t tx_started_{0};

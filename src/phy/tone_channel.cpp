@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include "sim/strfmt.hpp"
 
 namespace rmacsim {
@@ -14,25 +15,33 @@ constexpr SimTime kHistoryKeep = SimTime::ms(10);
 
 ToneChannel::ToneChannel(Scheduler& scheduler, const PhyParams& params, std::string name,
                          Tracer* tracer)
-    : scheduler_{scheduler}, params_{params}, name_{std::move(name)}, tracer_{tracer} {}
+    : scheduler_{scheduler},
+      params_{params},
+      name_{std::move(name)},
+      tracer_{tracer},
+      index_{params.range_m} {}
 
 void ToneChannel::attach(NodeId id, MobilityModel& mobility) {
-  sources_.emplace(id, Source{&mobility, false, {}});
+  const auto [it, inserted] = sources_.emplace(id, Source{&mobility, false, {}});
+  if (!inserted) it->second.mobility = &mobility;
+  // unordered_map nodes are pointer-stable, so the payload stays valid.
+  index_.insert(id, mobility, &it->second);
 }
 
 void ToneChannel::detach(NodeId id) noexcept {
+  index_.remove(id);
   sources_.erase(id);
   edge_subs_.erase(id);
 }
 
-void ToneChannel::prune(Source& s) const {
+void ToneChannel::prune(const Source& s) const {
   const SimTime cutoff = scheduler_.now() - kHistoryKeep;
   while (!s.history.empty() && s.history.front().off < cutoff) s.history.pop_front();
 }
 
-bool ToneChannel::in_range(const Source& a, const Source& b, SimTime t) const {
-  const double r2 = params_.range_m * params_.range_m;
-  return distance_sq(a.mobility->position(t), b.mobility->position(t)) <= r2;
+std::size_t ToneChannel::history_size(NodeId id) const noexcept {
+  const auto it = sources_.find(id);
+  return it == sources_.end() ? 0 : it->second.history.size();
 }
 
 void ToneChannel::set_tone(NodeId id, bool on) {
@@ -45,20 +54,30 @@ void ToneChannel::set_tone(NodeId id, bool on) {
   if (on) {
     s.history.push_back(Interval{now, SimTime::max()});
     prune(s);
-    // Notify edge subscribers that are in range, after propagation plus the
-    // lambda detection latency.
-    for (const auto& [listener, cb] : edge_subs_) {
-      if (listener == id) continue;
-      const auto lit = sources_.find(listener);
-      if (lit == sources_.end() || !in_range(s, lit->second, now)) continue;
-      const double d = distance(s.mobility->position(now), lit->second.mobility->position(now));
-      const SimTime latency = params_.propagation_delay(d) + params_.cca;
-      // Copy the callback: the subscription may change before delivery.
-      scheduler_.schedule_in(latency, [cb, id] { cb(id); });
+    if (!edge_subs_.empty()) {
+      // Notify in-range edge subscribers after propagation plus the lambda
+      // detection latency.  The grid visit order is unspecified, so collect
+      // and sort by NodeId: equal-latency callbacks must fire in a
+      // deterministic, platform-independent order.
+      const Vec2 src_pos = s.mobility->position(now);
+      scratch_.clear();
+      index_.for_each_in_range(src_pos, params_.range_m, now,
+                               [&](NodeId nid, void*, Vec2, double d2) {
+                                 if (nid != id) scratch_.emplace_back(nid, d2);
+                               });
+      std::sort(scratch_.begin(), scratch_.end());
+      for (const auto& [listener, d2] : scratch_) {
+        const auto sub = edge_subs_.find(listener);
+        if (sub == edge_subs_.end()) continue;
+        const SimTime latency = params_.propagation_delay(std::sqrt(d2)) + params_.cca;
+        // Copy the callback: the subscription may change before delivery.
+        scheduler_.schedule_in(latency, [cb = sub->second, id] { cb(id); });
+      }
     }
   } else {
     assert(!s.history.empty());
     s.history.back().off = now;
+    prune(s);
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->emit(now, TraceCategory::kTone, id,
@@ -75,39 +94,53 @@ bool ToneChannel::sensed_at(NodeId listener) const {
   const auto lit = sources_.find(listener);
   if (lit == sources_.end()) return false;
   const SimTime now = scheduler_.now();
-  for (const auto& [id, s] : sources_) {
-    if (id == listener || s.history.empty()) continue;
-    if (!in_range(s, lit->second, now)) continue;
-    const double d =
-        distance(s.mobility->position(now), lit->second.mobility->position(now));
-    const SimTime arrival_shift = params_.propagation_delay(d);
-    // The signal present at the listener now left the source `prop` ago.
-    const SimTime src_time = now - arrival_shift;
-    for (const Interval& iv : s.history) {
-      if (iv.on <= src_time && src_time < iv.off) return true;
-    }
-  }
-  return false;
+  const Vec2 at = lit->second.mobility->position(now);
+  bool sensed = false;
+  index_.for_each_in_range(
+      at, params_.range_m, now, [&](NodeId id, void* payload, Vec2, double d2) -> bool {
+        if (id == listener) return true;
+        const Source& s = *static_cast<const Source*>(payload);
+        prune(s);
+        if (s.history.empty()) return true;
+        const SimTime arrival_shift = params_.propagation_delay(std::sqrt(d2));
+        // The signal present at the listener now left the source `prop` ago.
+        const SimTime src_time = now - arrival_shift;
+        for (const Interval& iv : s.history) {
+          if (iv.on <= src_time && src_time < iv.off) {
+            sensed = true;
+            return false;  // stop the walk
+          }
+        }
+        return true;
+      });
+  return sensed;
 }
 
 bool ToneChannel::detected_in_window(NodeId listener, SimTime from, SimTime to) const {
   const auto lit = sources_.find(listener);
   if (lit == sources_.end()) return false;
   const SimTime now = scheduler_.now();
-  for (const auto& [id, s] : sources_) {
-    if (id == listener || s.history.empty()) continue;
-    if (!in_range(s, lit->second, now)) continue;
-    const double d =
-        distance(s.mobility->position(now), lit->second.mobility->position(now));
-    const SimTime prop = params_.propagation_delay(d);
-    for (const Interval& iv : s.history) {
-      // Tone present at the listener during [on + prop, off + prop).
-      const SimTime lo = std::max(iv.on + prop, from);
-      const SimTime hi = iv.off == SimTime::max() ? to : std::min(iv.off + prop, to);
-      if (hi - lo >= params_.cca) return true;
-    }
-  }
-  return false;
+  const Vec2 at = lit->second.mobility->position(now);
+  bool detected = false;
+  index_.for_each_in_range(
+      at, params_.range_m, now, [&](NodeId id, void* payload, Vec2, double d2) -> bool {
+        if (id == listener) return true;
+        const Source& s = *static_cast<const Source*>(payload);
+        prune(s);
+        if (s.history.empty()) return true;
+        const SimTime prop = params_.propagation_delay(std::sqrt(d2));
+        for (const Interval& iv : s.history) {
+          // Tone present at the listener during [on + prop, off + prop).
+          const SimTime lo = std::max(iv.on + prop, from);
+          const SimTime hi = iv.off == SimTime::max() ? to : std::min(iv.off + prop, to);
+          if (hi - lo >= params_.cca) {
+            detected = true;
+            return false;  // stop the walk
+          }
+        }
+        return true;
+      });
+  return detected;
 }
 
 void ToneChannel::subscribe_edges(NodeId listener, EdgeCallback cb) {

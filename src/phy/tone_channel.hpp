@@ -6,6 +6,12 @@
 // timers can ask, after the fact, "was a foreign tone present at me for at
 // least lambda within this window?" — exactly the semantics of the paper's
 // T_wf_rbt and T_wf_abt checks.
+//
+// Source lookup goes through a uniform-grid SpatialIndex: presence and
+// window queries iterate only the sources within range of the listener
+// instead of every attached node.  Edge-subscriber notifications are
+// scheduled in ascending NodeId order so equal-latency callbacks fire in a
+// platform-independent order.
 #pragma once
 
 #include <deque>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "mobility/mobility.hpp"
+#include "mobility/spatial_index.hpp"
 #include "phy/params.hpp"
 #include "sim/ids.hpp"
 #include "sim/scheduler.hpp"
@@ -55,6 +62,10 @@ public:
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const PhyParams& params() const noexcept { return params_; }
 
+  // Retained history intervals for a source (diagnostics/tests: stale
+  // history is pruned on queries as well as on tone transitions).
+  [[nodiscard]] std::size_t history_size(NodeId id) const noexcept;
+
 private:
   struct Interval {
     SimTime on;
@@ -63,11 +74,12 @@ private:
   struct Source {
     MobilityModel* mobility;
     bool on{false};
-    std::deque<Interval> history;
+    // mutable: const queries prune expired intervals as they walk sources,
+    // so an idle source's history cannot linger past kHistoryKeep.
+    mutable std::deque<Interval> history;
   };
 
-  void prune(Source& s) const;
-  [[nodiscard]] bool in_range(const Source& a, const Source& b, SimTime t) const;
+  void prune(const Source& s) const;
 
   Scheduler& scheduler_;
   const PhyParams& params_;
@@ -75,6 +87,8 @@ private:
   Tracer* tracer_;
   std::unordered_map<NodeId, Source> sources_;
   std::unordered_map<NodeId, EdgeCallback> edge_subs_;
+  mutable SpatialIndex index_;
+  std::vector<std::pair<NodeId, double>> scratch_;  // set_tone edge fan-out
 };
 
 }  // namespace rmacsim

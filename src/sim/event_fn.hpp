@@ -1,0 +1,107 @@
+// Move-only callable with small-buffer optimization for scheduler events.
+//
+// A simulation schedules millions of short-lived closures; std::function
+// heap-allocates captures beyond ~2 pointers, which dominates the event
+// core's cost.  EventFn stores captures up to kEventFnInlineBytes inline
+// (every closure in the protocol stack fits today), falling back to the
+// heap only for oversized callables, so the common schedule/execute cycle
+// performs zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rmacsim {
+
+inline constexpr std::size_t kEventFnInlineBytes = 48;
+
+class EventFn {
+public:
+  EventFn() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->call(buf_); }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  // Whether a callable of type F would be stored without heap allocation.
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    return sizeof(F) <= kEventFnInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+private:
+  struct VTable {
+    void (*call)(void* storage);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct dst, destroy src
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  void steal(EventFn& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      vtable_ = other.vtable_;
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  template <typename F>
+  static constexpr VTable kInlineVTable{
+      [](void* s) { (*std::launder(reinterpret_cast<F*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        F* from = std::launder(reinterpret_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<F*>(s))->~F(); },
+  };
+
+  template <typename F>
+  static constexpr VTable kHeapVTable{
+      [](void* s) { (**std::launder(reinterpret_cast<F**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<F**>(s)); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kEventFnInlineBytes];
+  const VTable* vtable_{nullptr};
+};
+
+}  // namespace rmacsim

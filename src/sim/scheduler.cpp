@@ -1,60 +1,133 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace rmacsim {
 
-EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+namespace {
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
+
+EventId Scheduler::schedule_at(SimTime at, EventFn fn) {
   assert(at >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  auto entry = std::make_unique<Entry>(Entry{at, id, std::move(fn)});
-  live_.emplace(id, entry.get());
-  heap_.push(std::move(entry));
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.active = true;
+  ++live_;
+  heap_.push_back(HeapNode{at, next_seq_++, slot, s.generation});
+  sift_up(heap_.size() - 1);
+  return encode(slot, s.generation);
 }
 
-EventId Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
+EventId Scheduler::schedule_in(SimTime delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Scheduler::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.active = false;
+  ++s.generation;  // stale EventIds and heap nodes now mismatch
+  free_slots_.push_back(slot);
+  --live_;
+}
+
 bool Scheduler::cancel(EventId id) noexcept {
-  auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  it->second->fn = nullptr;  // lazy deletion: popped entries with null fn are skipped
-  live_.erase(it);
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  if (!s.active || s.generation != generation_of(id)) return false;
+  release_slot(slot);  // the heap node is skipped lazily when popped
   return true;
 }
 
-bool Scheduler::pending(EventId id) const noexcept { return live_.contains(id); }
+bool Scheduler::pending(EventId id) const noexcept {
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  return s.active && s.generation == generation_of(id);
+}
 
 SimTime Scheduler::next_event_time() const noexcept {
   // The top may be a cancelled tombstone; a cancelled event still bounds the
-  // next live event's time from below, so for run loops this is only used as
-  // a hint; step() does the authoritative skipping.
-  return heap_.empty() ? SimTime::max() : heap_.top()->at;
+  // next live event's time from below, so this is only used as a hint; the
+  // run loops do the authoritative skipping.
+  return heap_.empty() ? SimTime::max() : heap_.front().at;
+}
+
+void Scheduler::sift_up(std::size_t i) noexcept {
+  const HeapNode node = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!later(heap_[parent], node)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void Scheduler::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const HeapNode node = heap_[i];
+  for (;;) {
+    const std::size_t first = kHeapArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(node, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
+void Scheduler::pop_heap_node() noexcept {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Scheduler::drop_stale_tops() noexcept {
+  while (!heap_.empty()) {
+    const HeapNode& top = heap_.front();
+    const Slot& s = slots_[top.slot];
+    if (s.active && s.generation == top.generation) break;
+    pop_heap_node();
+  }
 }
 
 bool Scheduler::step() {
-  while (!heap_.empty()) {
-    // priority_queue::top() is const; we must move the entry out to run it.
-    auto& top = const_cast<std::unique_ptr<Entry>&>(heap_.top());
-    std::unique_ptr<Entry> entry = std::move(top);
-    heap_.pop();
-    if (!entry->fn) continue;  // cancelled
-    live_.erase(entry->id);
-    now_ = entry->at;
-    ++executed_;
-    entry->fn();
-    return true;
-  }
-  return false;
+  drop_stale_tops();
+  if (heap_.empty()) return false;
+  const HeapNode top = heap_.front();
+  pop_heap_node();
+  // Move the callback out and recycle the slot *before* running: the
+  // callback is free to schedule into (and reuse) its own slot.
+  EventFn fn = std::move(slots_[top.slot].fn);
+  release_slot(top.slot);
+  now_ = top.at;
+  ++executed_;
+  fn();
+  return true;
 }
 
 void Scheduler::run_until(SimTime until) {
   for (;;) {
-    if (heap_.empty()) break;
-    if (heap_.top()->at > until) break;
+    drop_stale_tops();
+    if (heap_.empty() || heap_.front().at > until) break;
     step();
   }
   if (now_ < until) now_ = until;

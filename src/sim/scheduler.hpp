@@ -1,18 +1,22 @@
 // Discrete-event scheduler: the beating heart of the simulator.
 //
-// A binary heap of (time, sequence) ordered events with O(log n)
-// schedule/pop and O(1) cancellation (lazy deletion).  Ties at equal
-// timestamps are broken by scheduling order, which makes every run fully
-// deterministic for a fixed seed.
+// Events live in a slab-allocated pool (a vector of slots recycled through a
+// free list) and are ordered by a 4-ary heap of plain {time, seq, slot}
+// nodes, so the schedule/execute cycle performs no per-event heap
+// allocation: callbacks are stored in an SBO callable (EventFn) inside the
+// slab, and cancel/pending are O(1) array probes with no hashing.
+//
+// An EventId encodes {slot, generation}: the generation is bumped every time
+// a slot is released (executed or cancelled), so a stale id held across a
+// slot reuse is rejected instead of acting on the wrong event.  Ties at
+// equal timestamps are broken by a monotonic scheduling sequence number,
+// which makes every run fully deterministic for a fixed seed.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace rmacsim {
@@ -27,10 +31,10 @@ public:
   Scheduler& operator=(const Scheduler&) = delete;
 
   // Schedule `fn` to run at absolute time `at` (must be >= now()).
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  EventId schedule_at(SimTime at, EventFn fn);
 
   // Schedule `fn` to run `delay` after now().
-  EventId schedule_in(SimTime delay, std::function<void()> fn);
+  EventId schedule_in(SimTime delay, EventFn fn);
 
   // Cancel a pending event. Returns true if it was still pending.
   bool cancel(EventId id) noexcept;
@@ -51,27 +55,55 @@ public:
   bool step();
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t pending_count() const noexcept { return live_.size(); }
+  [[nodiscard]] std::size_t pending_count() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
 
 private:
-  struct Entry {
-    SimTime at;
-    EventId id;
-    std::function<void()> fn;
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation{0};
+    bool active{false};
   };
-  struct Later {
-    bool operator()(const std::unique_ptr<Entry>& a, const std::unique_ptr<Entry>& b) const noexcept {
-      if (a->at != b->at) return a->at > b->at;
-      return a->id > b->id;  // FIFO among equal timestamps
-    }
+  // Self-contained ordering key: popping never touches the slab until the
+  // node wins, and stale nodes (generation mismatch) are skipped lazily.
+  struct HeapNode {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
 
+  [[nodiscard]] static constexpr EventId encode(std::uint32_t slot,
+                                                std::uint32_t generation) noexcept {
+    // slot+1 in the high word keeps every valid id distinct from kInvalidEvent.
+    return (static_cast<EventId>(slot) + 1) << 32 | generation;
+  }
+  [[nodiscard]] static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32) - 1;
+  }
+  [[nodiscard]] static constexpr std::uint32_t generation_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  [[nodiscard]] static bool later(const HeapNode& a, const HeapNode& b) noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;  // FIFO among equal timestamps
+  }
+
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  void pop_heap_node() noexcept;
+  // Remove stale (cancelled/executed) nodes from the top of the heap.
+  void drop_stale_tops() noexcept;
+  void release_slot(std::uint32_t slot) noexcept;
+
   SimTime now_{SimTime::zero()};
-  EventId next_id_{1};
+  std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
-  std::priority_queue<std::unique_ptr<Entry>, std::vector<std::unique_ptr<Entry>>, Later> heap_;
-  std::unordered_map<EventId, Entry*> live_;
+  std::size_t live_{0};
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapNode> heap_;
 };
 
 }  // namespace rmacsim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace rmacsim {
@@ -130,6 +132,112 @@ TEST(Scheduler, ManyEventsStressOrdering) {
   s.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(s.executed_count(), 10'000u);
+}
+
+// --- Slab-pool / EventId generation semantics ------------------------------
+
+TEST(Scheduler, StaleIdRejectedAfterSlotReuse) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1_us, [] {});
+  ASSERT_TRUE(s.cancel(a));
+  // The freed slot is recycled; the new event must get a distinct id.
+  const EventId b = s.schedule_at(2_us, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.pending(a));
+  EXPECT_FALSE(s.cancel(a));  // stale id must not touch the reused slot
+  EXPECT_TRUE(s.pending(b));
+  EXPECT_TRUE(s.cancel(b));
+}
+
+TEST(Scheduler, StaleIdAfterExecutionDoesNotCancelReusedSlot) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1_us, [] {});
+  s.run();
+  EXPECT_FALSE(s.pending(a));
+  bool ran = false;
+  const EventId b = s.schedule_at(2_us, [&] { ran = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.cancel(a));  // executed id is dead even though the slot lives on
+  s.run();
+  EXPECT_TRUE(ran);
+  (void)b;
+}
+
+TEST(Scheduler, CancelRescheduleChurnReusesSlots) {
+  // A MAC-style wait timer: cancelled and rescheduled thousands of times.
+  // The pool must keep ids unique per lifetime and fire exactly the last one.
+  Scheduler s;
+  EventId timer = kInvalidEvent;
+  int fired = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (timer != kInvalidEvent) {
+      EXPECT_TRUE(s.cancel(timer));
+    }
+    timer = s.schedule_at(SimTime::us(i + 1'000), [&] { ++fired; });
+  }
+  EXPECT_EQ(s.pending_count(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.executed_count(), 1u);
+}
+
+TEST(Scheduler, RandomChurnMatchesReferenceModel) {
+  // Deterministic random schedule/cancel churn, checked against a simple
+  // reference: every scheduled-and-not-cancelled event fires exactly once,
+  // in (time, schedule-order) order.
+  Scheduler s;
+  std::vector<std::pair<EventId, int>> live;  // (id, token)
+  std::vector<int> fired;
+  std::vector<int> expected;
+  std::uint64_t x = 0xdeadbeefcafef00dULL;
+  auto rnd = [&x] {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return x >> 33;
+  };
+  int next_token = 0;
+  std::vector<std::pair<SimTime, int>> kept;
+  for (int i = 0; i < 5'000; ++i) {
+    if (!live.empty() && rnd() % 3 == 0) {
+      const std::size_t k = rnd() % live.size();
+      EXPECT_TRUE(s.cancel(live[k].first));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      const SimTime at = SimTime::us(static_cast<std::int64_t>(rnd() % 50'000));
+      const int token = next_token++;
+      live.emplace_back(s.schedule_at(at, [&fired, token] { fired.push_back(token); }), token);
+      kept.emplace_back(at, token);
+    }
+  }
+  // Reference order: stable sort by time keeps schedule order for ties, then
+  // drop the cancelled ones.
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [at, token] : kept) {
+    for (const auto& [id, t] : live) {
+      if (t == token) {
+        expected.push_back(token);
+        break;
+      }
+    }
+  }
+  s.run();
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(s.executed_count(), expected.size());
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(Scheduler, LargeCaptureFallsBackToHeapAndStillRuns) {
+  // Captures beyond the SBO budget must still work (heap fallback).
+  Scheduler s;
+  struct Big {
+    char pad[96];
+  };
+  Big big{};
+  big.pad[0] = 7;
+  int seen = 0;
+  s.schedule_at(1_us, [big, &seen] { seen = big.pad[0]; });
+  s.run();
+  EXPECT_EQ(seen, 7);
 }
 
 TEST(Scheduler, PendingCountTracksLiveEvents) {

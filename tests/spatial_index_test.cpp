@@ -1,0 +1,170 @@
+// SpatialIndex correctness: the grid is a conservative prefilter, so every
+// query must return exactly the same set as a brute-force O(N) scan — for
+// stationary layouts, under mobility (cached buckets + drift slack), across
+// rebuilds, and through insert/remove churn.
+#include "mobility/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+std::set<NodeId> brute_force(const std::vector<std::unique_ptr<MobilityModel>>& mobs,
+                             Vec2 center, double radius, SimTime t) {
+  std::set<NodeId> out;
+  for (std::size_t i = 0; i < mobs.size(); ++i) {
+    if (distance_sq(mobs[i]->position(t), center) <= radius * radius) {
+      out.insert(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+std::set<NodeId> query(SpatialIndex& index, Vec2 center, double radius, SimTime t) {
+  std::set<NodeId> out;
+  index.for_each_in_range(center, radius, t,
+                          [&](NodeId id, void*, Vec2, double) { out.insert(id); });
+  return out;
+}
+
+TEST(SpatialIndex, MatchesBruteForceOnRandomStationaryLayout) {
+  std::vector<std::unique_ptr<MobilityModel>> mobs;
+  SpatialIndex index{75.0};
+  std::uint64_t x = 0x243F6A8885A308D3ULL;
+  auto rnd01 = [&x] {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  };
+  for (NodeId i = 0; i < 200; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(Vec2{rnd01() * 500.0, rnd01() * 300.0}));
+    index.insert(i, *mobs.back());
+  }
+  for (int probe = 0; probe < 50; ++probe) {
+    const Vec2 c{rnd01() * 500.0, rnd01() * 300.0};
+    const double r = 10.0 + rnd01() * 140.0;  // radii below and above the cell size
+    EXPECT_EQ(query(index, c, r, SimTime::zero()), brute_force(mobs, c, r, SimTime::zero()));
+  }
+  EXPECT_EQ(index.epoch(), 1u);  // stationary: exactly one build, ever
+}
+
+TEST(SpatialIndex, StationaryLayoutNeverRebuilds) {
+  std::vector<std::unique_ptr<MobilityModel>> mobs;
+  SpatialIndex index{75.0};
+  for (NodeId i = 0; i < 20; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(Vec2{static_cast<double>(i) * 10.0, 0.0}));
+    index.insert(i, *mobs.back());
+  }
+  (void)query(index, {0, 0}, 75.0, SimTime::zero());
+  const std::uint64_t e = index.epoch();
+  for (int i = 1; i <= 100; ++i) (void)query(index, {50, 0}, 75.0, SimTime::sec(i * 1000));
+  EXPECT_EQ(index.epoch(), e);  // epoch untouched: zero re-bucketing cost
+}
+
+TEST(SpatialIndex, TracksMovingNodesAcrossRebuilds) {
+  // A walker crosses the whole area; queries at many times must stay exact
+  // even between rebuilds (drift slack covers the gap).
+  std::vector<std::unique_ptr<MobilityModel>> mobs;
+  SpatialIndex index{75.0};
+  for (NodeId i = 0; i < 30; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(
+        Vec2{static_cast<double>(i % 6) * 90.0, static_cast<double>(i / 6) * 90.0}));
+    index.insert(i, *mobs.back());
+  }
+  mobs.push_back(std::make_unique<ScriptedMobility>(std::vector<ScriptedMobility::Waypoint>{
+      {SimTime::zero(), {0.0, 0.0}},
+      {100_s, {450.0, 450.0}},
+  }));
+  index.insert(30, *mobs.back());
+
+  for (int step = 0; step <= 100; step += 5) {
+    const SimTime t = SimTime::sec(step);
+    const Vec2 walker = mobs[30]->position(t);
+    EXPECT_EQ(query(index, walker, 75.0, t), brute_force(mobs, walker, 75.0, t))
+        << "at t=" << step << "s";
+  }
+  EXPECT_GT(index.epoch(), 1u);  // mobility forced rebuilds...
+  EXPECT_LT(index.epoch(), 25u);  // ...but amortized, not one per query
+}
+
+TEST(SpatialIndex, TeleportingModelIsNeverMissed) {
+  std::vector<std::unique_ptr<MobilityModel>> mobs;
+  SpatialIndex index{75.0};
+  mobs.push_back(std::make_unique<StationaryMobility>(Vec2{0.0, 0.0}));
+  index.insert(0, *mobs.back());
+  mobs.push_back(std::make_unique<ScriptedMobility>(std::vector<ScriptedMobility::Waypoint>{
+      {SimTime::zero(), {50.0, 0.0}},
+      {10_s, {50.0, 0.0}},
+      {10_s, {1000.0, 0.0}},  // teleport away
+      {20_s, {1000.0, 0.0}},
+      {20_s, {50.0, 0.0}},    // teleport back
+  }));
+  index.insert(1, *mobs.back());
+
+  EXPECT_EQ(query(index, {0, 0}, 75.0, 5_s), (std::set<NodeId>{0, 1}));
+  EXPECT_EQ(query(index, {0, 0}, 75.0, 15_s), (std::set<NodeId>{0}));
+  EXPECT_EQ(query(index, {0, 0}, 75.0, 25_s), (std::set<NodeId>{0, 1}));
+}
+
+TEST(SpatialIndex, InsertRemoveChurnStaysExact) {
+  std::vector<std::unique_ptr<MobilityModel>> mobs;
+  SpatialIndex index{75.0};
+  for (NodeId i = 0; i < 50; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(
+        Vec2{static_cast<double>(i % 10) * 40.0, static_cast<double>(i / 10) * 40.0}));
+    index.insert(i, *mobs.back());
+  }
+  index.remove(7);
+  index.remove(0);
+  index.remove(49);
+  index.remove(7);  // double-remove is a no-op
+  auto got = query(index, {100, 100}, 500.0, SimTime::zero());
+  EXPECT_EQ(got.size(), 47u);
+  EXPECT_FALSE(got.contains(0));
+  EXPECT_FALSE(got.contains(7));
+  EXPECT_FALSE(got.contains(49));
+
+  // Re-insert with a different position: the new bucket must win.
+  mobs.push_back(std::make_unique<StationaryMobility>(Vec2{5.0, 5.0}));
+  index.insert(7, *mobs.back());
+  EXPECT_TRUE(query(index, {0, 0}, 10.0, SimTime::zero()).contains(7));
+}
+
+TEST(SpatialIndex, PayloadPointerIsHandedBack) {
+  std::vector<std::unique_ptr<MobilityModel>> mobs;
+  SpatialIndex index{75.0};
+  int tag = 42;
+  mobs.push_back(std::make_unique<StationaryMobility>(Vec2{0.0, 0.0}));
+  index.insert(0, *mobs.back(), &tag);
+  int* seen = nullptr;
+  index.for_each_in_range(Vec2{0, 0}, 10.0, SimTime::zero(),
+                          [&](NodeId, void* p, Vec2, double) { seen = static_cast<int*>(p); });
+  EXPECT_EQ(seen, &tag);
+}
+
+TEST(SpatialIndex, BoolVisitorStopsEarly) {
+  std::vector<std::unique_ptr<MobilityModel>> mobs;
+  SpatialIndex index{75.0};
+  for (NodeId i = 0; i < 10; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(Vec2{static_cast<double>(i), 0.0}));
+    index.insert(i, *mobs.back());
+  }
+  int visited = 0;
+  index.for_each_in_range(Vec2{0, 0}, 75.0, SimTime::zero(),
+                          [&](NodeId, void*, Vec2, double) -> bool {
+                            ++visited;
+                            return false;  // stop after the first hit
+                          });
+  EXPECT_EQ(visited, 1);
+}
+
+}  // namespace
+}  // namespace rmacsim

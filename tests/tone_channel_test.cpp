@@ -212,6 +212,42 @@ TEST_F(ToneTest, HistoryPruningKeepsRecentIntervalsQueryable) {
   EXPECT_FALSE(chan_.detected_in_window(1, t - 70_us, t - 10_us));
 }
 
+TEST_F(ToneTest, IdleSourceHistoryIsPrunedByQueries) {
+  // A source that toggles off and then goes idle must not keep stale history
+  // forever: queries prune expired intervals even without another set_tone.
+  add(0, {0, 0});
+  add(1, {30, 0});
+  for (int i = 0; i < 50; ++i) {
+    chan_.set_tone(0, true);
+    sched_.run_until(sched_.now() + 20_us);
+    chan_.set_tone(0, false);
+    sched_.run_until(sched_.now() + 20_us);
+  }
+  EXPECT_GT(chan_.history_size(0), 0u);
+  // Source 0 stays idle far past the 10 ms retention horizon...
+  sched_.run_until(sched_.now() + 1_s);
+  // ...and a mere query (from an in-range listener) drops the stale history.
+  EXPECT_FALSE(chan_.sensed_at(1));
+  EXPECT_EQ(chan_.history_size(0), 0u);
+}
+
+TEST_F(ToneTest, EdgeNotificationsFireInAscendingListenerOrder) {
+  // Equal-latency edge callbacks must run in sorted NodeId order, not in
+  // hash-map iteration order: two listeners equidistant from the source.
+  add(0, {0, 0});
+  add(5, {0, 30});
+  add(3, {30, 0});
+  add(9, {0, -30});
+  std::vector<NodeId> order;
+  for (NodeId id : {NodeId{5}, NodeId{3}, NodeId{9}}) {
+    chan_.subscribe_edges(id, [&order, id](NodeId) { order.push_back(id); });
+  }
+  chan_.set_tone(0, true);
+  sched_.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<NodeId>{3, 5, 9}));
+}
+
 TEST_F(ToneTest, DetachRemovesSource) {
   add(0, {0, 0});
   add(1, {30, 0});

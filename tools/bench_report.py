@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Run the micro_core benchmark suite and emit BENCH_core.json.
+
+The report is the perf trajectory of the simulator hot paths: one entry per
+benchmark with wall time and throughput, plus enough metadata (git revision,
+host, compiler baked into the binary's build dir) to compare runs across
+PRs.  CI runs this and uploads the artifact; locally:
+
+    python3 tools/bench_report.py [--build-dir build] [--output BENCH_core.json]
+                                  [--filter REGEX] [--min-time SECONDS]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            text=True,
+        ).strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", help="CMake build directory")
+    parser.add_argument("--output", default="BENCH_core.json", help="Report path")
+    parser.add_argument("--filter", default="", help="--benchmark_filter regex")
+    parser.add_argument("--min-time", default="0.2", help="--benchmark_min_time seconds")
+    args = parser.parse_args()
+
+    binary = REPO_ROOT / args.build_dir / "bench" / "micro_core"
+    if not binary.exists():
+        print(f"error: {binary} not found — build the 'micro_core' target first",
+              file=sys.stderr)
+        return 1
+
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={args.min_time}",
+    ]
+    if args.filter:
+        cmd.append(f"--benchmark_filter={args.filter}")
+    try:
+        raw = json.loads(subprocess.check_output(cmd, text=True))
+    except subprocess.CalledProcessError as err:
+        print(f"error: benchmark run failed (exit {err.returncode}) — "
+              f"check --filter/--min-time", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError:
+        print("error: benchmark produced no JSON output", file=sys.stderr)
+        return 1
+
+    benchmarks = []
+    for b in raw.get("benchmarks", []):
+        entry = {
+            "name": b["name"],
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+            "iterations": b["iterations"],
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        benchmarks.append(entry)
+
+    report = {
+        "schema": "rmac-bench-core/1",
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_revision": git_revision(),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "python": platform.python_version(),
+        },
+        "context": raw.get("context", {}),
+        "benchmarks": benchmarks,
+    }
+
+    out = Path(args.output)
+    if not out.is_absolute():
+        out = REPO_ROOT / out
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out} ({len(benchmarks)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
