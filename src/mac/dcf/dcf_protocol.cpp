@@ -30,6 +30,7 @@ bool Dot11Base::idle_for_difs() const noexcept {
 }
 
 void Dot11Base::update_nav(const Frame& frame) {
+  if (params_.fault_ignore_nav) return;  // mutation: deaf to virtual carrier sense
   if (frame.duration <= SimTime::zero()) return;
   const SimTime until = scheduler_.now() + frame.duration;
   if (until > nav_until_) nav_until_ = until;

@@ -45,6 +45,10 @@ struct MacParams {
   // Transmission-queue capacity; 0 = unbounded (the paper's setting — its
   // drop accounting attributes every loss to the retry limit, §4.2.2).
   std::size_t queue_limit{0};
+  // Test-only mutation knob (tests/audit_test.cpp): an 802.11-family node
+  // that never updates its NAV from overheard traffic, so it contends into
+  // other nodes' reservations.  Never set outside the mutation tests.
+  bool fault_ignore_nav{false};
 };
 
 class MacProtocol : public RadioListener {

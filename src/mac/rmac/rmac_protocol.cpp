@@ -199,6 +199,7 @@ void RmacProtocol::on_rbt_edge() {
   // receiver's reception collision-free.
   if (state_ != State::kTxMrts && state_ != State::kTxUnrdata) return;
   if (!radio_.transmitting()) return;
+  if (params_.faults.ignore_rbt_during_tx) return;  // mutation: keep transmitting
   radio_.abort_transmission();
 }
 
@@ -280,7 +281,9 @@ void RmacProtocol::conclude_reliable_attempt() {
     finish_active(/*success=*/true);
     return;
   }
-  active_->remaining = std::move(failed);
+  // Mutation: a broken rebuild retransmits to the full set, spamming
+  // receivers that already acknowledged.
+  if (!params_.faults.rebuild_keep_acked) active_->remaining = std::move(failed);
   fail_attempt("missing-abt");
 }
 
@@ -371,6 +374,9 @@ void RmacProtocol::on_carrier_changed(bool busy) {
       scheduler_.cancel(rx_->timer);
       rx_->timer = kInvalidEvent;
     }
+    // Mutation: drop RBT protection as soon as the data starts instead of
+    // holding it to the end of the reception (step 5).
+    if (params_.faults.rbt_release_at_data_start) rbt_.set_tone(id(), false);
   } else if (!busy && rx_->data_arriving) {
     // Reception over without an intact data frame for us (collision, BER,
     // or a foreign frame): drop the role, no ABT.
@@ -390,7 +396,10 @@ void RmacProtocol::handle_reliable_data(const FramePtr& frame) {
 
 void RmacProtocol::schedule_abt(std::size_t index) {
   const SimTime labt = abt_.params().tone_slot();
-  const SimTime on_at = static_cast<std::int64_t>(index) * labt;
+  // Mutation knob shifts the pulse into the wrong slot (clamped at 0).
+  const std::int64_t slot =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(index) + params_.faults.abt_slot_offset);
+  const SimTime on_at = slot * labt;
   scheduler_.schedule_in(on_at, [this] { abt_.set_tone(id(), true); });
   scheduler_.schedule_in(on_at + labt, [this] { abt_.set_tone(id(), false); });
 }

@@ -37,12 +37,24 @@ public:
     kTxUnrdata,
   };
 
+  // Test-only mutation knobs (tests/audit_test.cpp): each one deliberately
+  // breaks a single protocol invariant so the auditor's detection of that
+  // invariant can be validated.  All default off; nothing outside the
+  // mutation tests may set them.
+  struct Faults {
+    int abt_slot_offset{0};                 // receiver pulses ABT in slot i+offset
+    bool rebuild_keep_acked{false};         // retransmitted MRTS keeps ACKed receivers
+    bool rbt_release_at_data_start{false};  // RBT dropped at first data bit, not data end
+    bool ignore_rbt_during_tx{false};       // never abort MRTS/UDATA on sensed RBT
+  };
+
   struct Params {
     MacParams mac{};
     // Ablation switch (bench/ablation_rbt): when false, the RBT is still
     // used as the sender/receiver handshake but loses its protective roles —
     // nodes neither defer to it in backoff nor abort transmissions on it.
     bool rbt_protection{true};
+    Faults faults{};
   };
 
   RmacProtocol(Scheduler& scheduler, Radio& radio, ToneChannel& rbt, ToneChannel& abt,

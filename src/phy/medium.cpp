@@ -48,9 +48,12 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
   ++tx_started_;
 
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->emit(scheduler_.now(), TraceCategory::kPhy, tx.id(),
+    TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx.id(),
                   cat("tx-start ", to_string(frame->type), " ", frame->wire_bytes(), "B air=",
-                      airtime.to_us(), "us"));
+                      airtime.to_us(), "us")};
+    r.event = TraceEvent::kTxStart;
+    r.frame = frame;
+    tracer_->emit(std::move(r));
   }
 
   const Vec2 origin = tx.position();
@@ -78,7 +81,8 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
     // Beyond range_m the signal interferes but can never be decoded.
     const bool ber_ok = c.dist_sq <= r2 &&
                         (params_.bit_error_rate <= 0.0 ||
-                         rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits)));
+                         rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits))) &&
+                        script_allows_delivery(*frame, rx->id(), t->start);
     scheduler_.schedule_in(prop,
                            [rx, sig, frame, dist] { rx->signal_begin(sig, frame, dist); });
     const EventId end_ev = scheduler_.schedule_in(
@@ -89,6 +93,13 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
   Radio* txp = &tx;
   t->done_event = scheduler_.schedule_in(airtime, [this, txp, frame] {
     active_.erase(txp);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      TraceRecord r{scheduler_.now(), TraceCategory::kPhy, txp->id(),
+                    cat("tx-end ", to_string(frame->type))};
+      r.event = TraceEvent::kTxEnd;
+      r.frame = frame;
+      tracer_->emit(std::move(r));
+    }
     txp->transmit_finished(frame, /*aborted=*/false);
   });
   active_.emplace(&tx, std::move(t));
@@ -110,8 +121,12 @@ void Medium::abort_transmission(Radio& tx) {
     scheduler_.schedule_in(rc.prop, [rx, sig] { rx->signal_end(sig, /*intact=*/false); });
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->emit(scheduler_.now(), TraceCategory::kPhy, tx.id(),
-                  cat("tx-abort ", to_string(t->frame->type)));
+    TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx.id(),
+                  cat("tx-abort ", to_string(t->frame->type))};
+    r.event = TraceEvent::kTxEnd;
+    r.frame = t->frame;
+    r.flag = true;  // aborted
+    tracer_->emit(std::move(r));
   }
   FramePtr frame = t->frame;
   active_.erase(it);

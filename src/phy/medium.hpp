@@ -31,6 +31,7 @@ namespace rmacsim {
 class Medium {
 public:
   Medium(Scheduler& scheduler, PhyParams params, Rng rng, Tracer* tracer = nullptr);
+  virtual ~Medium() = default;
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
 
@@ -39,6 +40,7 @@ public:
 
   [[nodiscard]] const PhyParams& params() const noexcept { return params_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
 
   // Radios within range of `of` right now, in ascending id order
   // (neighbourhood snapshot; used by upper layers that need the ground-truth
@@ -46,11 +48,27 @@ public:
   [[nodiscard]] std::vector<NodeId> neighbours_of(NodeId of) const;
 
   // --- Radio-facing interface ---------------------------------------------
-  SimTime begin_transmission(Radio& tx, FramePtr frame);
-  void abort_transmission(Radio& tx);
+  // Virtual so a test double (ScriptedMedium) can layer scripted faults on
+  // top; dispatch cost is per transmission, not per event.
+  virtual SimTime begin_transmission(Radio& tx, FramePtr frame);
+  virtual void abort_transmission(Radio& tx);
 
   // Counters for diagnostics.
   [[nodiscard]] std::uint64_t transmissions_started() const noexcept { return tx_started_; }
+
+protected:
+  // Test seam: consulted once per (transmission, in-decode-range receiver)
+  // pair; returning false corrupts the copy at that receiver (scripted
+  // loss).  The default medium never drops a deliverable frame here.
+  [[nodiscard]] virtual bool script_allows_delivery(const Frame& /*frame*/, NodeId /*rx*/,
+                                                    SimTime /*tx_start*/) {
+    return true;
+  }
+
+  [[nodiscard]] Radio* radio_for(NodeId id) const noexcept {
+    const auto it = radios_by_id_.find(id);
+    return it == radios_by_id_.end() ? nullptr : it->second;
+  }
 
 private:
   struct Reception {

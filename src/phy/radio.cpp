@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "phy/medium.hpp"
+#include "sim/strfmt.hpp"
+#include "sim/trace.hpp"
 
 namespace rmacsim {
 
@@ -71,7 +73,17 @@ void Radio::signal_end(std::uint64_t sig, bool intact) {
   // Deliver before the carrier-idle notification: frame decode completes at
   // the trailing edge, and MAC logic (e.g. RMAC's WF_RDATA role) must see
   // the frame before it sees the channel go idle.
-  if (deliver && listener_ != nullptr) listener_->on_frame_received(frame);
+  if (deliver) {
+    Tracer* tracer = medium_.tracer();
+    if (tracer != nullptr && tracer->enabled()) {
+      TraceRecord r{medium_.scheduler().now(), TraceCategory::kPhy, id_,
+                    cat("rx ", to_string(frame->type), " from ", frame->transmitter)};
+      r.event = TraceEvent::kFrameRx;
+      r.frame = frame;
+      tracer->emit(std::move(r));
+    }
+    if (listener_ != nullptr) listener_->on_frame_received(frame);
+  }
   notify_carrier(busy_before);
 }
 

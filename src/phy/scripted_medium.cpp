@@ -1,0 +1,26 @@
+#include "phy/scripted_medium.hpp"
+
+namespace rmacsim {
+
+bool ScriptedMedium::script_allows_delivery(const Frame& frame, NodeId rx, SimTime tx_start) {
+  for (LossRule& rule : rules_) {
+    if (rule.count == 0) continue;
+    if (rule.rx != rx) continue;
+    if (rule.type.has_value() && *rule.type != frame.type) continue;
+    if (rule.tx != kInvalidNode && rule.tx != frame.transmitter) continue;
+    if (tx_start < rule.from || tx_start > rule.to) continue;
+    --rule.count;
+    ++losses_;
+    return false;
+  }
+  return true;
+}
+
+void ScriptedMedium::truncate_at(NodeId tx, SimTime at) {
+  scheduler().schedule_at(at, [this, tx] {
+    Radio* r = radio_for(tx);
+    if (r != nullptr && r->transmitting()) abort_transmission(*r);
+  });
+}
+
+}  // namespace rmacsim

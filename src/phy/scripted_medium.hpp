@@ -1,0 +1,60 @@
+// Scripted-PHY test double: a drop-in Medium that lets conformance tests
+// inject exact fault timelines — per-receiver frame loss, transmission
+// truncation at a chosen microsecond, and (together with
+// ToneChannel::set_suppressed) tone corruption.
+//
+// The double changes *which* copies decode, never the signal geometry:
+// corrupted copies still occupy the air, raise carrier sense, and collide,
+// exactly like a real reception that failed its checksum.  That keeps every
+// protocol timer honest while a test forces one specific loss.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "phy/medium.hpp"
+
+namespace rmacsim {
+
+class ScriptedMedium final : public Medium {
+public:
+  using Medium::Medium;
+
+  // Corrupt matching frames at receiver `rx`.  A rule matches a transmission
+  // whose first bit airs inside [from, to] (defaults: all of time), whose
+  // type equals `type` (nullopt: any type), and whose transmitter is `tx`
+  // (kInvalidNode: any transmitter).  Each rule fires at most `count` times.
+  struct LossRule {
+    NodeId rx{kInvalidNode};               // receiver whose copy is corrupted
+    std::optional<FrameType> type{};       // frame-type filter
+    NodeId tx{kInvalidNode};               // transmitter filter (kInvalidNode: any)
+    SimTime from{SimTime::zero()};
+    SimTime to{SimTime::max()};
+    unsigned count{std::numeric_limits<unsigned>::max()};
+  };
+
+  void add_loss(LossRule rule) { rules_.push_back(rule); }
+
+  // Convenience: corrupt the next `count` frames of `type` at `rx`.
+  void drop_next(NodeId rx, FrameType type, unsigned count = 1) {
+    add_loss(LossRule{rx, type, kInvalidNode, SimTime::zero(), SimTime::max(), count});
+  }
+
+  // Truncate whatever `tx` has on the air at absolute time `at` (no-op if
+  // the radio is not transmitting then) — scripted mid-frame cut, as if the
+  // transmitter lost power at that exact microsecond.
+  void truncate_at(NodeId tx, SimTime at);
+
+  [[nodiscard]] std::uint64_t scripted_losses() const noexcept { return losses_; }
+
+protected:
+  [[nodiscard]] bool script_allows_delivery(const Frame& frame, NodeId rx,
+                                            SimTime tx_start) override;
+
+private:
+  std::vector<LossRule> rules_;
+  std::uint64_t losses_{0};
+};
+
+}  // namespace rmacsim

@@ -18,11 +18,13 @@ ToneChannel::ToneChannel(Scheduler& scheduler, const PhyParams& params, std::str
     : scheduler_{scheduler},
       params_{params},
       name_{std::move(name)},
+      tone_kind_{name_ == "RBT" ? kToneKindRbt
+                                : name_ == "ABT" ? kToneKindAbt : kToneKindOther},
       tracer_{tracer},
       index_{params.range_m} {}
 
 void ToneChannel::attach(NodeId id, MobilityModel& mobility) {
-  const auto [it, inserted] = sources_.emplace(id, Source{&mobility, false, {}});
+  const auto [it, inserted] = sources_.emplace(id, Source{&mobility, false, false, {}});
   if (!inserted) it->second.mobility = &mobility;
   // unordered_map nodes are pointer-stable, so the payload stays valid.
   index_.insert(id, mobility, &it->second);
@@ -54,7 +56,7 @@ void ToneChannel::set_tone(NodeId id, bool on) {
   if (on) {
     s.history.push_back(Interval{now, SimTime::max()});
     prune(s);
-    if (!edge_subs_.empty()) {
+    if (!edge_subs_.empty() && !s.suppressed) {
       // Notify in-range edge subscribers after propagation plus the lambda
       // detection latency.  The grid visit order is unspecified, so collect
       // and sort by NodeId: equal-latency callbacks must fire in a
@@ -80,9 +82,23 @@ void ToneChannel::set_tone(NodeId id, bool on) {
     prune(s);
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->emit(now, TraceCategory::kTone, id,
-                  cat(name_, on ? " on" : " off"));
+    TraceRecord r{now, TraceCategory::kTone, id, cat(name_, on ? " on" : " off")};
+    r.event = on ? TraceEvent::kToneOn : TraceEvent::kToneOff;
+    r.aux = tone_kind_;
+    r.flag = s.suppressed;
+    tracer_->emit(std::move(r));
   }
+}
+
+void ToneChannel::set_suppressed(NodeId id, bool suppressed) {
+  auto it = sources_.find(id);
+  assert(it != sources_.end() && "set_suppressed on unattached node");
+  it->second.suppressed = suppressed;
+}
+
+bool ToneChannel::suppressed(NodeId id) const noexcept {
+  const auto it = sources_.find(id);
+  return it != sources_.end() && it->second.suppressed;
 }
 
 bool ToneChannel::my_tone_on(NodeId id) const noexcept {
@@ -100,6 +116,7 @@ bool ToneChannel::sensed_at(NodeId listener) const {
       at, params_.range_m, now, [&](NodeId id, void* payload, Vec2, double d2) -> bool {
         if (id == listener) return true;
         const Source& s = *static_cast<const Source*>(payload);
+        if (s.suppressed) return true;
         prune(s);
         if (s.history.empty()) return true;
         const SimTime arrival_shift = params_.propagation_delay(std::sqrt(d2));
@@ -126,6 +143,7 @@ bool ToneChannel::detected_in_window(NodeId listener, SimTime from, SimTime to) 
       at, params_.range_m, now, [&](NodeId id, void* payload, Vec2, double d2) -> bool {
         if (id == listener) return true;
         const Source& s = *static_cast<const Source*>(payload);
+        if (s.suppressed) return true;
         prune(s);
         if (s.history.empty()) return true;
         const SimTime prop = params_.propagation_delay(std::sqrt(d2));

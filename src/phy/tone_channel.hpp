@@ -44,6 +44,14 @@ public:
   void set_tone(NodeId id, bool on);
   [[nodiscard]] bool my_tone_on(NodeId id) const noexcept;
 
+  // Scripted-PHY fault hook (tests): while suppressed, a source's tone is
+  // corrupted on the air — invisible to sensing, window detection, and edge
+  // subscribers — although the source itself still believes it is on.
+  // Evaluated at query/emission time, so toggling it at a chosen instant
+  // corrupts exactly the remainder of the tone.
+  void set_suppressed(NodeId id, bool suppressed);
+  [[nodiscard]] bool suppressed(NodeId id) const noexcept;
+
   // Instantaneous presence: is a foreign tone's signal on the air at
   // `listener` right now (leading edge arrived, trailing edge not yet)?
   [[nodiscard]] bool sensed_at(NodeId listener) const;
@@ -74,6 +82,7 @@ private:
   struct Source {
     MobilityModel* mobility;
     bool on{false};
+    bool suppressed{false};  // scripted corruption: tone inaudible while set
     // mutable: const queries prune expired intervals as they walk sources,
     // so an idle source's history cannot linger past kHistoryKeep.
     mutable std::deque<Interval> history;
@@ -84,6 +93,7 @@ private:
   Scheduler& scheduler_;
   const PhyParams& params_;
   std::string name_;
+  std::uint32_t tone_kind_;  // kToneKind* derived from name, for trace records
   Tracer* tracer_;
   std::unordered_map<NodeId, Source> sources_;
   std::unordered_map<NodeId, EdgeCallback> edge_subs_;

@@ -1,9 +1,52 @@
 #include "scenario/experiment.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <optional>
 #include "sim/strfmt.hpp"
 
+#include "audit/sim_auditor.hpp"
+
 namespace rmacsim {
+
+namespace {
+
+// Order-sensitive FNV-1a over the machine-readable part of the trace
+// stream.  Message strings are excluded, so cosmetic format changes leave
+// golden digests alone while any behavioural change (event order, timing,
+// frame contents) shifts them.
+class TraceDigest {
+public:
+  void feed(const TraceRecord& r) {
+    if (r.event == TraceEvent::kGeneric) return;
+    mix(static_cast<std::uint64_t>(r.at.nanoseconds()));
+    mix(static_cast<std::uint64_t>(r.event));
+    mix(r.node);
+    mix(r.flag ? 1u : 0u);
+    mix(r.aux);
+    if (r.frame != nullptr) {
+      mix(static_cast<std::uint64_t>(r.frame->type));
+      mix(r.frame->transmitter);
+      mix(r.frame->dest);
+      mix(r.frame->seq);
+      mix(r.frame->wire_bytes());
+      mix(static_cast<std::uint64_t>(r.frame->duration.nanoseconds()));
+      for (const NodeId rcv : r.frame->receivers) mix(rcv);
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+private:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t h_{0xcbf29ce484222325ull};
+};
+
+}  // namespace
 
 std::string ExperimentConfig::label() const {
   return cat(rmacsim::to_string(protocol), "/", rmacsim::to_string(mobility), "/",
@@ -27,6 +70,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   Network net{net_cfg};
   Scheduler& sched = net.scheduler();
+
+  std::optional<SimAuditor> auditor;
+  if (config.audit) {
+    SimAuditor::Config ac;
+    ac.mac = config.protocol == Protocol::kRmac ? AuditedMac::kRmac : AuditedMac::kDot11Family;
+    ac.phy = config.phy;
+    ac.rbt_protection = config.rbt_protection;
+    const NodeId n = config.num_nodes;
+    ac.distance = [&net, n](NodeId a, NodeId b) -> double {
+      if (a >= n || b >= n) return -1.0;
+      const SimTime now = net.scheduler().now();
+      return distance(net.node(a).mobility->position(now), net.node(b).mobility->position(now));
+    };
+    ac.audited = [n](NodeId id) { return id < n; };
+    auditor.emplace(net.tracer(), std::move(ac));
+  }
+
+  TraceDigest digest;
+  std::optional<Tracer::SinkId> digest_sink;
+  if (config.trace_digest) {
+    digest_sink = net.tracer().add_sink([&digest](const TraceRecord& rec) { digest.feed(rec); });
+  }
 
   net.start_routing();
   sched.run_until(config.warmup);
@@ -103,6 +168,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.tree_hops_p99 = hops.percentile(99.0);
   r.tree_children_avg = children.mean();
   r.tree_children_p99 = children.percentile(99.0);
+
+  if (auditor.has_value()) {
+    r.audit.total = auditor->total_violations();
+    for (std::size_t i = 0; i < kNumAuditInvariants; ++i) {
+      const auto inv = static_cast<AuditInvariant>(i);
+      if (auditor->count(inv) > 0) r.audit.by_invariant.emplace_back(to_string(inv), auditor->count(inv));
+    }
+    if (r.audit.total > 0) r.audit.detail = auditor->summary();
+  }
+  if (digest_sink.has_value()) {
+    net.tracer().remove_sink(*digest_sink);
+    r.trace_digest = digest.value();
+  }
   return r;
 }
 
@@ -133,6 +211,16 @@ ExperimentResult average_results(const std::vector<ExperimentResult>& runs) {
     avg.delivered += r.delivered;
     avg.expected += r.expected;
     avg.events_executed += r.events_executed;
+    avg.audit.total += r.audit.total;
+    for (const auto& [name, count] : r.audit.by_invariant) {
+      auto it = std::find_if(avg.audit.by_invariant.begin(), avg.audit.by_invariant.end(),
+                             [&name](const auto& p) { return p.first == name; });
+      if (it == avg.audit.by_invariant.end()) {
+        avg.audit.by_invariant.emplace_back(name, count);
+      } else {
+        it->second += count;
+      }
+    }
   }
   return avg;
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "scenario/network_builder.hpp"
+#include "stats/metrics.hpp"
 #include "stats/percentile.hpp"
 
 namespace rmacsim {
@@ -25,6 +26,15 @@ struct ExperimentConfig {
   MacParams mac{};
   bool rbt_protection{true};
   ForwardStrategy strategy{ForwardStrategy::kTree};
+  // Attach a SimAuditor for the run; violation counters land in
+  // ExperimentResult::audit.  Costs trace-sink dispatch on the hot path, so
+  // off by default for performance sweeps.
+  bool audit{false};
+  // Fold the run's structured trace records (tx start/end, intact
+  // deliveries, tone edges) into ExperimentResult::trace_digest.  Golden
+  // regression tests pin these digests per protocol and seed; any change to
+  // event order, timing, or frame contents shifts the value.
+  bool trace_digest{false};
 
   [[nodiscard]] std::string label() const;
 };
@@ -67,6 +77,12 @@ struct ExperimentResult {
   std::uint64_t delivered{0};
   std::uint64_t expected{0};
   std::uint64_t events_executed{0};
+
+  // Populated when config.audit is set.
+  AuditCounters audit;
+
+  // Populated when config.trace_digest is set.
+  std::uint64_t trace_digest{0};
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);

@@ -14,4 +14,16 @@ std::string_view to_string(TraceCategory c) noexcept {
   return "?";
 }
 
+std::string_view to_string(TraceEvent e) noexcept {
+  switch (e) {
+    case TraceEvent::kGeneric: return "generic";
+    case TraceEvent::kTxStart: return "tx-start";
+    case TraceEvent::kTxEnd: return "tx-end";
+    case TraceEvent::kFrameRx: return "frame-rx";
+    case TraceEvent::kToneOn: return "tone-on";
+    case TraceEvent::kToneOff: return "tone-off";
+  }
+  return "?";
+}
+
 }  // namespace rmacsim

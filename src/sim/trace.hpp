@@ -1,19 +1,30 @@
 // Lightweight structured trace facility.
 //
 // Protocol modules emit trace records (state transitions, frame events);
-// a run installs a sink when it wants them (tests assert on traces, the
-// frame_trace example pretty-prints them).  With no sink installed tracing
-// is a branch and nothing more.
+// a run installs one or more sinks when it wants them (tests assert on
+// traces, the frame_trace example pretty-prints them, the SimAuditor checks
+// protocol invariants against them).  With no sink installed tracing is a
+// branch and nothing more.
+//
+// Records carry both a human-readable message and, for phy-level events, a
+// machine-readable part (`event`, `frame`, `flag`, `aux`) so consumers never
+// have to parse message strings.  `frame` is a forward-declared
+// shared_ptr<const Frame>: sinks that need frame contents include
+// phy/frame.hpp themselves, keeping sim/ below phy/ in the layering.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/time.hpp"
 
 namespace rmacsim {
+
+struct Frame;  // phy/frame.hpp
 
 enum class TraceCategory : std::uint8_t {
   kPhy,
@@ -26,27 +37,86 @@ enum class TraceCategory : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(TraceCategory c) noexcept;
 
+// Machine-readable event kind for structured records.
+enum class TraceEvent : std::uint8_t {
+  kGeneric,  // message-only record (state changes, net/app notes)
+  kTxStart,  // node started transmitting `frame`
+  kTxEnd,    // node's transmission ended; flag = aborted (truncated on air)
+  kFrameRx,  // an intact frame was decoded at node (regardless of addressing)
+  kToneOn,   // node raised its tone; aux = tone kind; flag = suppressed
+  kToneOff,  // node dropped its tone; aux = tone kind; flag = suppressed
+};
+
+[[nodiscard]] std::string_view to_string(TraceEvent e) noexcept;
+
+// `aux` values for kToneOn/kToneOff records.
+inline constexpr std::uint32_t kToneKindRbt = 0;
+inline constexpr std::uint32_t kToneKindAbt = 1;
+inline constexpr std::uint32_t kToneKindOther = 2;
+
 struct TraceRecord {
   SimTime at;
   TraceCategory category;
   std::uint32_t node;
   std::string message;
+  // --- structured part (meaningful when event != kGeneric) -----------------
+  TraceEvent event{TraceEvent::kGeneric};
+  std::shared_ptr<const Frame> frame{};  // kTxStart / kTxEnd / kFrameRx
+  bool flag{false};                      // kTxEnd: aborted; tones: suppressed
+  std::uint32_t aux{0};                  // tones: kToneKind*
 };
 
 class Tracer {
 public:
   using Sink = std::function<void(const TraceRecord&)>;
+  using SinkId = std::uint32_t;
 
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
-  void clear_sink() { sink_ = nullptr; }
-  [[nodiscard]] bool enabled() const noexcept { return static_cast<bool>(sink_); }
+  // Legacy single-sink interface: owns the dedicated slot 0, so tests that
+  // call set_sink repeatedly replace their own sink without disturbing
+  // long-lived subscribers (e.g. an attached auditor).
+  void set_sink(Sink sink) {
+    remove_sink(kPrimarySink);
+    if (sink) sinks_.push_back({kPrimarySink, std::move(sink)});
+  }
+  void clear_sink() { remove_sink(kPrimarySink); }
+
+  // Multi-sink interface.
+  SinkId add_sink(Sink sink) {
+    const SinkId id = next_id_++;
+    sinks_.push_back({id, std::move(sink)});
+    return id;
+  }
+  void remove_sink(SinkId id) noexcept {
+    for (std::size_t i = 0; i < sinks_.size(); ++i) {
+      if (sinks_[i].first == id) {
+        sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return !sinks_.empty(); }
 
   void emit(SimTime at, TraceCategory category, std::uint32_t node, std::string message) const {
-    if (sink_) sink_(TraceRecord{at, category, node, std::move(message)});
+    if (sinks_.empty()) return;
+    dispatch(TraceRecord{at, category, node, std::move(message)});
+  }
+
+  // Structured emission; `record.event` et al. set by the caller.
+  void emit(TraceRecord record) const {
+    if (sinks_.empty()) return;
+    dispatch(record);
   }
 
 private:
-  Sink sink_;
+  static constexpr SinkId kPrimarySink = 0;
+
+  void dispatch(const TraceRecord& r) const {
+    for (const auto& [id, sink] : sinks_) sink(r);
+  }
+
+  std::vector<std::pair<SinkId, Sink>> sinks_;
+  SinkId next_id_{1};
 };
 
 }  // namespace rmacsim

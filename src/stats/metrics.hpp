@@ -3,12 +3,23 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/ids.hpp"
 #include "sim/time.hpp"
 
 namespace rmacsim {
+
+// Violation counters produced by an attached SimAuditor (audit/), carried on
+// ExperimentResult so sweeps can assert protocol conformance alongside the
+// paper metrics.  `by_invariant` holds only the nonzero counters.
+struct AuditCounters {
+  std::uint64_t total{0};
+  std::vector<std::pair<std::string, std::uint64_t>> by_invariant;
+  std::string detail;  // human-readable summary of the recorded violations
+};
 
 // Counters a MAC protocol instance maintains for one node.
 struct MacStats {

@@ -1,0 +1,51 @@
+// Acceptance matrix for the SimAuditor: the full 75-node paper scenario
+// (§4.1.1) must audit clean — zero invariant violations — for every MAC
+// protocol across five placement seeds.  Any nonzero count here means either
+// a protocol implementation drifted from its contract or the auditor model
+// produces false positives; both are release blockers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/parallel_runner.hpp"
+#include "test_util.hpp"
+
+namespace rmacsim {
+namespace {
+
+constexpr std::uint64_t kFirstSeed = 1;
+constexpr std::uint64_t kNumSeeds = 5;
+
+ExperimentConfig paper_config(Protocol proto, std::uint64_t seed) {
+  ExperimentConfig c;  // defaults are the paper scenario: 75 nodes, 500x300 m
+  c.protocol = proto;
+  c.seed = seed;
+  c.rate_pps = 10.0;
+  c.num_packets = 10;  // enough traffic to exercise every exchange shape
+  c.warmup = SimTime::sec(15);
+  c.drain = SimTime::sec(5);
+  c.audit = true;
+  return c;
+}
+
+TEST(AuditMatrix, PaperScenarioAuditsCleanForEveryProtocolAndSeed) {
+  std::vector<ExperimentConfig> configs;
+  for (const Protocol proto : {Protocol::kRmac, Protocol::kBmmm, Protocol::kDcf,
+                               Protocol::kBmw, Protocol::kMx, Protocol::kLamm}) {
+    for (std::uint64_t s = 0; s < kNumSeeds; ++s) {
+      configs.push_back(paper_config(proto, kFirstSeed + s));
+    }
+  }
+  const std::vector<ExperimentResult> results = run_experiments(configs, 4);
+  ASSERT_EQ(results.size(), configs.size());
+  for (const ExperimentResult& r : results) {
+    SCOPED_TRACE(test::seed_trace(r.config.seed));
+    EXPECT_EQ(r.audit.total, 0u) << r.config.label() << " audit violations:\n"
+                                 << r.audit.detail;
+    EXPECT_GT(r.delivered, 0u) << r.config.label() << ": run produced no traffic to audit";
+  }
+}
+
+}  // namespace
+}  // namespace rmacsim

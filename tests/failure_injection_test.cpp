@@ -154,11 +154,16 @@ TEST(FailureInjection, MxSilentlyLosesWhatRmacReports) {
   rmac_net.add_rmac({40, 0}, rmac_params());
   rmac_net.add_rmac({0, 40}, rmac_params());
   rmac_net.radio(2).set_listener(nullptr);  // dead
+  // The dead receiver decodes frames at the PHY but never raises RBT — a
+  // genuine RBT-hold break the auditor is supposed to flag.
+  rmac_net.expect_audit_violations();
   ra.reliable_send(make_packet(0, 1), {1, 2});
   rmac_net.run_for(2_s);
   ASSERT_EQ(rmac_net.upper(0).results.size(), 1u);
   EXPECT_FALSE(rmac_net.upper(0).results[0].success);
   EXPECT_EQ(rmac_net.upper(0).results[0].failed_receivers, (std::vector<NodeId>{2}));
+  ASSERT_NE(rmac_net.auditor(), nullptr);
+  EXPECT_GE(rmac_net.auditor()->count(AuditInvariant::kRbtHold), 1u);
 
   TestNet mx_net;
   MxProtocol& ma = mx_net.add_mx({0, 0});

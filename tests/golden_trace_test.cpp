@@ -1,0 +1,75 @@
+// Golden-trace regression tests: the structured trace stream of the 75-node
+// paper scenario is folded into one FNV-1a digest per protocol and seed, and
+// pinned here.  Event reordering, timing drift, or frame-content changes all
+// shift the digest; a failure means simulator behaviour changed, which is
+// either a bug or an intentional change that must update the constants.
+//
+// To regenerate after an intentional behavioural change, run this binary and
+// copy the "actual" values from the failure output into kGolden below.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "scenario/experiment.hpp"
+#include "test_util.hpp"
+
+namespace rmacsim {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed1 = 1;
+constexpr std::uint64_t kGoldenSeed2 = 2;
+
+ExperimentConfig golden_config(Protocol proto, std::uint64_t seed) {
+  ExperimentConfig c;  // defaults are the paper scenario: 75 nodes, 500x300 m
+  c.protocol = proto;
+  c.seed = seed;
+  c.rate_pps = 10.0;
+  c.num_packets = 5;
+  c.warmup = SimTime::sec(15);
+  c.drain = SimTime::sec(5);
+  c.trace_digest = true;
+  return c;
+}
+
+struct Golden {
+  Protocol proto;
+  std::uint64_t seed;
+  std::uint64_t digest;
+};
+
+// Pinned digests; see the header comment for the regeneration recipe.
+constexpr Golden kGolden[] = {
+    {Protocol::kRmac, kGoldenSeed1, 0x80c6f57111ffd02c},
+    {Protocol::kRmac, kGoldenSeed2, 0x57f7012237d32c6b},
+    {Protocol::kBmmm, kGoldenSeed1, 0x9a1e0bd74b267315},
+    {Protocol::kDcf, kGoldenSeed1, 0xb20ee376d37d79b1},
+    {Protocol::kBmw, kGoldenSeed1, 0x41fc6ee4929e0ff1},
+    {Protocol::kMx, kGoldenSeed1, 0x0cc1d077835accf0},
+    {Protocol::kLamm, kGoldenSeed1, 0x19099d4544974917},
+};
+
+TEST(GoldenTrace, PaperScenarioDigestsAreStable) {
+  for (const Golden& g : kGolden) {
+    SCOPED_TRACE(test::seed_trace(g.seed));
+    const ExperimentResult r = run_experiment(golden_config(g.proto, g.seed));
+    EXPECT_EQ(r.trace_digest, g.digest)
+        << to_string(g.proto) << " seed " << g.seed << ": actual digest 0x" << std::hex
+        << r.trace_digest << " (update kGolden if the behaviour change is intentional)";
+  }
+}
+
+TEST(GoldenTrace, DigestIsDeterministicAcrossRuns) {
+  const ExperimentResult a = run_experiment(golden_config(Protocol::kRmac, 7));
+  const ExperimentResult b = run_experiment(golden_config(Protocol::kRmac, 7));
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_NE(a.trace_digest, 0u);
+}
+
+TEST(GoldenTrace, DigestSeparatesSeeds) {
+  const ExperimentResult a = run_experiment(golden_config(Protocol::kRmac, 7));
+  const ExperimentResult b = run_experiment(golden_config(Protocol::kRmac, 8));
+  EXPECT_NE(a.trace_digest, b.trace_digest);
+}
+
+}  // namespace
+}  // namespace rmacsim

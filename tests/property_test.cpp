@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/experiment.hpp"
+#include "test_util.hpp"
 
 namespace rmacsim {
 namespace {
@@ -18,33 +19,46 @@ ExperimentConfig base_config(Protocol proto, std::uint64_t seed) {
   c.seed = seed;
   c.warmup = SimTime::sec(12);
   c.drain = SimTime::sec(5);
+  c.audit = true;
   return c;
+}
+
+// Every sweep runs with the SimAuditor attached: the paper claims only count
+// if the protocol honoured its own rules while producing them.
+ExperimentResult run_audited(const ExperimentConfig& c) {
+  ExperimentResult r = run_experiment(c);
+  EXPECT_EQ(r.audit.total, 0u) << c.label() << " audit violations:\n" << r.audit.detail;
+  return r;
 }
 
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 // §4.2.1: "when the nodes are stationary, R_deliv for RMAC is close to 1".
 TEST_P(SeedSweep, RmacStationaryDeliveryNearPerfect) {
-  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  SCOPED_TRACE(test::seed_trace(GetParam()));
+  const ExperimentResult r = run_audited(base_config(Protocol::kRmac, GetParam()));
   EXPECT_GE(r.delivery_ratio, 0.97) << "seed " << GetParam();
 }
 
 // §4.2.2: RMAC's packet drops are rare when stationary.
 TEST_P(SeedSweep, RmacStationaryDropsRare) {
-  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  SCOPED_TRACE(test::seed_trace(GetParam()));
+  const ExperimentResult r = run_audited(base_config(Protocol::kRmac, GetParam()));
   EXPECT_LT(r.avg_drop_ratio, 0.02) << "seed " << GetParam();
 }
 
 // §4.3.3: every MRTS respects the Fig. 3 format bounds and the §3.4 cap.
 TEST_P(SeedSweep, MrtsLengthsWithinProtocolBounds) {
-  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  SCOPED_TRACE(test::seed_trace(GetParam()));
+  const ExperimentResult r = run_audited(base_config(Protocol::kRmac, GetParam()));
   EXPECT_GE(r.mrts_len_avg, 18.0);
   EXPECT_LE(r.mrts_len_max, 132.0);  // 12 + 6*20
 }
 
 // §4.3.4: MRTS abortion is a rare phenomenon.
 TEST_P(SeedSweep, MrtsAbortionRare) {
-  const ExperimentResult r = run_experiment(base_config(Protocol::kRmac, GetParam()));
+  SCOPED_TRACE(test::seed_trace(GetParam()));
+  const ExperimentResult r = run_audited(base_config(Protocol::kRmac, GetParam()));
   EXPECT_LT(r.abort_avg, 0.05) << "seed " << GetParam();
 }
 
@@ -55,8 +69,9 @@ class HeadToHead : public ::testing::TestWithParam<std::uint64_t> {};
 // Figs. 7/11's qualitative claim on identical placements: RMAC delivers at
 // least as well as BMMM and with lower transmission overhead.
 TEST_P(HeadToHead, RmacAtLeastMatchesBmmmDeliveryWithLowerOverhead) {
-  const ExperimentResult rmac = run_experiment(base_config(Protocol::kRmac, GetParam()));
-  const ExperimentResult bmmm = run_experiment(base_config(Protocol::kBmmm, GetParam()));
+  SCOPED_TRACE(test::seed_trace(GetParam()));
+  const ExperimentResult rmac = run_audited(base_config(Protocol::kRmac, GetParam()));
+  const ExperimentResult bmmm = run_audited(base_config(Protocol::kBmmm, GetParam()));
   EXPECT_GE(rmac.delivery_ratio, bmmm.delivery_ratio - 0.02) << "seed " << GetParam();
   EXPECT_LT(rmac.avg_txoh_ratio, bmmm.avg_txoh_ratio) << "seed " << GetParam();
 }
@@ -70,7 +85,7 @@ class BerSweep : public ::testing::TestWithParam<double> {};
 TEST_P(BerSweep, RmacRecoversFromBitErrors) {
   ExperimentConfig c = base_config(Protocol::kRmac, 2);
   c.phy.bit_error_rate = GetParam();
-  const ExperimentResult r = run_experiment(c);
+  const ExperimentResult r = run_audited(c);
   EXPECT_GE(r.delivery_ratio, 0.85) << "BER " << GetParam();
   EXPECT_GT(r.avg_retx_ratio, 0.0) << "BER " << GetParam();  // errors force retries
 }
@@ -84,7 +99,7 @@ class RateSweep : public ::testing::TestWithParam<double> {};
 TEST_P(RateSweep, RmacStableAcrossSourceRates) {
   ExperimentConfig c = base_config(Protocol::kRmac, 3);
   c.rate_pps = GetParam();
-  const ExperimentResult r = run_experiment(c);
+  const ExperimentResult r = run_audited(c);
   EXPECT_GE(r.delivery_ratio, 0.9) << "rate " << GetParam();
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/experiment.hpp"
+#include "test_util.hpp"
 
 namespace rmacsim {
 namespace {
@@ -19,6 +20,7 @@ class RandomScenario : public ::testing::TestWithParam<FuzzCase> {};
 
 TEST_P(RandomScenario, GlobalInvariantsHold) {
   const FuzzCase fc = GetParam();
+  SCOPED_TRACE(test::seed_trace(fc.seed));
   // Derive the remaining knobs from the seed deterministically.
   Rng knobs{fc.seed, 777};
   ExperimentConfig c;
@@ -32,8 +34,12 @@ TEST_P(RandomScenario, GlobalInvariantsHold) {
   c.warmup = SimTime::sec(10);
   c.drain = SimTime::sec(6);
   c.phy.bit_error_rate = knobs.bernoulli(0.3) ? 1e-5 : 0.0;
+  c.audit = true;
 
   const ExperimentResult r = run_experiment(c);
+
+  // Protocol conformance: whatever the draw, the auditor must stay silent.
+  EXPECT_EQ(r.audit.total, 0u) << c.label() << " audit violations:\n" << r.audit.detail;
 
   // Accounting invariants.
   EXPECT_EQ(r.generated, c.num_packets);

@@ -1,0 +1,99 @@
+// ScriptedMedium conformance-harness checks: scripted losses corrupt exactly
+// the requested copies (and nothing else), truncation cuts a frame mid-air,
+// and tone suppression silences a source without moving it off the channel.
+#include <gtest/gtest.h>
+
+#include "mac/frame_builders.hpp"
+#include "test_util.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+using test::TestNet;
+using test::make_packet;
+
+TEST(ScriptedMedium, DropNextLosesExactlyOneCopyAndRetransmissionRecovers) {
+  TestNet net;
+  RmacProtocol& a = net.add_rmac({0, 0});
+  net.add_rmac({40, 0});
+  net.scripted().drop_next(1, FrameType::kReliableData);
+  a.reliable_send(make_packet(0, 0), {1});
+  net.run_for(1_s);
+  EXPECT_EQ(net.scripted().scripted_losses(), 1u);
+  EXPECT_GE(a.stats().retransmissions, 1u);
+  EXPECT_EQ(a.stats().reliable_delivered, 1u);
+  EXPECT_EQ(net.upper(1).data_count(), 1u);  // dedup: delivered exactly once
+}
+
+TEST(ScriptedMedium, LossRuleFiltersByTransmitter) {
+  TestNet net;
+  RmacProtocol& a = net.add_rmac({0, 0});
+  RmacProtocol& b = net.add_rmac({40, 40});
+  net.add_rmac({40, 0});  // node 2: in range of both senders
+  ScriptedMedium::LossRule rule;
+  rule.rx = 2;
+  rule.tx = 0;  // only node 0's copies are corrupted at node 2
+  net.scripted().add_loss(rule);
+  a.unreliable_send(make_packet(0, 0), 2);
+  net.run_for(100_ms);
+  b.unreliable_send(make_packet(1, 0), 2);
+  net.run_for(1_s);
+  ASSERT_EQ(net.upper(2).data_count(), 1u);
+  EXPECT_EQ(net.upper(2).delivered.back().transmitter, 1u);
+  EXPECT_EQ(net.scripted().scripted_losses(), 1u);
+}
+
+TEST(ScriptedMedium, LossRuleTimeWindowBoundsTheFault) {
+  TestNet net;
+  RmacProtocol& a = net.add_rmac({0, 0});
+  net.add_rmac({40, 0});
+  // A rule whose window closed before the run starts transmitting must
+  // never fire.
+  ScriptedMedium::LossRule rule;
+  rule.rx = 1;
+  rule.from = SimTime::zero();
+  rule.to = SimTime::us(1);
+  net.scripted().add_loss(rule);
+  net.sched().schedule_at(10_ms, [&a] { a.unreliable_send(make_packet(0, 0), 1); });
+  net.run_for(1_s);
+  EXPECT_EQ(net.scripted().scripted_losses(), 0u);
+  EXPECT_EQ(net.upper(1).data_count(), 1u);
+}
+
+TEST(ScriptedMedium, TruncateAtCutsTheFrameMidAir) {
+  TestNet net;
+  net.add_rmac({0, 0});               // node 0: receiver
+  Radio& tx = net.add_bare({40, 0});  // node 1: hand-driven transmitter
+  const auto first = make_packet(1, 0);
+  const auto second = make_packet(1, 1);
+  net.sched().schedule_at(1_ms, [&tx, first] {
+    tx.transmit(make_unreliable_data(1, 0, first, 0));
+  });
+  // A 500-byte frame airs for ~2.1 ms; cut it 200 us in.
+  net.scripted().truncate_at(1, 1_ms + 200_us);
+  net.sched().schedule_at(10_ms, [&tx, second] {
+    tx.transmit(make_unreliable_data(1, 0, second, 1));
+  });
+  net.run_for(1_s);
+  // The truncated copy never decodes; the untouched one does — so the first
+  // loss was the scripted cut, not geometry.
+  ASSERT_EQ(net.upper(0).data_count(), 1u);
+  EXPECT_EQ(net.upper(0).delivered.back().seq, 1u);
+}
+
+TEST(ScriptedMedium, SuppressedToneIsInaudibleWhileOnAir) {
+  TestNet net;
+  net.add_rmac({0, 0});
+  const NodeId tone = net.attach_tone_source({10, 0});
+  net.rbt().set_suppressed(tone, true);  // scripted tone corruption
+  net.sched().schedule_at(1_ms, [&net, tone] { net.rbt().set_tone(tone, true); });
+  net.run_for(10_ms);
+  EXPECT_FALSE(net.rbt().detected_in_window(0, 1_ms, 10_ms));
+  net.rbt().set_suppressed(tone, false);
+  net.run_for(10_ms);
+  EXPECT_TRUE(net.rbt().detected_in_window(0, 10_ms, 20_ms));
+}
+
+}  // namespace
+}  // namespace rmacsim
