@@ -3,8 +3,11 @@
 // small experiment as the end-to-end figure of merit.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "mac/frame_builders.hpp"
@@ -13,6 +16,29 @@
 #include "phy/tone_channel.hpp"
 #include "scenario/experiment.hpp"
 #include "sim/scheduler.hpp"
+
+// Counting replacement for the global allocator, backing the steady-state
+// delivery benchmark's zero-allocation claim.  Only the plain forms are
+// replaced; the simulator's pools reject over-aligned types, so aligned
+// operator new never fires on the measured path.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -160,6 +186,40 @@ void BM_ToneWindowQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_ToneWindowQuery);
 
+// Steady-state delivery path: one broadcast through a warm 75-radio medium,
+// with a global allocation counter proving the whole transmit -> fan-out ->
+// deliver -> recycle cycle touches the heap zero times once the pools
+// (scheduler slab, transmission slots, frame freelist) are primed.  The
+// `allocs_per_tx` counter is the regression gauge; it must stay at 0.
+void BM_DeliveryPathSteadyState(benchmark::State& state) {
+  Scheduler sched;
+  Medium medium{sched, PhyParams{}, Rng{1}};
+  std::vector<std::unique_ptr<StationaryMobility>> mobs;
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (std::size_t i = 0; i < 75; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(
+        Vec2{static_cast<double>(i % 8) * 8.0, static_cast<double>(i / 8) * 8.0}));
+    radios.push_back(std::make_unique<Radio>(medium, static_cast<NodeId>(i), *mobs.back()));
+  }
+  auto pkt = std::make_shared<AppPacket>();
+  pkt->payload_bytes = 500;
+  for (int i = 0; i < 64; ++i) {  // prime every pool and vector capacity
+    radios[0]->transmit(make_unreliable_data(0, kBroadcastId, pkt, 1));
+    sched.run();
+  }
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    radios[0]->transmit(make_unreliable_data(0, kBroadcastId, pkt, 1));
+    sched.run();
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+  }
+  state.counters["allocs_per_tx"] = static_cast<double>(allocs) /
+                                    static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 75);
+}
+BENCHMARK(BM_DeliveryPathSteadyState);
+
 void BM_SmallExperimentEndToEnd(benchmark::State& state) {
   for (auto _ : state) {
     ExperimentConfig c;
@@ -177,5 +237,29 @@ void BM_SmallExperimentEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SmallExperimentEndToEnd)->Unit(benchmark::kMillisecond);
+
+// Same experiment with the SimAuditor attached and the trace digest folding
+// — the always-on-conformance configuration every paper sweep can now
+// afford.  The gap to BM_SmallExperimentEndToEnd is the price of auditing.
+void BM_AuditedSmallExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig c;
+    c.protocol = Protocol::kRmac;
+    c.num_nodes = 20;
+    c.area = Rect{250.0, 250.0};
+    c.num_packets = 20;
+    c.rate_pps = 20.0;
+    c.warmup = SimTime::sec(10);
+    c.drain = SimTime::sec(2);
+    c.seed = 42;
+    c.audit = true;
+    c.trace_digest = true;
+    const ExperimentResult r = run_experiment(c);
+    benchmark::DoNotOptimize(r.delivery_ratio);
+    state.counters["events"] = static_cast<double>(r.events_executed);
+    state.counters["violations"] = static_cast<double>(r.audit.total);
+  }
+}
+BENCHMARK(BM_AuditedSmallExperiment)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -11,9 +11,39 @@
 
 namespace rmacsim::bench {
 
+// Baked in by bench/CMakeLists.txt; fallbacks keep non-CMake builds working.
+#ifndef RMAC_GIT_REV
+#define RMAC_GIT_REV "unknown"
+#endif
+#ifndef RMAC_SWEEP_CACHE_DIR
+#define RMAC_SWEEP_CACHE_DIR "."
+#endif
+
 namespace {
 
-constexpr const char* kCachePath = "rmac_sweep_cache.tsv";
+// The cache lives in the build tree, keyed by source revision and grid
+// shape: a code change or a different sweep scale lands in a different
+// file, so stale numbers from an older simulator are never mixed into a
+// figure, and `git status` stays clean while iterating.
+std::string cache_path(const SweepScale& scale) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const char* p = RMAC_GIT_REV; *p != '\0'; ++p) {
+    mix(static_cast<unsigned char>(*p));
+  }
+  mix(scale.nodes);
+  mix(scale.seeds);
+  mix(scale.packets);
+  for (const double r : scale.rates) mix(static_cast<std::uint64_t>(r * 1000.0));
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));
+  return cat(RMAC_SWEEP_CACHE_DIR, "/rmac_sweep_cache_", hex, ".tsv");
+}
 
 unsigned env_unsigned(const char* name, unsigned fallback) {
   const char* v = std::getenv(name);
@@ -51,9 +81,9 @@ bool deserialize(const std::string& line, ExperimentResult& r) {
       r.events_executed);
 }
 
-std::map<std::string, ExperimentResult> load_cache() {
+std::map<std::string, ExperimentResult> load_cache(const std::string& path) {
   std::map<std::string, ExperimentResult> cache;
-  std::ifstream in{kCachePath};
+  std::ifstream in{path};
   std::string line;
   while (std::getline(in, line)) {
     const auto tab = line.find('\t');
@@ -64,8 +94,9 @@ std::map<std::string, ExperimentResult> load_cache() {
   return cache;
 }
 
-void append_cache(const std::vector<std::pair<std::string, ExperimentResult>>& fresh) {
-  std::ofstream out{kCachePath, std::ios::app};
+void append_cache(const std::string& path,
+                  const std::vector<std::pair<std::string, ExperimentResult>>& fresh) {
+  std::ofstream out{path, std::ios::app};
   for (const auto& [key, r] : fresh) out << key << '\t' << serialize(r) << '\n';
 }
 
@@ -88,7 +119,8 @@ std::vector<SweepPoint> run_paper_sweep(const std::vector<Protocol>& protocols,
   const MobilityScenario scenarios[] = {MobilityScenario::kStationary,
                                         MobilityScenario::kSpeed1,
                                         MobilityScenario::kSpeed2};
-  auto cache = load_cache();
+  const std::string cache_file = cache_path(scale);
+  auto cache = load_cache(cache_file);
 
   // Build the grid of single-run configs, skipping cached ones.
   std::vector<SweepPoint> points;
@@ -135,7 +167,7 @@ std::vector<SweepPoint> run_paper_sweep(const std::vector<Protocol>& protocols,
       cache.emplace(key, r);
       fresh.emplace_back(key, r);
     }
-    append_cache(fresh);
+    append_cache(cache_file, fresh);
   }
 
   // Assemble averaged points from the (now complete) cache.

@@ -69,7 +69,16 @@ const char* to_string(AuditInvariant inv) noexcept {
 SimAuditor::SimAuditor(Tracer& tracer, Config config)
     : tracer_{tracer}, config_{std::move(config)} {
   assert(config_.distance && "SimAuditor requires a distance oracle");
-  sink_id_ = tracer_.add_sink([this](const TraceRecord& rec) { on_record(rec); });
+  // Upper bound on any propagation delay the checks can compute: every scan
+  // rejects nodes beyond the (effective) interference range before using the
+  // delay, and propagation_delay is monotone in distance.
+  pmax_ = config_.phy.propagation_delay(config_.phy.effective_interference_range());
+  // Structured-only subscription: the auditor never parses message text, so
+  // it asks for none — with no other message consumer attached, the hot emit
+  // sites skip string formatting entirely.
+  sink_id_ = tracer_.add_sink([this](const TraceRecord& rec) { on_record(rec); },
+                              Tracer::bit(TraceCategory::kPhy) | Tracer::bit(TraceCategory::kTone),
+                              /*needs_message=*/false);
 }
 
 SimAuditor::~SimAuditor() { tracer_.remove_sink(sink_id_); }
@@ -141,6 +150,11 @@ void SimAuditor::on_tx_start(const TraceRecord& rec) {
         // have been sensed; starting anyway violates the backoff condition.
         for (const ToneInterval& iv : rbt_hist_) {
           if (iv.node == n || iv.suppressed) continue;
+          // Exact time prefilters before the oracle call: audible_from >= on
+          // (prop >= 0) and audible_to <= off + pmax_, so intervals outside
+          // [at - cca, at] at any in-range distance cannot match below.
+          if (iv.on > rec.at - config_.phy.cca) continue;
+          if (iv.off != SimTime::max() && iv.off + pmax_ <= rec.at) continue;
           const double d = dist(n, iv.node);
           if (d < 0.0 || d > config_.phy.range_m - kRangeMargin) continue;
           const SimTime prop = config_.phy.propagation_delay(d);
@@ -177,8 +191,10 @@ void SimAuditor::on_tx_start(const TraceRecord& rec) {
     }
   }
 
-  tx_seq_by_frame_[rec.frame.get()] = tx_seq_base_ + txs_.size();
+  const std::uint64_t seq = tx_seq_base_ + txs_.size();
+  tx_seq_by_frame_[rec.frame.get()] = seq;
   txs_.push_back(TxRec{n, rec.frame, rec.at, SimTime::max(), false});
+  in_flight_.push_back(seq);  // kept ascending: erased (not swap-popped) on end
 }
 
 void SimAuditor::on_tx_end(const TraceRecord& rec) {
@@ -187,6 +203,8 @@ void SimAuditor::on_tx_end(const TraceRecord& rec) {
   TxRec& t = txs_[it->second - tx_seq_base_];
   t.end = rec.at;
   t.aborted = rec.flag;
+  max_tx_dur_ = std::max(max_tx_dur_, rec.at - t.start);
+  std::erase(in_flight_, it->second);
 
   if (!is_audited(t.tx)) return;
   const Frame& f = *t.frame;
@@ -214,6 +232,15 @@ void SimAuditor::on_tx_end(const TraceRecord& rec) {
   }
 }
 
+auto SimAuditor::first_tx_reaching(SimTime t) const -> std::deque<TxRec>::const_iterator {
+  // A completed transmission that started before t - max_tx_dur_ - pmax_
+  // ended by start + max_tx_dur_, so its last bit arrived before `t` even at
+  // interference range.  In-flight entries (end still max) in the skipped
+  // prefix have unknown duration — callers visit those via `in_flight_`.
+  return std::lower_bound(txs_.begin(), txs_.end(), t - max_tx_dur_ - pmax_,
+                          [](const TxRec& rec, SimTime v) { return rec.start < v; });
+}
+
 void SimAuditor::check_rbt_abort(const TxRec& t) {
   // Any foreign RBT that becomes audible during [start, end) must have
   // triggered an abort within the detection latency (edge-notify or the
@@ -221,6 +248,10 @@ void SimAuditor::check_rbt_abort(const TxRec& t) {
   // deadline means the node ignored the tone.
   for (const ToneInterval& iv : rbt_hist_) {
     if (iv.node == t.tx || iv.suppressed) continue;
+    // audible_from >= on and audible_to <= off + pmax_: intervals that end
+    // before the transmission started or begin after it ended cannot match.
+    if (iv.on >= t.end) continue;
+    if (iv.off != SimTime::max() && iv.off + pmax_ <= t.start) continue;
     const double d = dist(t.tx, iv.node);
     if (d < 0.0 || d > config_.phy.range_m - kRangeMargin) continue;
     const SimTime prop = config_.phy.propagation_delay(d);
@@ -250,6 +281,10 @@ void SimAuditor::check_rbt_abort(const TxRec& t) {
 bool SimAuditor::abt_audible_in(NodeId s, SimTime from, SimTime to) const {
   for (const ToneInterval& iv : abt_hist_) {
     if (iv.node == s || iv.suppressed) continue;
+    // hi - lo <= to - on and hi - lo <= off + pmax_ - from: both bounds are
+    // exact, so intervals failing either cannot reach a CCA-long overlap.
+    if (iv.on > to - config_.phy.cca) continue;
+    if (iv.off != SimTime::max() && iv.off + pmax_ < from + config_.phy.cca) continue;
     const double d = dist(s, iv.node);
     if (d < 0.0 || d > config_.phy.range_m) continue;
     const SimTime prop = config_.phy.propagation_delay(d);
@@ -338,20 +373,32 @@ void SimAuditor::check_clean_delivery(NodeId r, const TraceRecord& rec) {
   // drift across the edge in between, so only interferers clearly inside the
   // range are proof of a broken reservation.
   const double ir = config_.phy.effective_interference_range() - kRangeMargin;
-  for (const TxRec& t : txs_) {
-    if (t.frame.get() == rec.frame.get() || t.tx == r) continue;
+  const auto overlaps = [&](const TxRec& t) -> bool {
+    if (t.frame.get() == rec.frame.get() || t.tx == r) return false;
+    // Exact time prefilters before the oracle call: lo >= max(t.start,
+    // rx_from) and hi <= min(t.end + pmax_, rx_to) at any in-range distance.
+    if (t.start >= rx_to) return false;
+    if (t.end != SimTime::max() && t.end + pmax_ <= rx_from) return false;
     const double d = dist(t.tx, r);
-    if (d < 0.0 || d > ir) continue;
+    if (d < 0.0 || d > ir) return false;
     const SimTime p = config_.phy.propagation_delay(d);
     const SimTime lo = std::max(t.start + p, rx_from);
     const SimTime hi = (t.end == SimTime::max() ? rx_to : std::min(t.end + p, rx_to));
-    if (hi > lo) {
-      record(AuditInvariant::kCleanDelivery, rec.at, r,
-             cat("intact ", rmacsim::to_string(rec.frame->type), " from node ", own.tx,
-                 " overlapped a signal from node ", t.tx, " during [", lo.to_us(), ",",
-                 hi.to_us(), "]us"));
-      return;
-    }
+    if (hi <= lo) return false;
+    record(AuditInvariant::kCleanDelivery, rec.at, r,
+           cat("intact ", rmacsim::to_string(rec.frame->type), " from node ", own.tx,
+               " overlapped a signal from node ", t.tx, " during [", lo.to_us(), ",",
+               hi.to_us(), "]us"));
+    return true;
+  };
+  const auto cut = first_tx_reaching(rx_from);
+  const auto cut_seq = tx_seq_base_ + static_cast<std::uint64_t>(cut - txs_.begin());
+  for (const std::uint64_t seq : in_flight_) {
+    if (seq >= cut_seq) break;  // ascending; the rest fall in the main scan
+    if (overlaps(txs_[seq - tx_seq_base_])) return;
+  }
+  for (auto it = cut; it != txs_.end(); ++it) {
+    if (overlaps(*it)) return;
   }
 }
 
@@ -365,13 +412,20 @@ bool SimAuditor::contract_still_live(NodeId r, const RxContract& c, SimTime data
   // Any complete foreign signal strictly inside (mrts end, data start) raised
   // and dropped the carrier, which legally ends the role.
   const double ir = config_.phy.effective_interference_range();
-  for (const TxRec& t : txs_) {
+  // Only transmissions starting after mrts_rx_end - pmax_ can arrive after
+  // the MRTS end; the start-only bound makes a binary search exact here.
+  const auto cut =
+      std::upper_bound(txs_.begin(), txs_.end(), c.mrts_rx_end - pmax_,
+                       [](SimTime v, const TxRec& t) { return v < t.start; });
+  for (auto it = cut; it != txs_.end(); ++it) {
+    const TxRec& t = *it;
+    if (t.end == SimTime::max() || t.start >= data_first_bit) continue;  // gone >= start
     if (t.frame.get() == &data || t.tx == r) continue;
     const double d = dist(t.tx, r);
     if (d < 0.0 || d > ir) continue;
     const SimTime p = config_.phy.propagation_delay(d);
     const SimTime arrive = t.start + p;
-    const SimTime gone = t.end == SimTime::max() ? SimTime::max() : t.end + p;
+    const SimTime gone = t.end + p;
     if (arrive > c.mrts_rx_end && gone < data_first_bit) return false;
   }
   return true;

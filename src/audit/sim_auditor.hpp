@@ -183,6 +183,12 @@ private:
   // Mirrors ToneChannel::detected_in_window (any source, >= CCA overlap).
   [[nodiscard]] bool abt_audible_in(NodeId s, SimTime from, SimTime to) const;
 
+  // First entry of `txs_` whose signal could still be on the air at or after
+  // `t` anywhere (start-ordered deque; completed transmissions older than the
+  // longest duration seen plus max propagation are provably over).  In-flight
+  // entries before the cut are tracked separately in `in_flight_`.
+  [[nodiscard]] std::deque<TxRec>::const_iterator first_tx_reaching(SimTime t) const;
+
   [[nodiscard]] bool is_audited(NodeId id) const {
     return !config_.audited || config_.audited(id);
   }
@@ -204,6 +210,12 @@ private:
   std::deque<TxRec> txs_;
   std::unordered_map<const Frame*, std::size_t> tx_seq_by_frame_;  // -> sequence number
   std::uint64_t tx_seq_base_{0};  // seq of txs_.front() (deque prunes from the front)
+  // Sequence numbers of transmissions still in flight (end == max): their
+  // eventual duration is unknown, so overlap scans visit them explicitly
+  // instead of relying on the max-duration cutoff below.
+  std::vector<std::uint64_t> in_flight_;
+  SimTime max_tx_dur_{SimTime::zero()};  // longest completed transmission
+  SimTime pmax_{SimTime::zero()};        // propagation over interference range
   std::deque<ToneInterval> rbt_hist_;
   std::deque<ToneInterval> abt_hist_;
   std::unordered_map<NodeId, ToneState> rbt_state_;

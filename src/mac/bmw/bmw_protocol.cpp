@@ -1,5 +1,7 @@
 #include "mac/bmw/bmw_protocol.hpp"
 
+#include "phy/frame_pool.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <memory>
@@ -17,7 +19,7 @@ FramePtr bmw_rts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration) {
   f.dest = dest;
   f.seq = seq;
   f.duration = duration;
-  return std::make_shared<const Frame>(std::move(f));
+  return make_frame(std::move(f));
 }
 FramePtr bmw_cts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration) {
   Frame f;
@@ -26,7 +28,7 @@ FramePtr bmw_cts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration) {
   f.dest = dest;
   f.seq = seq;
   f.duration = duration;
-  return std::make_shared<const Frame>(std::move(f));
+  return make_frame(std::move(f));
 }
 }  // namespace
 

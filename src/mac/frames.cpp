@@ -3,10 +3,14 @@
 #include <memory>
 #include <utility>
 
+#include "phy/frame_pool.hpp"
+
 namespace rmacsim {
 
 namespace {
-FramePtr finish(Frame f) { return std::make_shared<const Frame>(std::move(f)); }
+// Frames come from the thread-local frame pool: steady-state construction
+// reuses the block of a frame that already left the air.
+FramePtr finish(Frame f) { return make_frame(std::move(f)); }
 }  // namespace
 
 FramePtr make_mrts(NodeId transmitter, std::vector<NodeId> receivers, std::uint32_t seq) {

@@ -1,5 +1,7 @@
 #include "mac/lamm/lamm_protocol.hpp"
 
+#include "phy/frame_pool.hpp"
+
 #include <cassert>
 #include <memory>
 #include <utility>
@@ -16,7 +18,7 @@ FramePtr make_grts(NodeId tx, std::vector<NodeId> receivers, std::uint32_t seq,
   f.receivers = std::move(receivers);
   f.seq = seq;
   f.duration = duration;
-  return std::make_shared<const Frame>(std::move(f));
+  return make_frame(std::move(f));
 }
 }  // namespace
 

@@ -1,5 +1,7 @@
 #include "mac/mx/mx_protocol.hpp"
 
+#include "phy/frame_pool.hpp"
+
 #include <cassert>
 #include <utility>
 
@@ -95,7 +97,7 @@ void MxProtocol::transmit_group_rts() {
   f.duration = phy_.tone_slot() + phy_.sifs +
                airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) +
                phy_.tone_slot() + 4 * phy_.max_propagation;
-  FramePtr rts = std::make_shared<const Frame>(std::move(f));
+  FramePtr rts = make_frame(std::move(f));
   // Wire cost: standard 20 B RTS regardless of group size.
   stats_.control_tx_time += airtime_bytes(kRtsBytes);
   if (!transmit_now(std::move(rts))) {

@@ -49,9 +49,11 @@ RmacProtocol::~RmacProtocol() {
 
 void RmacProtocol::set_state(State next, const char* why) {
   if (state_ == next) return;
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->emit(scheduler_.now(), TraceCategory::kMacState, id(),
-                  cat(to_string(state_), "->", to_string(next), " [", why, "]"));
+  if (tracer_ != nullptr && tracer_->wants(TraceCategory::kMacState)) {
+    TraceRecord r{scheduler_.now(), TraceCategory::kMacState, id(), {}};
+    tracer_->emit(std::move(r), [&] {
+      return cat(to_string(state_), "->", to_string(next), " [", why, "]");
+    });
   }
   state_ = next;
 }

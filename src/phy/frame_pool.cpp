@@ -1,0 +1,89 @@
+#include "phy/frame_pool.hpp"
+
+#include <new>
+#include <vector>
+
+namespace rmacsim::frame_pool {
+namespace {
+
+// In practice exactly one block size is in play per process (the
+// allocate_shared node holding control block + Frame), so the bucket scan is
+// a single comparison.  The cap bounds pool growth if a workload ever holds
+// a burst of frames and then releases them all.
+constexpr std::size_t kMaxFreePerBucket = 1 << 16;
+
+struct Bucket {
+  std::size_t bytes{0};
+  std::vector<void*> free;
+};
+
+struct ThreadPool {
+  std::vector<Bucket> buckets;
+  std::size_t outstanding{0};
+
+  ~ThreadPool() {
+    for (Bucket& b : buckets) {
+      for (void* p : b.free) ::operator delete(p);
+    }
+  }
+};
+
+ThreadPool& pool() {
+  thread_local ThreadPool tls;
+  return tls;
+}
+
+}  // namespace
+
+void* allocate(std::size_t bytes) {
+  ThreadPool& tp = pool();
+  ++tp.outstanding;
+  for (Bucket& b : tp.buckets) {
+    if (b.bytes == bytes) {
+      if (!b.free.empty()) {
+        void* p = b.free.back();
+        b.free.pop_back();
+        return p;
+      }
+      return ::operator new(bytes);
+    }
+  }
+  tp.buckets.push_back(Bucket{bytes, {}});
+  return ::operator new(bytes);
+}
+
+void deallocate(void* p, std::size_t bytes) noexcept {
+  ThreadPool& tp = pool();
+  if (tp.outstanding > 0) --tp.outstanding;
+  for (Bucket& b : tp.buckets) {
+    if (b.bytes == bytes) {
+      if (b.free.size() < kMaxFreePerBucket && b.free.capacity() > b.free.size()) {
+        b.free.push_back(p);
+        return;
+      }
+      if (b.free.size() < kMaxFreePerBucket) {
+        // Growing the freelist vector itself may allocate; tolerate failure
+        // by falling back to the heap rather than throwing from noexcept.
+        try {
+          b.free.push_back(p);
+          return;
+        } catch (...) {
+        }
+      }
+      ::operator delete(p);
+      return;
+    }
+  }
+  // Freed on a thread (or for a size) that never allocated: plain heap free.
+  ::operator delete(p);
+}
+
+std::size_t free_blocks() noexcept {
+  std::size_t n = 0;
+  for (const Bucket& b : pool().buckets) n += b.free.size();
+  return n;
+}
+
+std::size_t outstanding_blocks() noexcept { return pool().outstanding; }
+
+}  // namespace rmacsim::frame_pool

@@ -22,38 +22,116 @@ void Medium::attach(Radio& radio) {
 void Medium::detach(Radio& radio) noexcept {
   radios_by_id_.erase(radio.id());
   index_.remove(radio.id());
-  active_.erase(&radio);
+  // A radio can vanish mid-flight (teardown, scripted failure).  Its own
+  // transmission truncates on the air exactly like an abort — receivers get
+  // a corrupt partial frame — but without callbacks into the dying radio.
+  const TxHandle own = radio.medium_tx_handle();
+  if (own != 0) {
+    Transmission& t = slot_of(own);
+    t.aborted = true;
+    if (scheduler_.cancel(t.done_event)) --t.pending;
+    for (Reception& rc : t.receptions) {
+      if (rc.rx == nullptr) continue;
+      if (scheduler_.cancel(rc.end_event)) {
+        // The trailing-edge ref transfers to the truncation edge: pending
+        // stays balanced.
+        rc.end_event = scheduler_.schedule_in(
+            rc.prop, [this, h = own, rx = rc.rx, sig = rc.sig] { on_signal_end(h, rx, sig, false); });
+      }
+    }
+    t.finished = true;
+    radio.set_medium_tx_handle(0);
+    maybe_recycle(own);
+  }
+  // Cancel every in-flight delivery addressed to the detached radio so no
+  // scheduled closure dereferences it.
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    Transmission& t = slots_[s];
+    if (!t.live) continue;
+    bool changed = false;
+    for (Reception& rc : t.receptions) {
+      if (rc.rx != &radio) continue;
+      scheduler_.cancel(rc.begin_event);  // may already have fired — fine
+      if (scheduler_.cancel(rc.end_event)) --t.pending;
+      rc.rx = nullptr;
+      changed = true;
+    }
+    if (changed) maybe_recycle(encode(static_cast<std::uint32_t>(s), t.generation));
+  }
 }
 
-std::vector<NodeId> Medium::neighbours_of(NodeId of) const {
-  std::vector<NodeId> out;
+std::span<const NodeId> Medium::neighbours_of(NodeId of) const {
+  neighbour_scratch_.clear();
   const auto it = radios_by_id_.find(of);
-  if (it == radios_by_id_.end()) return out;
+  if (it == radios_by_id_.end()) return {};
   Radio* self = it->second;
-  out.reserve(16);
   index_.for_each_in_range(self->position(), params_.range_m, scheduler_.now(),
                            [&](NodeId id, void* payload, Vec2, double) {
-                             if (static_cast<Radio*>(payload) != self) out.push_back(id);
+                             if (static_cast<Radio*>(payload) != self) {
+                               neighbour_scratch_.push_back(id);
+                             }
                            });
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(neighbour_scratch_.begin(), neighbour_scratch_.end());
+  return neighbour_scratch_;
+}
+
+Medium::Transmission& Medium::slot_of(TxHandle h) noexcept {
+  assert(h != 0);
+  const std::uint32_t slot = slot_index(h);
+  assert(slot < slots_.size());
+  Transmission& t = slots_[slot];
+  assert(t.live && t.generation == static_cast<std::uint32_t>(h) &&
+         "stale transmission handle");
+  return t;
+}
+
+std::uint32_t Medium::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].live = true;
+    return slot;
+  }
+  slots_.emplace_back();
+  slots_.back().live = true;
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Medium::release_ref(TxHandle h) noexcept {
+  Transmission& t = slot_of(h);
+  assert(t.pending > 0);
+  --t.pending;
+  maybe_recycle(h);
+}
+
+void Medium::maybe_recycle(TxHandle h) noexcept {
+  Transmission& t = slot_of(h);
+  if (!t.finished || t.pending != 0) return;
+  t.frame.reset();       // frame block returns to its pool right away
+  t.receptions.clear();  // capacity retained for the next occupant
+  t.tx = nullptr;
+  t.aborted = false;
+  t.finished = false;
+  t.done_event = kInvalidEvent;
+  t.live = false;
+  ++t.generation;
+  free_slots_.push_back(slot_index(h));
 }
 
 SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
-  assert(!active_.contains(&tx) && "radio already has a transmission in flight");
+  assert(tx.medium_tx_handle() == 0 && "radio already has a transmission in flight");
   const SimTime airtime = params_.frame_airtime(frame->wire_bytes());
-  auto t = std::make_shared<Transmission>();
-  t->frame = frame;
-  t->start = scheduler_.now();
+  const SimTime now = scheduler_.now();
   ++tx_started_;
 
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx.id(),
-                  cat("tx-start ", to_string(frame->type), " ", frame->wire_bytes(), "B air=",
-                      airtime.to_us(), "us")};
+  if (tracer_ != nullptr && tracer_->wants(TraceCategory::kPhy)) {
+    TraceRecord r{now, TraceCategory::kPhy, tx.id(), {}};
     r.event = TraceEvent::kTxStart;
     r.frame = frame;
-    tracer_->emit(std::move(r));
+    tracer_->emit(std::move(r), [&] {
+      return cat("tx-start ", to_string(frame->type), " ", frame->wire_bytes(), "B air=",
+                 airtime.to_us(), "us");
+    });
   }
 
   const Vec2 origin = tx.position();
@@ -61,18 +139,29 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
   const double r2 = params_.range_m * params_.range_m;
   const double bits = static_cast<double>(frame->wire_bytes()) * 8.0;
 
-  // Grid query; sorted by id so signal events, sequence numbers, and BER
-  // draws are assigned in a platform-independent order.
   scratch_.clear();
-  index_.for_each_in_range(origin, ir, scheduler_.now(),
-                           [&](NodeId, void* payload, Vec2, double d2) {
-                             Radio* rx = static_cast<Radio*>(payload);
-                             if (rx != &tx) scratch_.push_back(Candidate{rx, d2});
-                           });
+  index_.for_each_in_range(origin, ir, now, [&](NodeId id, void* payload, Vec2, double d2) {
+    Radio* rx = static_cast<Radio*>(payload);
+    if (rx != &tx) scratch_.push_back(Candidate{rx, id, d2});
+  });
+  // Load-bearing sort, not a belt-and-braces one: the grid visits cells
+  // row-major and entries within a cell in insertion order (see
+  // spatial_index.hpp, which explicitly leaves visit order unspecified so
+  // rebuilds stay cheap).  Signal ids, scheduler sequence tie-breaks, and
+  // BER draws below must be assigned in a platform-independent order, so
+  // candidates are put into ascending-NodeId order first.
   std::sort(scratch_.begin(), scratch_.end(),
-            [](const Candidate& a, const Candidate& b) { return a.rx->id() < b.rx->id(); });
+            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
 
-  t->receptions.reserve(scratch_.size());
+  const std::uint32_t slot = acquire_slot();
+  Transmission& t = slots_[slot];
+  const TxHandle h = encode(slot, t.generation);
+  t.frame = std::move(frame);
+  t.start = now;
+  t.tx = &tx;
+  const Frame& f = *t.frame;
+
+  t.receptions.reserve(scratch_.size());
   for (const Candidate& c : scratch_) {
     Radio* rx = c.rx;
     const double dist = std::sqrt(c.dist_sq);
@@ -82,55 +171,75 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
     const bool ber_ok = c.dist_sq <= r2 &&
                         (params_.bit_error_rate <= 0.0 ||
                          rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits))) &&
-                        script_allows_delivery(*frame, rx->id(), t->start);
-    scheduler_.schedule_in(prop,
-                           [rx, sig, frame, dist] { rx->signal_begin(sig, frame, dist); });
+                        script_allows_delivery(f, rx->id(), now);
+    // The leading edge never reads the slot (capture bookkeeping needs only
+    // the distance), so it takes no pending ref and the frame is not copied
+    // into any closure.
+    const EventId begin_ev =
+        scheduler_.schedule_in(prop, [rx, sig, dist] { rx->signal_begin(sig, dist); });
     const EventId end_ev = scheduler_.schedule_in(
-        prop + airtime, [rx, sig, t, ber_ok] { rx->signal_end(sig, !t->aborted && ber_ok); });
-    t->receptions.push_back(Reception{rx, sig, end_ev, prop, ber_ok});
+        prop + airtime, [this, h, rx, sig, ber_ok] { on_signal_end(h, rx, sig, ber_ok); });
+    t.receptions.push_back(Reception{rx, sig, begin_ev, end_ev, prop});
+    ++t.pending;
   }
 
-  Radio* txp = &tx;
-  t->done_event = scheduler_.schedule_in(airtime, [this, txp, frame] {
-    active_.erase(txp);
-    if (tracer_ != nullptr && tracer_->enabled()) {
-      TraceRecord r{scheduler_.now(), TraceCategory::kPhy, txp->id(),
-                    cat("tx-end ", to_string(frame->type))};
-      r.event = TraceEvent::kTxEnd;
-      r.frame = frame;
-      tracer_->emit(std::move(r));
-    }
-    txp->transmit_finished(frame, /*aborted=*/false);
-  });
-  active_.emplace(&tx, std::move(t));
+  t.done_event = scheduler_.schedule_in(airtime, [this, h] { on_tx_done(h); });
+  ++t.pending;
+  tx.set_medium_tx_handle(h);
   return airtime;
 }
 
+void Medium::on_signal_end(TxHandle h, Radio* rx, std::uint64_t sig, bool ok) {
+  Transmission& t = slot_of(h);
+  // `t.frame` stays alive across the listener callback: this closure's
+  // pending ref blocks recycling, and the deque keeps `t` stable even if the
+  // listener re-enters begin_transmission.
+  rx->signal_end(sig, ok && !t.aborted, t.frame);
+  release_ref(h);
+}
+
+void Medium::on_tx_done(TxHandle h) {
+  Transmission& t = slot_of(h);
+  Radio* tx = t.tx;
+  tx->set_medium_tx_handle(0);
+  if (tracer_ != nullptr && tracer_->wants(TraceCategory::kPhy)) {
+    TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx->id(), {}};
+    r.event = TraceEvent::kTxEnd;
+    r.frame = t.frame;
+    tracer_->emit(std::move(r), [&t] { return cat("tx-end ", to_string(t.frame->type)); });
+  }
+  t.finished = true;
+  tx->transmit_finished(t.frame, /*aborted=*/false);
+  release_ref(h);
+}
+
 void Medium::abort_transmission(Radio& tx) {
-  auto it = active_.find(&tx);
-  assert(it != active_.end() && "no transmission to abort");
-  const std::shared_ptr<Transmission> t = it->second;
-  t->aborted = true;
-  scheduler_.cancel(t->done_event);
+  const TxHandle h = tx.medium_tx_handle();
+  assert(h != 0 && "no transmission to abort");
+  Transmission& t = slot_of(h);
+  t.aborted = true;
+  if (scheduler_.cancel(t.done_event)) --t.pending;
   // Truncate the signal at every receiver: the tail that would have arrived
   // after now + prop never airs; the partial frame is corrupt.
-  for (const Reception& rc : t->receptions) {
-    scheduler_.cancel(rc.end_event);
-    Radio* rx = rc.rx;
-    const std::uint64_t sig = rc.sig;
-    scheduler_.schedule_in(rc.prop, [rx, sig] { rx->signal_end(sig, /*intact=*/false); });
+  for (Reception& rc : t.receptions) {
+    if (rc.rx == nullptr) continue;  // receiver detached mid-flight
+    if (scheduler_.cancel(rc.end_event)) {
+      // Trailing-edge ref transfers to the truncation edge.
+      rc.end_event = scheduler_.schedule_in(
+          rc.prop, [this, h, rx = rc.rx, sig = rc.sig] { on_signal_end(h, rx, sig, false); });
+    }
   }
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx.id(),
-                  cat("tx-abort ", to_string(t->frame->type))};
+  if (tracer_ != nullptr && tracer_->wants(TraceCategory::kPhy)) {
+    TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx.id(), {}};
     r.event = TraceEvent::kTxEnd;
-    r.frame = t->frame;
+    r.frame = t.frame;
     r.flag = true;  // aborted
-    tracer_->emit(std::move(r));
+    tracer_->emit(std::move(r), [&t] { return cat("tx-abort ", to_string(t.frame->type)); });
   }
-  FramePtr frame = t->frame;
-  active_.erase(it);
-  tx.transmit_finished(frame, /*aborted=*/true);
+  t.finished = true;
+  tx.set_medium_tx_handle(0);
+  tx.transmit_finished(t.frame, /*aborted=*/true);
+  maybe_recycle(h);
 }
 
 }  // namespace rmacsim

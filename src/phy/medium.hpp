@@ -11,10 +11,20 @@
 // attached radio, so fan-out cost scales with neighbourhood size, not
 // network size.  Candidates are visited in ascending NodeId order to keep
 // event ordering platform-independent.
+//
+// Transmission/reception records live in a slab pool (generation-checked
+// handles, mirroring the scheduler's event slab): begin/abort_transmission
+// perform zero heap allocation in steady state, and the per-receiver
+// closures capture a 16-byte {medium, handle} pair instead of two
+// shared_ptrs.  A slot is recycled once the transmission logically ended
+// (done/abort/detach) and every scheduled closure that reads it has fired
+// or been cancelled (`pending` refcount).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -44,8 +54,9 @@ public:
 
   // Radios within range of `of` right now, in ascending id order
   // (neighbourhood snapshot; used by upper layers that need the ground-truth
-  // topology, e.g. tests/benches).
-  [[nodiscard]] std::vector<NodeId> neighbours_of(NodeId of) const;
+  // topology, e.g. tests/benches).  The returned span views a member scratch
+  // buffer: valid until the next neighbours_of call, no allocation per query.
+  [[nodiscard]] std::span<const NodeId> neighbours_of(NodeId of) const;
 
   // --- Radio-facing interface ---------------------------------------------
   // Virtual so a test double (ScriptedMedium) can layer scripted faults on
@@ -55,6 +66,9 @@ public:
 
   // Counters for diagnostics.
   [[nodiscard]] std::uint64_t transmissions_started() const noexcept { return tx_started_; }
+  // Slab-pool introspection (tests/benches assert steady-state reuse).
+  [[nodiscard]] std::size_t pool_slots() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t pool_free_slots() const noexcept { return free_slots_.size(); }
 
 protected:
   // Test seam: consulted once per (transmission, in-decode-range receiver)
@@ -71,24 +85,53 @@ protected:
   }
 
 private:
+  // {slot+1, generation} packed like the scheduler's EventId; 0 is invalid.
+  using TxHandle = std::uint64_t;
+
   struct Reception {
-    Radio* rx;
+    Radio* rx;                // nulled if the receiver detaches mid-flight
     std::uint64_t sig;
-    EventId end_event;
+    EventId begin_event;      // leading edge (cancelled on receiver detach)
+    EventId end_event;        // trailing edge, or the truncation edge after abort
     SimTime prop;
-    bool ber_ok;
   };
   struct Transmission {
     FramePtr frame;
     SimTime start;
+    Radio* tx{nullptr};
     bool aborted{false};
+    bool finished{false};     // logical end reached (done / abort / detach)
+    bool live{false};         // slot currently in use
     EventId done_event{kInvalidEvent};
-    std::vector<Reception> receptions;
+    std::uint32_t generation{0};
+    // Outstanding scheduled closures that read this slot (trailing edges +
+    // done).  The slot recycles only when finished && pending == 0, so a
+    // closure can always dereference its handle.
+    std::uint32_t pending{0};
+    std::vector<Reception> receptions;  // capacity survives recycling
   };
   struct Candidate {
     Radio* rx;
+    NodeId id;
     double dist_sq;
   };
+
+  [[nodiscard]] static constexpr TxHandle encode(std::uint32_t slot,
+                                                 std::uint32_t generation) noexcept {
+    return (static_cast<TxHandle>(slot + 1) << 32) | generation;
+  }
+  [[nodiscard]] static constexpr std::uint32_t slot_index(TxHandle h) noexcept {
+    return static_cast<std::uint32_t>(h >> 32) - 1;
+  }
+
+  [[nodiscard]] Transmission& slot_of(TxHandle h) noexcept;
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_ref(TxHandle h) noexcept;
+  void maybe_recycle(TxHandle h) noexcept;
+
+  // Scheduled-closure entry points.
+  void on_signal_end(TxHandle h, Radio* rx, std::uint64_t sig, bool ok);
+  void on_tx_done(TxHandle h);
 
   PhyParams params_;
   Scheduler& scheduler_;
@@ -96,8 +139,12 @@ private:
   Tracer* tracer_;
   std::unordered_map<NodeId, Radio*> radios_by_id_;
   mutable SpatialIndex index_;
-  mutable std::vector<Candidate> scratch_;  // reused per transmission / query
-  std::unordered_map<Radio*, std::shared_ptr<Transmission>> active_;
+  mutable std::vector<Candidate> scratch_;        // reused per transmission
+  mutable std::vector<NodeId> neighbour_scratch_; // backs neighbours_of()
+  // deque: slot references stay valid while a MAC callback re-enters
+  // begin_transmission and grows the pool.
+  std::deque<Transmission> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_sig_{1};
   std::uint64_t tx_started_{0};
 };

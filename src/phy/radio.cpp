@@ -32,7 +32,7 @@ SimTime Radio::transmit(FramePtr frame) {
   const bool busy_before = carrier_busy();
   transmitting_ = true;
   // Half-duplex: anything we were receiving is lost.
-  for (auto& [sig, in] : incoming_) in.clean = false;
+  for (Incoming& in : incoming_) in.clean = false;
   const SimTime airtime = medium_.begin_transmission(*this, std::move(frame));
   notify_carrier(busy_before);
   return airtime;
@@ -43,7 +43,7 @@ void Radio::abort_transmission() {
   medium_.abort_transmission(*this);
 }
 
-void Radio::signal_begin(std::uint64_t sig, FramePtr frame, double distance_m) {
+void Radio::signal_begin(std::uint64_t sig, double distance_m) {
   const bool busy_before = carrier_busy();
   // A signal arriving while we transmit, or while another signal is on the
   // air, is corrupted — and corrupts whatever else overlaps it, unless the
@@ -52,35 +52,42 @@ void Radio::signal_begin(std::uint64_t sig, FramePtr frame, double distance_m) {
   const double capture = medium_.params().capture_ratio;
   const bool clean = !transmitting_ && incoming_.empty();
   if (!clean) {
-    for (auto& [other, in] : incoming_) {
+    for (Incoming& in : incoming_) {
       if (capture > 0.0 && in.clean && distance_m >= capture * in.distance_m) {
         continue;  // captured: the established reception shrugs this off
       }
       in.clean = false;
     }
   }
-  incoming_.emplace(sig, Incoming{std::move(frame), clean, distance_m});
+  incoming_.push_back(Incoming{sig, clean, distance_m});
   notify_carrier(busy_before);
 }
 
-void Radio::signal_end(std::uint64_t sig, bool intact) {
-  auto it = incoming_.find(sig);
-  assert(it != incoming_.end());
-  const bool deliver = it->second.clean && intact && !transmitting_;
-  FramePtr frame = std::move(it->second.frame);
+void Radio::signal_end(std::uint64_t sig, bool intact, const FramePtr& frame) {
+  std::size_t idx = incoming_.size();
+  for (std::size_t i = 0; i < incoming_.size(); ++i) {
+    if (incoming_[i].sig == sig) {
+      idx = i;
+      break;
+    }
+  }
+  assert(idx < incoming_.size());
+  const bool deliver = incoming_[idx].clean && intact && !transmitting_;
   const bool busy_before = carrier_busy();
-  incoming_.erase(it);
+  incoming_[idx] = incoming_.back();
+  incoming_.pop_back();
   // Deliver before the carrier-idle notification: frame decode completes at
   // the trailing edge, and MAC logic (e.g. RMAC's WF_RDATA role) must see
   // the frame before it sees the channel go idle.
   if (deliver) {
     Tracer* tracer = medium_.tracer();
-    if (tracer != nullptr && tracer->enabled()) {
-      TraceRecord r{medium_.scheduler().now(), TraceCategory::kPhy, id_,
-                    cat("rx ", to_string(frame->type), " from ", frame->transmitter)};
+    if (tracer != nullptr && tracer->wants(TraceCategory::kPhy)) {
+      TraceRecord r{medium_.scheduler().now(), TraceCategory::kPhy, id_, {}};
       r.event = TraceEvent::kFrameRx;
       r.frame = frame;
-      tracer->emit(std::move(r));
+      tracer->emit(std::move(r), [&frame] {
+        return cat("rx ", to_string(frame->type), " from ", frame->transmitter);
+      });
     }
     if (listener_ != nullptr) listener_->on_frame_received(frame);
   }

@@ -5,10 +5,16 @@
 // model: a frame is delivered intact iff it was the only signal on the air
 // at this radio for its whole duration, the radio never transmitted during
 // it, the transmitter did not abort, and the BER draw passed.
+//
+// Per-signal state lives in a small flat vector (a radio hears at most a
+// handful of overlapping signals), and frames are not copied into it: the
+// medium owns the frame in its pooled transmission record and hands it over
+// at the trailing edge, so the whole reception path is allocation- and
+// refcount-free.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "geom/vec2.hpp"
 #include "mobility/mobility.hpp"
@@ -60,13 +66,21 @@ public:
   void abort_transmission();
 
   // --- Medium-facing interface -------------------------------------------
-  void signal_begin(std::uint64_t sig, FramePtr frame, double distance_m);
-  void signal_end(std::uint64_t sig, bool intact);
+  // Leading edge of signal `sig`: capture/collision bookkeeping only (frame
+  // contents are irrelevant until the frame can actually be decoded).
+  void signal_begin(std::uint64_t sig, double distance_m);
+  // Trailing edge: `frame` is the medium's pooled copy, which outlives this
+  // call — delivered to the listener iff the reception survived.
+  void signal_end(std::uint64_t sig, bool intact, const FramePtr& frame);
   void transmit_finished(const FramePtr& frame, bool aborted);
+  // Generation-checked handle of this radio's in-flight transmission in the
+  // medium's slab pool; 0 when idle.  Owned by the medium.
+  [[nodiscard]] std::uint64_t medium_tx_handle() const noexcept { return medium_tx_handle_; }
+  void set_medium_tx_handle(std::uint64_t h) noexcept { medium_tx_handle_ = h; }
 
 private:
   struct Incoming {
-    FramePtr frame;
+    std::uint64_t sig;
     bool clean;
     double distance_m;
   };
@@ -78,7 +92,8 @@ private:
   MobilityModel* mobility_;
   RadioListener* listener_{nullptr};
   bool transmitting_{false};
-  std::unordered_map<std::uint64_t, Incoming> incoming_;
+  std::uint64_t medium_tx_handle_{0};
+  std::vector<Incoming> incoming_;  // capacity is retained across receptions
 };
 
 }  // namespace rmacsim

@@ -81,12 +81,12 @@ void ToneChannel::set_tone(NodeId id, bool on) {
     s.history.back().off = now;
     prune(s);
   }
-  if (tracer_ != nullptr && tracer_->enabled()) {
-    TraceRecord r{now, TraceCategory::kTone, id, cat(name_, on ? " on" : " off")};
+  if (tracer_ != nullptr && tracer_->wants(TraceCategory::kTone)) {
+    TraceRecord r{now, TraceCategory::kTone, id, {}};
     r.event = on ? TraceEvent::kToneOn : TraceEvent::kToneOff;
     r.aux = tone_kind_;
     r.flag = s.suppressed;
-    tracer_->emit(std::move(r));
+    tracer_->emit(std::move(r), [&] { return cat(name_, on ? " on" : " off"); });
   }
 }
 

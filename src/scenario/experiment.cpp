@@ -90,7 +90,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   TraceDigest digest;
   std::optional<Tracer::SinkId> digest_sink;
   if (config.trace_digest) {
-    digest_sink = net.tracer().add_sink([&digest](const TraceRecord& rec) { digest.feed(rec); });
+    // The digest folds structured fields only (feed() skips kGeneric and
+    // never reads message text), so subscribe string-free like the auditor.
+    digest_sink = net.tracer().add_sink(
+        [&digest](const TraceRecord& rec) { digest.feed(rec); },
+        Tracer::bit(TraceCategory::kPhy) | Tracer::bit(TraceCategory::kTone),
+        /*needs_message=*/false);
   }
 
   net.start_routing();

@@ -11,6 +11,13 @@
 // have to parse message strings.  `frame` is a forward-declared
 // shared_ptr<const Frame>: sinks that need frame contents include
 // phy/frame.hpp themselves, keeping sim/ below phy/ in the layering.
+//
+// Tracing is pay-for-what-you-read.  Each sink subscribes with a category
+// mask and declares whether it reads `message`; hot emit sites pass a
+// deferred formatter and the Tracer renders the string only when at least
+// one subscribed sink asked for it.  Structured consumers (the SimAuditor,
+// golden-trace digests) therefore run completely string-free, which is what
+// makes always-on auditing affordable at paper scale.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -58,6 +66,9 @@ struct TraceRecord {
   SimTime at;
   TraceCategory category;
   std::uint32_t node;
+  // Human-readable text.  Lazily rendered: when the emit site supplies a
+  // deferred formatter, `message` is empty unless a subscribed sink declared
+  // needs_message for this record's category.
   std::string message;
   // --- structured part (meaningful when event != kGeneric) -----------------
   TraceEvent event{TraceEvent::kGeneric};
@@ -67,29 +78,42 @@ struct TraceRecord {
 };
 
 class Tracer {
-public:
+ public:
   using Sink = std::function<void(const TraceRecord&)>;
   using SinkId = std::uint32_t;
+  using CategoryMask = std::uint32_t;
+
+  [[nodiscard]] static constexpr CategoryMask bit(TraceCategory c) noexcept {
+    return CategoryMask{1} << static_cast<unsigned>(c);
+  }
+  // One bit per TraceCategory enumerator (kPhy .. kApp).
+  static constexpr CategoryMask kAllCategories = (CategoryMask{1} << 6) - 1;
 
   // Legacy single-sink interface: owns the dedicated slot 0, so tests that
   // call set_sink repeatedly replace their own sink without disturbing
-  // long-lived subscribers (e.g. an attached auditor).
+  // long-lived subscribers (e.g. an attached auditor).  Subscribes to every
+  // category with messages rendered — the pre-mask behaviour.
   void set_sink(Sink sink) {
     remove_sink(kPrimarySink);
-    if (sink) sinks_.push_back({kPrimarySink, std::move(sink)});
+    if (sink) add_entry(kPrimarySink, kAllCategories, /*needs_message=*/true, std::move(sink));
   }
   void clear_sink() { remove_sink(kPrimarySink); }
 
-  // Multi-sink interface.
-  SinkId add_sink(Sink sink) {
+  // Multi-sink interface.  `categories` selects which records the sink
+  // receives; a sink that only reads the structured fields passes
+  // needs_message=false so hot emit sites can skip string formatting
+  // entirely when nobody else wants the text.
+  SinkId add_sink(Sink sink, CategoryMask categories = kAllCategories,
+                  bool needs_message = true) {
     const SinkId id = next_id_++;
-    sinks_.push_back({id, std::move(sink)});
+    add_entry(id, categories, needs_message, std::move(sink));
     return id;
   }
   void remove_sink(SinkId id) noexcept {
     for (std::size_t i = 0; i < sinks_.size(); ++i) {
-      if (sinks_[i].first == id) {
+      if (sinks_[i].id == id) {
         sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
+        recompute_masks();
         return;
       }
     }
@@ -97,25 +121,70 @@ public:
 
   [[nodiscard]] bool enabled() const noexcept { return !sinks_.empty(); }
 
+  // True when some sink subscribed to `c` — the emit-site guard.
+  [[nodiscard]] bool wants(TraceCategory c) const noexcept {
+    return (union_mask_ & bit(c)) != 0;
+  }
+  // True when some sink subscribed to `c` also reads `message`.
+  [[nodiscard]] bool wants_message(TraceCategory c) const noexcept {
+    return (message_mask_ & bit(c)) != 0;
+  }
+
   void emit(SimTime at, TraceCategory category, std::uint32_t node, std::string message) const {
-    if (sinks_.empty()) return;
+    if (!wants(category)) return;
     dispatch(TraceRecord{at, category, node, std::move(message)});
   }
 
   // Structured emission; `record.event` et al. set by the caller.
   void emit(TraceRecord record) const {
-    if (sinks_.empty()) return;
+    if (!wants(record.category)) return;
     dispatch(record);
   }
 
-private:
-  static constexpr SinkId kPrimarySink = 0;
-
-  void dispatch(const TraceRecord& r) const {
-    for (const auto& [id, sink] : sinks_) sink(r);
+  // Hot-path structured emission: `fmt()` renders the human-readable message
+  // and runs only when a subscribed sink declared needs_message for this
+  // category.  Callers still guard with wants() to skip building the record.
+  template <typename Fmt>
+  void emit(TraceRecord record, Fmt&& fmt) const {
+    if (!wants(record.category)) return;
+    if (wants_message(record.category)) record.message = std::forward<Fmt>(fmt)();
+    dispatch(record);
   }
 
-  std::vector<std::pair<SinkId, Sink>> sinks_;
+ private:
+  struct Entry {
+    SinkId id;
+    CategoryMask mask;
+    bool needs_message;
+    Sink sink;
+  };
+
+  static constexpr SinkId kPrimarySink = 0;
+
+  void add_entry(SinkId id, CategoryMask mask, bool needs_message, Sink sink) {
+    sinks_.push_back(Entry{id, mask, needs_message, std::move(sink)});
+    recompute_masks();
+  }
+
+  void recompute_masks() noexcept {
+    union_mask_ = 0;
+    message_mask_ = 0;
+    for (const Entry& e : sinks_) {
+      union_mask_ |= e.mask;
+      if (e.needs_message) message_mask_ |= e.mask;
+    }
+  }
+
+  void dispatch(const TraceRecord& r) const {
+    const CategoryMask b = bit(r.category);
+    for (const Entry& e : sinks_) {
+      if ((e.mask & b) != 0) e.sink(r);
+    }
+  }
+
+  std::vector<Entry> sinks_;
+  CategoryMask union_mask_{0};
+  CategoryMask message_mask_{0};
   SinkId next_id_{1};
 };
 

@@ -1,0 +1,216 @@
+// The pooled frame-delivery pipeline: transmission-slot recycling, frame
+// arena reuse, abort truncation, detach-mid-flight safety, and the lazy
+// trace-message contract.  These lock in the zero-allocation steady state
+// the delivery path promises (see docs/simulator_internals.md) without
+// asserting on allocator internals: slot and frame-pool counters are the
+// observable surface.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mac/frame_builders.hpp"
+#include "mobility/mobility.hpp"
+#include "phy/frame_pool.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "scenario/experiment.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+
+struct PhyRecorder final : RadioListener {
+  std::vector<FramePtr> frames;
+  int tx_complete{0};
+  int tx_aborted{0};
+
+  void on_frame_received(const FramePtr& f) override { frames.push_back(f); }
+  void on_transmit_complete(const FramePtr&, bool aborted) override {
+    ++tx_complete;
+    if (aborted) ++tx_aborted;
+  }
+};
+
+AppPacketPtr packet(std::size_t bytes = 100) {
+  auto p = std::make_shared<AppPacket>();
+  p->payload_bytes = bytes;
+  return p;
+}
+
+class DeliveryPipelineTest : public ::testing::Test {
+protected:
+  DeliveryPipelineTest() : medium_{sched_, PhyParams{}, Rng{7}} {}
+
+  Radio& add(Vec2 pos) {
+    mobs_.push_back(std::make_unique<StationaryMobility>(pos));
+    radios_.push_back(std::make_unique<Radio>(medium_, next_id_++, *mobs_.back()));
+    recorders_.push_back(std::make_unique<PhyRecorder>());
+    radios_.back()->set_listener(recorders_.back().get());
+    return *radios_.back();
+  }
+
+  PhyRecorder& rec(std::size_t i) { return *recorders_[i]; }
+
+  Scheduler sched_;
+  Medium medium_;
+  std::vector<std::unique_ptr<StationaryMobility>> mobs_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::unique_ptr<PhyRecorder>> recorders_;
+  NodeId next_id_{0};
+};
+
+TEST_F(DeliveryPipelineTest, TransmissionSlotIsRecycledAcrossSequentialSends) {
+  Radio& a = add({0, 0});
+  add({50, 0});
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    a.transmit(make_unreliable_data(0, kBroadcastId, packet(), i));
+    sched_.run();
+  }
+  // Sequential transmissions reuse one slot; the pool never grows past the
+  // peak concurrency, and every slot is back on the free list once idle.
+  EXPECT_EQ(medium_.pool_slots(), 1u);
+  EXPECT_EQ(medium_.pool_free_slots(), medium_.pool_slots());
+  EXPECT_EQ(rec(1).frames.size(), 100u);
+}
+
+TEST_F(DeliveryPipelineTest, ConcurrentTransmissionsGrowPoolToPeakOnly) {
+  // Four transmitters far apart (no mutual interference) sending at once.
+  for (int i = 0; i < 4; ++i) add({static_cast<double>(i) * 1000.0, 0});
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      radios_[static_cast<std::size_t>(i)]->transmit(make_unreliable_data(
+          static_cast<NodeId>(i), kBroadcastId, packet(), static_cast<std::uint32_t>(round)));
+    }
+    sched_.run();
+  }
+  EXPECT_EQ(medium_.pool_slots(), 4u);
+  EXPECT_EQ(medium_.pool_free_slots(), 4u);
+}
+
+TEST_F(DeliveryPipelineTest, FramePoolRecyclesBlocksAcrossTransmissions) {
+  Radio& a = add({0, 0});
+  add({50, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(), 0));
+  sched_.run();
+  rec(1).frames.clear();  // drop the last FramePtr refs
+  const std::size_t outstanding = frame_pool::outstanding_blocks();
+  const std::size_t free_before = frame_pool::free_blocks();
+  EXPECT_GE(free_before, 1u);  // the first frame's block went back to the pool
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    a.transmit(make_unreliable_data(0, kBroadcastId, packet(), i));
+    sched_.run();
+    rec(1).frames.clear();
+  }
+  // Steady state: every new frame reuses the freed block instead of growing
+  // the arena.
+  EXPECT_EQ(frame_pool::outstanding_blocks(), outstanding);
+  EXPECT_EQ(frame_pool::free_blocks(), free_before);
+}
+
+TEST_F(DeliveryPipelineTest, AbortTruncatesDeliveryAndRecyclesSlot) {
+  Radio& a = add({0, 0});
+  add({50, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(500), 1));
+  sched_.run_until(100_us);  // mid-frame
+  a.abort_transmission();
+  sched_.run();
+  EXPECT_EQ(rec(0).tx_complete, 1);
+  EXPECT_EQ(rec(0).tx_aborted, 1);
+  EXPECT_TRUE(rec(1).frames.empty());  // truncated signal never decodes
+  EXPECT_EQ(medium_.pool_slots(), medium_.pool_free_slots());
+}
+
+TEST_F(DeliveryPipelineTest, ReceiverDetachMidFlightIsSafe) {
+  Radio& a = add({0, 0});
+  add({50, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(500), 1));
+  sched_.run_until(100_us);  // signal en route / being received at node 1
+  medium_.detach(*radios_[1]);
+  sched_.run();  // end-of-signal events for the dead radio must be inert
+  EXPECT_TRUE(rec(1).frames.empty());
+  EXPECT_EQ(rec(0).tx_complete, 1);
+  EXPECT_EQ(rec(0).tx_aborted, 0);
+  EXPECT_EQ(medium_.pool_slots(), medium_.pool_free_slots());
+}
+
+TEST_F(DeliveryPipelineTest, TransmitterDetachMidFlightIsSafe) {
+  Radio& a = add({0, 0});
+  add({50, 0});
+  a.transmit(make_unreliable_data(0, kBroadcastId, packet(500), 1));
+  sched_.run_until(100_us);
+  medium_.detach(a);  // truncates its own transmission, no listener callbacks
+  sched_.run();
+  EXPECT_TRUE(rec(1).frames.empty());
+  EXPECT_EQ(rec(0).tx_complete, 0);  // the dying radio is never called back
+  EXPECT_EQ(medium_.pool_slots(), medium_.pool_free_slots());
+}
+
+TEST_F(DeliveryPipelineTest, LazyMessagesRenderOnlyForSubscribedSinks) {
+  Tracer tracer;
+  std::vector<std::string> structured_msgs;
+  const Tracer::SinkId structured = tracer.add_sink(
+      [&structured_msgs](const TraceRecord& r) { structured_msgs.push_back(r.message); },
+      Tracer::bit(TraceCategory::kPhy), /*needs_message=*/false);
+  EXPECT_TRUE(tracer.wants(TraceCategory::kPhy));
+  EXPECT_FALSE(tracer.wants_message(TraceCategory::kPhy));
+  EXPECT_FALSE(tracer.wants(TraceCategory::kMac));
+
+  int renders = 0;
+  const auto fmt = [&renders] {
+    ++renders;
+    return std::string{"rendered"};
+  };
+  tracer.emit(TraceRecord{SimTime::zero(), TraceCategory::kPhy, 0, {},
+                          TraceEvent::kTxStart},
+              fmt);
+  EXPECT_EQ(renders, 0);  // nobody asked for text
+  ASSERT_EQ(structured_msgs.size(), 1u);
+  EXPECT_TRUE(structured_msgs[0].empty());
+
+  std::vector<std::string> rendered_msgs;
+  const Tracer::SinkId reader = tracer.add_sink(
+      [&rendered_msgs](const TraceRecord& r) { rendered_msgs.push_back(r.message); },
+      Tracer::bit(TraceCategory::kPhy), /*needs_message=*/true);
+  tracer.emit(TraceRecord{SimTime::zero(), TraceCategory::kPhy, 0, {},
+                          TraceEvent::kTxStart},
+              fmt);
+  EXPECT_EQ(renders, 1);  // a message reader subscribed: formatter runs once
+  ASSERT_EQ(rendered_msgs.size(), 1u);
+  EXPECT_EQ(rendered_msgs[0], "rendered");
+
+  tracer.remove_sink(reader);
+  tracer.emit(TraceRecord{SimTime::zero(), TraceCategory::kPhy, 0, {},
+                          TraceEvent::kTxStart},
+              fmt);
+  EXPECT_EQ(renders, 1);  // back to string-free
+  tracer.remove_sink(structured);
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST_F(DeliveryPipelineTest, DigestUnaffectedByWarmPools) {
+  // Two identical experiments in one process: the second reuses the warm
+  // thread-local frame arena and every recycled slot, and must still produce
+  // the bit-identical trace digest — pooling is invisible to behaviour.
+  ExperimentConfig c;
+  c.protocol = Protocol::kRmac;
+  c.num_nodes = 12;
+  c.area = Rect{200.0, 200.0};
+  c.num_packets = 15;
+  c.rate_pps = 30.0;
+  c.warmup = SimTime::sec(5);
+  c.drain = SimTime::sec(1);
+  c.seed = 3;
+  c.trace_digest = true;
+  const ExperimentResult first = run_experiment(c);
+  const ExperimentResult second = run_experiment(c);
+  EXPECT_EQ(first.trace_digest, second.trace_digest);
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_NE(first.trace_digest, 0u);
+}
+
+}  // namespace
+}  // namespace rmacsim

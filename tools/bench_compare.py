@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_core.json against the committed baseline.
+
+Fails (exit 1) when any benchmark shared by both reports slowed down by more
+than --threshold (default 15%), when a baseline benchmark disappeared, or
+when the delivery path's `allocs_per_tx` counter is no longer zero.  New
+benchmarks (present only in the candidate) are listed but never fail the
+comparison — they gain a baseline when BENCH_core.json is regenerated.
+
+CI usage (see .github/workflows/ci.yml):
+
+    python3 tools/bench_report.py --output bench_fresh.json
+    python3 tools/bench_compare.py BENCH_core.json bench_fresh.json \
+        --append-trajectory bench_trajectory.jsonl
+
+`cpu_time` is compared rather than `real_time`: shared runners jitter
+wall-clock far more than cycles.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def by_name(report: dict) -> dict[str, dict]:
+    return {b["name"]: b for b in report.get("benchmarks", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_core.json")
+    parser.add_argument("candidate", help="freshly generated report")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated fractional slowdown (default 0.15)")
+    parser.add_argument("--append-trajectory", metavar="PATH", default="",
+                        help="append a one-line summary of the candidate to "
+                             "this JSONL file (the perf trajectory artifact)")
+    args = parser.parse_args()
+
+    base = by_name(load(args.baseline))
+    cand_report = load(args.candidate)
+    cand = by_name(cand_report)
+
+    failures: list[str] = []
+    rows: list[tuple[str, str]] = []
+    for name, b in base.items():
+        c = cand.get(name)
+        if c is None:
+            failures.append(f"{name}: present in baseline but missing from candidate")
+            continue
+        ratio = c["cpu_time"] / b["cpu_time"] if b["cpu_time"] > 0 else float("inf")
+        verdict = f"{ratio:6.2f}x"
+        if ratio > 1.0 + args.threshold:
+            verdict += f"  SLOWDOWN > {args.threshold:.0%}"
+            failures.append(f"{name}: {ratio:.2f}x baseline cpu_time "
+                            f"({b['cpu_time']:.0f} -> {c['cpu_time']:.0f} {b['time_unit']})")
+        rows.append((name, verdict))
+    for name in sorted(set(cand) - set(base)):
+        rows.append((name, "   new (no baseline)"))
+
+    # Hard gauges independent of timing noise: the delivery path must stay
+    # allocation-free in steady state.
+    for name, c in cand.items():
+        allocs = c.get("counters", {}).get("allocs_per_tx")
+        if allocs is not None and allocs > 0:
+            failures.append(f"{name}: allocs_per_tx = {allocs} (must be 0)")
+
+    width = max((len(n) for n, _ in rows), default=0)
+    for name, verdict in sorted(rows):
+        print(f"  {name:<{width}}  {verdict}")
+
+    if args.append_trajectory:
+        entry = {
+            "git_revision": cand_report.get("git_revision", "unknown"),
+            "generated_at": cand_report.get("generated_at", ""),
+            "benchmarks": {
+                name: {"cpu_time": c["cpu_time"], "time_unit": c["time_unit"],
+                       **({"counters": c["counters"]} if "counters" in c else {})}
+                for name, c in cand.items()
+            },
+        }
+        with open(args.append_trajectory, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry) + "\n")
+        print(f"appended to {Path(args.append_trajectory).resolve()}")
+
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,19 @@ def main() -> int:
         }
         if "items_per_second" in b:
             entry["items_per_second"] = b["items_per_second"]
+        # User counters (state.counters[...]) arrive as extra numeric keys in
+        # the google-benchmark JSON; forward them so the report can carry
+        # e.g. the delivery path's allocations-per-transmission gauge.
+        known = {
+            "name", "family_index", "per_family_instance_index", "run_name",
+            "run_type", "repetitions", "repetition_index", "threads",
+            "iterations", "real_time", "cpu_time", "time_unit",
+            "items_per_second", "bytes_per_second", "label", "aggregate_name",
+        }
+        counters = {k: v for k, v in b.items()
+                    if k not in known and isinstance(v, (int, float))}
+        if counters:
+            entry["counters"] = counters
         benchmarks.append(entry)
 
     report = {
