@@ -262,4 +262,62 @@ void BM_AuditedSmallExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_AuditedSmallExperiment)->Unit(benchmark::kMillisecond);
 
+// The audited experiment with the flight recorder and time-series collector
+// attached, artifacts kept in memory (obs.out_dir empty).  This measures the
+// recorder's observer effect on the running scenario; the overhead budget is
+// <10% over BM_AuditedSmallExperiment, and CI enforces it with
+// tools/bench_compare.py --ratio-gate, which compares the two inside the
+// same report so machine speed cancels out.
+void BM_RecordedSmallExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig c;
+    c.protocol = Protocol::kRmac;
+    c.num_nodes = 20;
+    c.area = Rect{250.0, 250.0};
+    c.num_packets = 20;
+    c.rate_pps = 20.0;
+    c.warmup = SimTime::sec(10);
+    c.drain = SimTime::sec(2);
+    c.seed = 42;
+    c.audit = true;
+    c.trace_digest = true;
+    c.obs.record = true;
+    c.obs.out_dir.clear();  // record in memory; export priced separately below
+    const ExperimentResult r = run_experiment(c);
+    benchmark::DoNotOptimize(r.delivery_ratio);
+    state.counters["events"] = static_cast<double>(r.events_executed);
+    state.counters["journeys"] = static_cast<double>(r.obs.journeys);
+    state.counters["journey_events"] = static_cast<double>(r.obs.journey_events);
+  }
+}
+BENCHMARK(BM_RecordedSmallExperiment)->Unit(benchmark::kMillisecond);
+
+// The same recorded experiment writing all four artifacts each iteration.
+// Export cost scales with artifact size rather than simulated time, so it is
+// reported (export_ms counter) but not ratio-gated; the gap to
+// BM_RecordedSmallExperiment is the full serialization + I/O price.
+void BM_RecordedExportSmallExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig c;
+    c.protocol = Protocol::kRmac;
+    c.num_nodes = 20;
+    c.area = Rect{250.0, 250.0};
+    c.num_packets = 20;
+    c.rate_pps = 20.0;
+    c.warmup = SimTime::sec(10);
+    c.drain = SimTime::sec(2);
+    c.seed = 42;
+    c.audit = true;
+    c.trace_digest = true;
+    c.obs.record = true;
+    c.obs.out_dir = "/tmp/rmac_bench_obs";
+    c.obs.prefix = "bench";
+    const ExperimentResult r = run_experiment(c);
+    benchmark::DoNotOptimize(r.delivery_ratio);
+    state.counters["export_ms"] = r.obs.export_ms;
+    state.counters["journey_events"] = static_cast<double>(r.obs.journey_events);
+  }
+}
+BENCHMARK(BM_RecordedExportSmallExperiment)->Unit(benchmark::kMillisecond);
+
 }  // namespace

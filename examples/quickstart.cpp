@@ -1,11 +1,18 @@
 // Quickstart: build a four-node network by hand, send one reliable
-// multicast over RMAC, and watch the deliveries and the sender's report.
+// multicast over RMAC, watch the deliveries and the sender's report, and
+// dump the run's flight-recorder artifacts — a Chrome trace_event JSON you
+// can open at ui.perfetto.dev and a journeys JSONL for
+// tools/journey_report.py.
 //
-//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [outdir]        # artifacts land in outdir (default .)
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "mac/rmac/rmac_protocol.hpp"
+#include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
 #include "phy/medium.hpp"
 #include "phy/tone_channel.hpp"
 
@@ -13,14 +20,22 @@ using namespace rmacsim;
 
 namespace {
 
-// Upper layer: print what the MAC hands us.
+// Upper layer: print what the MAC hands us, and record the delivery so the
+// flight recorder can close each journey.
 struct PrintingUpper final : MacUpper {
-  explicit PrintingUpper(NodeId id, Scheduler& sched) : id_{id}, sched_{sched} {}
+  PrintingUpper(NodeId id, Scheduler& sched, Tracer& tracer)
+      : id_{id}, sched_{sched}, tracer_{tracer} {}
 
   void mac_deliver(const Frame& frame) override {
     std::printf("[%8.1f us] node %u received %s seq=%u (%zu B payload)\n",
                 sched_.now().to_us(), id_, to_string(frame.type), frame.seq,
                 frame.packet ? frame.packet->payload_bytes : 0);
+    if (tracer_.wants(TraceCategory::kApp)) {
+      TraceRecord r{sched_.now(), TraceCategory::kApp, id_, {}};
+      r.event = TraceEvent::kDeliver;
+      r.journey = frame.journey;
+      tracer_.emit(std::move(r));
+    }
   }
   void mac_reliable_done(const ReliableSendResult& r) override {
     std::printf("[%8.1f us] node %u: reliable send %s after %u transmission(s)\n",
@@ -31,16 +46,23 @@ struct PrintingUpper final : MacUpper {
 private:
   NodeId id_;
   Scheduler& sched_;
+  Tracer& tracer_;
 };
 
 }  // namespace
 
-int main() {
-  // 1. The simulation substrate: scheduler, data channel, two tone channels.
+int main(int argc, char** argv) {
+  const std::string outdir = argc > 1 ? argv[1] : ".";
+
+  // 1. The simulation substrate: scheduler, data channel, two tone channels,
+  //    plus a tracer with a flight recorder attached so the run leaves a
+  //    causal record behind.
   Scheduler sched;
-  Medium medium{sched, PhyParams{}, Rng{2026}};
-  ToneChannel rbt{sched, medium.params(), "RBT"};
-  ToneChannel abt{sched, medium.params(), "ABT"};
+  Tracer tracer;
+  FlightRecorder recorder{tracer};
+  Medium medium{sched, PhyParams{}, Rng{2026}, &tracer};
+  ToneChannel rbt{sched, medium.params(), "RBT", &tracer};
+  ToneChannel abt{sched, medium.params(), "ABT", &tracer};
 
   // 2. Four stationary nodes: a sender at the origin, three receivers.
   struct NodeKit {
@@ -58,8 +80,9 @@ int main() {
     rbt.attach(id, *kit.mob);
     abt.attach(id, *kit.mob);
     kit.mac = std::make_unique<RmacProtocol>(sched, *kit.radio, rbt, abt, Rng{id + 1},
-                                             RmacProtocol::Params{MacParams{}, true});
-    kit.upper = std::make_unique<PrintingUpper>(id, sched);
+                                             RmacProtocol::Params{MacParams{}, true},
+                                             &tracer);
+    kit.upper = std::make_unique<PrintingUpper>(id, sched, tracer);
     kit.mac->set_upper(kit.upper.get());
     nodes.push_back(std::move(kit));
   }
@@ -70,6 +93,7 @@ int main() {
   pkt->seq = 1;
   pkt->payload_bytes = 500;
   pkt->created = sched.now();
+  pkt->journey = make_journey(pkt->origin, pkt->seq);
   std::printf("node 0 multicasts seq=1 reliably to {1, 2, 3}...\n");
   nodes[0].mac->reliable_send(pkt, {1, 2, 3});
 
@@ -82,5 +106,21 @@ int main() {
               s.mrts_lengths_bytes.empty() ? 0.0 : s.mrts_lengths_bytes.front(),
               static_cast<unsigned long long>(s.retransmissions),
               s.control_tx_time.to_us(), s.reliable_data_tx_time.to_us());
+
+  // 5. Export the flight-recorder artifacts.  Open the trace at
+  //    ui.perfetto.dev; post-mortem the JSONL with tools/journey_report.py.
+  const std::string trace_path = outdir + "/quickstart_trace.json";
+  const std::string journeys_path = outdir + "/quickstart_journeys.jsonl";
+  if (write_chrome_trace(trace_path, recorder) &&
+      write_journeys_jsonl(journeys_path, recorder)) {
+    std::printf("wrote %s and %s (%llu journey(s), %llu event(s))\n",
+                trace_path.c_str(), journeys_path.c_str(),
+                static_cast<unsigned long long>(recorder.journeys().size()),
+                static_cast<unsigned long long>(recorder.total_events()));
+  } else {
+    std::fprintf(stderr, "failed to write flight-recorder artifacts to %s\n",
+                 outdir.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -3,7 +3,13 @@
 //
 //   ./build/examples/run_experiment --protocol rmac --mobility speed1
 //       --rate 20 --packets 500 --seed 3 --nodes 75 [--ber 1e-5]
-//       [--capture 2.0] [--no-rbt] [--queue-limit 64]
+//       [--capture 2.0] [--no-rbt] [--queue-limit 64] [--audit] [--digest]
+//       [--obs] [--obs-dir DIR]
+//
+// --obs-dir attaches the flight recorder and writes the Perfetto trace,
+// journey JSONL, time-series CSV, and run manifest into DIR.  --obs attaches
+// the recorder without writing artifacts (summary counts only) — handy for
+// measuring the recorder's observer effect.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,7 +26,8 @@ namespace {
                "usage: %s [--protocol rmac|bmmm|dcf|bmw|mx|lamm] "
                "[--mobility stationary|speed1|speed2]\n"
                "          [--rate pps] [--packets n] [--seed n] [--nodes n]\n"
-               "          [--ber p] [--capture ratio] [--no-rbt] [--queue-limit n]\n",
+               "          [--ber p] [--capture ratio] [--no-rbt] [--queue-limit n]\n"
+               "          [--audit] [--digest] [--obs] [--obs-dir DIR]\n",
                argv0);
   std::exit(2);
 }
@@ -73,6 +80,16 @@ int main(int argc, char** argv) {
       c.mac.queue_limit = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--no-rbt") {
       c.rbt_protection = false;
+    } else if (arg == "--audit") {
+      c.audit = true;
+    } else if (arg == "--digest") {
+      c.trace_digest = true;
+    } else if (arg == "--obs") {
+      c.obs.record = true;
+      c.obs.out_dir.clear();
+    } else if (arg == "--obs-dir") {
+      c.obs.record = true;
+      c.obs.out_dir = next();
     } else {
       usage(argv[0]);
     }
@@ -104,5 +121,24 @@ int main(int argc, char** argv) {
   std::printf("%-28s %.4f\n", "MAC-believed success", r.mac_believed_success);
   std::printf("%-28s %llu\n", "simulator events",
               static_cast<unsigned long long>(r.events_executed));
+  if (c.audit) {
+    std::printf("%-28s %llu violation(s)\n", "audit",
+                static_cast<unsigned long long>(r.audit.total));
+  }
+  if (c.trace_digest) std::printf("%-28s %016llx\n", "trace digest",
+                                  static_cast<unsigned long long>(r.trace_digest));
+  if (c.obs.record) {
+    std::printf("%-28s %llu journeys, %llu events, %llu samples\n", "flight recorder",
+                static_cast<unsigned long long>(r.obs.journeys),
+                static_cast<unsigned long long>(r.obs.journey_events),
+                static_cast<unsigned long long>(r.obs.samples));
+    if (!r.obs.trace_json.empty()) {
+      std::printf("%-28s %.1f ms\n", "artifact export", r.obs.export_ms);
+      std::printf("%-28s %s\n", "", r.obs.trace_json.c_str());
+      std::printf("%-28s %s\n", "", r.obs.journeys_jsonl.c_str());
+      std::printf("%-28s %s\n", "", r.obs.timeseries_csv.c_str());
+      std::printf("%-28s %s\n", "", r.obs.manifest_json.c_str());
+    }
+  }
   return 0;
 }

@@ -114,7 +114,7 @@ void BmmmProtocol::send_rts(std::size_t index) {
   const SimTime nav = remaining_batch_time(a.remaining.size() - index - 1, true,
                                            a.remaining.size()) +
                       phy_.sifs + airtime_bytes(kCtsBytes);
-  FramePtr rts = make_rts(id(), dest, nav);
+  FramePtr rts = make_rts(id(), dest, nav, a.req.packet->journey);
   count_control_tx(*rts);
   if (!transmit_now(std::move(rts))) round_failed();
 }
@@ -161,7 +161,8 @@ void BmmmProtocol::handle_frame(const FramePtr& frame) {
       // mid-batch of its own, however, stays with its own exchange.
       if (phase_ != Phase::kIdle && phase_ != Phase::kContend) return;
       FramePtr cts = make_cts(id(), frame->transmitter,
-                              frame->duration - phy_.sifs - airtime_bytes(kCtsBytes));
+                              frame->duration - phy_.sifs - airtime_bytes(kCtsBytes),
+                              /*seq=*/0, frame->journey);
       count_control_tx(*cts);
       respond_after_sifs(std::move(cts));
       return;
@@ -195,7 +196,7 @@ void BmmmProtocol::handle_frame(const FramePtr& frame) {
       }
       if (remember_data(frame->transmitter, frame->seq)) deliver_up(*frame);
       if (frame->dest == id() && (phase_ == Phase::kIdle || phase_ == Phase::kContend)) {
-        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq);
+        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq, frame->journey);
         count_control_tx(*ack);
         respond_after_sifs(std::move(ack));
       }
@@ -206,7 +207,7 @@ void BmmmProtocol::handle_frame(const FramePtr& frame) {
       // and are not mid-batch ourselves.
       if (phase_ != Phase::kIdle && phase_ != Phase::kContend) return;
       if (have_data(frame->transmitter, frame->seq)) {
-        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq);
+        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq, frame->journey);
         count_control_tx(*ack);
         respond_after_sifs(std::move(ack));
       }
@@ -265,7 +266,8 @@ void BmmmProtocol::send_rak(std::size_t index) {
   a.index = index;
   const SimTime nav = remaining_batch_time(0, false, a.remaining.size() - index - 1) +
                       phy_.sifs + airtime_bytes(kAckBytes);
-  FramePtr rak = make_rak(id(), a.remaining[index], a.req.packet->seq, nav);
+  FramePtr rak = make_rak(id(), a.remaining[index], a.req.packet->seq, nav,
+                          a.req.packet->journey);
   count_control_tx(*rak);
   if (!transmit_now(std::move(rak))) round_failed();
 }

@@ -12,20 +12,24 @@ namespace rmacsim {
 namespace {
 // BMW's RTS/CTS carry a sequence number (the receiver's expected frame); the
 // generic builders do not, so build the frames directly.
-FramePtr bmw_rts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration) {
+FramePtr bmw_rts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration,
+                 JourneyId journey) {
   Frame f;
   f.type = FrameType::kRts;
   f.transmitter = tx;
   f.dest = dest;
   f.seq = seq;
   f.duration = duration;
+  f.journey = journey;
   return make_frame(std::move(f));
 }
-FramePtr bmw_cts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration) {
+FramePtr bmw_cts(NodeId tx, NodeId dest, std::uint32_t seq, SimTime duration,
+                 JourneyId journey) {
   Frame f;
   f.type = FrameType::kCts;
   f.transmitter = tx;
   f.dest = dest;
+  f.journey = journey;
   f.seq = seq;
   f.duration = duration;
   return make_frame(std::move(f));
@@ -115,7 +119,8 @@ void BmwProtocol::on_contention_won() {
   const SimTime nav = phy_.sifs + airtime_bytes(kCtsBytes) + phy_.sifs +
                       airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) +
                       phy_.sifs + airtime_bytes(kAckBytes) + 4 * phy_.max_propagation;
-  FramePtr rts = bmw_rts(id(), current_receiver_, a.req.packet->seq, nav);
+  FramePtr rts = bmw_rts(id(), current_receiver_, a.req.packet->seq, nav,
+                         a.req.packet->journey);
   count_control_tx(*rts);
   if (!transmit_now(std::move(rts))) receiver_attempt_failed(current_receiver_);
 }
@@ -164,7 +169,7 @@ void BmwProtocol::handle_frame(const FramePtr& frame) {
                                 ? SimTime::zero()
                                 : frame->duration - phy_.sifs - airtime_bytes(kCtsBytes);
       FramePtr cts = bmw_cts(id(), frame->transmitter,
-                             caught_up ? frame->seq + 1 : frame->seq, claim);
+                             caught_up ? frame->seq + 1 : frame->seq, claim, frame->journey);
       count_control_tx(*cts);
       respond_after_sifs(std::move(cts));
       return;
@@ -203,7 +208,7 @@ void BmwProtocol::handle_frame(const FramePtr& frame) {
       }
       if (remember_data(frame->transmitter, frame->seq)) deliver_up(*frame);
       if (frame->dest == id() && (step_ == Step::kIdle || step_ == Step::kContend)) {
-        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq);
+        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq, frame->journey);
         count_control_tx(*ack);
         respond_after_sifs(std::move(ack));
       }

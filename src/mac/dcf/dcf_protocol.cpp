@@ -185,7 +185,8 @@ void DcfProtocol::start_unicast_exchange() {
   if (active_->attempts > 1) ++stats_.retransmissions;
   state_ = State::kWfCts;
   const NodeId dest = req.receivers.front();
-  FramePtr rts = make_rts(id(), dest, exchange_duration_after_rts(req.packet->payload_bytes));
+  FramePtr rts = make_rts(id(), dest, exchange_duration_after_rts(req.packet->payload_bytes),
+                          req.packet->journey);
   count_control_tx(*rts);
   if (!transmit_now(std::move(rts))) attempt_failed();
 }
@@ -234,7 +235,8 @@ void DcfProtocol::handle_frame(const FramePtr& frame) {
       // own to answer someone else's reservation.
       if (nav_clear() && (state_ == State::kIdle || state_ == State::kContend)) {
         FramePtr cts = make_cts(id(), frame->transmitter,
-                                frame->duration - phy_.sifs - airtime_bytes(kCtsBytes));
+                                frame->duration - phy_.sifs - airtime_bytes(kCtsBytes),
+                                /*seq=*/0, frame->journey);
         count_control_tx(*cts);
         respond_after_sifs(std::move(cts));
       }
@@ -265,7 +267,7 @@ void DcfProtocol::handle_frame(const FramePtr& frame) {
       }
       if (remember_data(frame->transmitter, frame->seq)) deliver_up(*frame);
       if (frame->dest == id()) {
-        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq);
+        FramePtr ack = make_ack(id(), frame->transmitter, frame->seq, frame->journey);
         count_control_tx(*ack);
         respond_after_sifs(std::move(ack));
       }

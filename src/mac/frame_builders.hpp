@@ -1,4 +1,8 @@
 // Convenience constructors for the MAC frame types.
+//
+// Data builders inherit the flight-recorder JourneyId from their AppPacket;
+// control builders take it as a trailing parameter (defaulted to invalid) so
+// each protocol tags the frames of an exchange with the packet they serve.
 #pragma once
 
 #include <vector>
@@ -9,19 +13,21 @@
 namespace rmacsim {
 
 [[nodiscard]] FramePtr make_mrts(NodeId transmitter, std::vector<NodeId> receivers,
-                                 std::uint32_t seq);
+                                 std::uint32_t seq, JourneyId journey = kInvalidJourney);
 [[nodiscard]] FramePtr make_reliable_data(NodeId transmitter, std::vector<NodeId> receivers,
                                           AppPacketPtr packet, std::uint32_t seq);
 [[nodiscard]] FramePtr make_unreliable_data(NodeId transmitter, NodeId dest, AppPacketPtr packet,
                                             std::uint32_t seq);
-[[nodiscard]] FramePtr make_rts(NodeId transmitter, NodeId dest, SimTime duration);
+[[nodiscard]] FramePtr make_rts(NodeId transmitter, NodeId dest, SimTime duration,
+                                JourneyId journey = kInvalidJourney);
 [[nodiscard]] FramePtr make_cts(NodeId transmitter, NodeId dest, SimTime duration,
-                                std::uint32_t seq = 0);
+                                std::uint32_t seq = 0, JourneyId journey = kInvalidJourney);
 [[nodiscard]] FramePtr make_data80211(NodeId transmitter, NodeId dest,
                                       std::vector<NodeId> group, AppPacketPtr packet,
                                       std::uint32_t seq, SimTime duration);
-[[nodiscard]] FramePtr make_ack(NodeId transmitter, NodeId dest, std::uint32_t seq = 0);
+[[nodiscard]] FramePtr make_ack(NodeId transmitter, NodeId dest, std::uint32_t seq = 0,
+                                JourneyId journey = kInvalidJourney);
 [[nodiscard]] FramePtr make_rak(NodeId transmitter, NodeId dest, std::uint32_t seq,
-                                SimTime duration);
+                                SimTime duration, JourneyId journey = kInvalidJourney);
 
 }  // namespace rmacsim

@@ -13,13 +13,15 @@ namespace {
 FramePtr finish(Frame f) { return make_frame(std::move(f)); }
 }  // namespace
 
-FramePtr make_mrts(NodeId transmitter, std::vector<NodeId> receivers, std::uint32_t seq) {
+FramePtr make_mrts(NodeId transmitter, std::vector<NodeId> receivers, std::uint32_t seq,
+                   JourneyId journey) {
   Frame f;
   f.type = FrameType::kMrts;
   f.transmitter = transmitter;
   f.dest = kInvalidNode;  // MRTS addresses via the receiver sequence only
   f.receivers = std::move(receivers);
   f.seq = seq;
+  f.journey = journey;
   return finish(std::move(f));
 }
 
@@ -30,6 +32,7 @@ FramePtr make_reliable_data(NodeId transmitter, std::vector<NodeId> receivers,
   f.transmitter = transmitter;
   f.dest = kInvalidNode;
   f.receivers = std::move(receivers);
+  f.journey = packet ? packet->journey : kInvalidJourney;
   f.packet = std::move(packet);
   f.seq = seq;
   return finish(std::move(f));
@@ -41,27 +44,31 @@ FramePtr make_unreliable_data(NodeId transmitter, NodeId dest, AppPacketPtr pack
   f.type = FrameType::kUnreliableData;
   f.transmitter = transmitter;
   f.dest = dest;
+  f.journey = packet ? packet->journey : kInvalidJourney;
   f.packet = std::move(packet);
   f.seq = seq;
   return finish(std::move(f));
 }
 
-FramePtr make_rts(NodeId transmitter, NodeId dest, SimTime duration) {
+FramePtr make_rts(NodeId transmitter, NodeId dest, SimTime duration, JourneyId journey) {
   Frame f;
   f.type = FrameType::kRts;
   f.transmitter = transmitter;
   f.dest = dest;
   f.duration = duration;
+  f.journey = journey;
   return finish(std::move(f));
 }
 
-FramePtr make_cts(NodeId transmitter, NodeId dest, SimTime duration, std::uint32_t seq) {
+FramePtr make_cts(NodeId transmitter, NodeId dest, SimTime duration, std::uint32_t seq,
+                  JourneyId journey) {
   Frame f;
   f.type = FrameType::kCts;
   f.transmitter = transmitter;
   f.dest = dest;
   f.duration = duration;
   f.seq = seq;
+  f.journey = journey;
   return finish(std::move(f));
 }
 
@@ -72,28 +79,32 @@ FramePtr make_data80211(NodeId transmitter, NodeId dest, std::vector<NodeId> gro
   f.transmitter = transmitter;
   f.dest = dest;
   f.receivers = std::move(group);
+  f.journey = packet ? packet->journey : kInvalidJourney;
   f.packet = std::move(packet);
   f.seq = seq;
   f.duration = duration;
   return finish(std::move(f));
 }
 
-FramePtr make_ack(NodeId transmitter, NodeId dest, std::uint32_t seq) {
+FramePtr make_ack(NodeId transmitter, NodeId dest, std::uint32_t seq, JourneyId journey) {
   Frame f;
   f.type = FrameType::kAck;
   f.transmitter = transmitter;
   f.dest = dest;
   f.seq = seq;
+  f.journey = journey;
   return finish(std::move(f));
 }
 
-FramePtr make_rak(NodeId transmitter, NodeId dest, std::uint32_t seq, SimTime duration) {
+FramePtr make_rak(NodeId transmitter, NodeId dest, std::uint32_t seq, SimTime duration,
+                  JourneyId journey) {
   Frame f;
   f.type = FrameType::kRak;
   f.transmitter = transmitter;
   f.dest = dest;
   f.seq = seq;
   f.duration = duration;
+  f.journey = journey;
   return finish(std::move(f));
 }
 

@@ -10,7 +10,7 @@ namespace rmacsim {
 
 namespace {
 FramePtr make_grts(NodeId tx, std::vector<NodeId> receivers, std::uint32_t seq,
-                   SimTime duration) {
+                   SimTime duration, JourneyId journey) {
   Frame f;
   f.type = FrameType::kGrts;
   f.transmitter = tx;
@@ -18,6 +18,7 @@ FramePtr make_grts(NodeId tx, std::vector<NodeId> receivers, std::uint32_t seq,
   f.receivers = std::move(receivers);
   f.seq = seq;
   f.duration = duration;
+  f.journey = journey;
   return make_frame(std::move(f));
 }
 }  // namespace
@@ -109,7 +110,8 @@ void LammProtocol::begin_round() {
       n * cts_slot() + phy_.sifs +
       airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) + phy_.sifs +
       n * ack_slot() + 8 * phy_.max_propagation;
-  FramePtr grts = make_grts(id(), a.remaining, a.req.packet->seq, nav);
+  FramePtr grts = make_grts(id(), a.remaining, a.req.packet->seq, nav,
+                            a.req.packet->journey);
   stats_.control_tx_time += airtime(*grts);
   phase_ = Phase::kCtsWindow;
   if (!transmit_now(std::move(grts))) round_failed();
@@ -192,7 +194,8 @@ void LammProtocol::handle_frame(const FramePtr& frame) {
       const SimTime at = phy_.sifs + static_cast<std::int64_t>(*index) * cts_slot();
       FramePtr cts = make_cts(id(), frame->transmitter,
                               frame->duration - static_cast<std::int64_t>(*index + 1) *
-                                                    cts_slot());
+                                                    cts_slot(),
+                              /*seq=*/0, frame->journey);
       count_control_tx(*cts);
       scheduler_.schedule_in(at, [this, cts = std::move(cts)]() mutable {
         (void)transmit_now(std::move(cts));  // drop = sender counts us missing
@@ -216,7 +219,7 @@ void LammProtocol::handle_frame(const FramePtr& frame) {
         // was missed (the location knowledge LAMM postulates).
         if (phase_ == Phase::kIdle || phase_ == Phase::kContend) {
           const SimTime at = phy_.sifs + static_cast<std::int64_t>(*index) * ack_slot();
-          FramePtr ack = make_ack(id(), frame->transmitter, frame->seq);
+          FramePtr ack = make_ack(id(), frame->transmitter, frame->seq, frame->journey);
           count_control_tx(*ack);
           scheduler_.schedule_in(at, [this, ack = std::move(ack)]() mutable {
             (void)transmit_now(std::move(ack));

@@ -71,6 +71,10 @@ public:
   [[nodiscard]] MacStats& stats() noexcept { return stats_; }
   [[nodiscard]] const MacStats& stats() const noexcept { return stats_; }
 
+  // Pending transmission requests (observability probes; excludes any
+  // request currently in service).
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+
 protected:
   // Pending transmission request (FIFO service).
   struct TxRequest {

@@ -97,6 +97,7 @@ void MxProtocol::transmit_group_rts() {
   f.duration = phy_.tone_slot() + phy_.sifs +
                airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) +
                phy_.tone_slot() + 4 * phy_.max_propagation;
+  f.journey = a.req.packet->journey;
   FramePtr rts = make_frame(std::move(f));
   // Wire cost: standard 20 B RTS regardless of group size.
   stats_.control_tx_time += airtime_bytes(kRtsBytes);

@@ -51,6 +51,8 @@ void RmacProtocol::set_state(State next, const char* why) {
   if (state_ == next) return;
   if (tracer_ != nullptr && tracer_->wants(TraceCategory::kMacState)) {
     TraceRecord r{scheduler_.now(), TraceCategory::kMacState, id(), {}};
+    r.event = TraceEvent::kMacState;
+    r.aux = (static_cast<std::uint32_t>(state_) << 8) | static_cast<std::uint32_t>(next);
     tracer_->emit(std::move(r), [&] {
       return cat(to_string(state_), "->", to_string(next), " [", why, "]");
     });
@@ -176,7 +178,8 @@ void RmacProtocol::begin_transmission() {
 void RmacProtocol::transmit_mrts() {
   assert(active_.has_value() && !active_->remaining.empty());
   set_state(State::kTxMrts, "C10/C14");
-  FramePtr frame = make_mrts(id(), active_->remaining, active_->req.packet->seq);
+  FramePtr frame = make_mrts(id(), active_->remaining, active_->req.packet->seq,
+                             active_->req.packet->journey);
   ++active_->attempts;
   ++stats_.mrts_transmissions;
   stats_.mrts_lengths_bytes.push_back(static_cast<double>(frame->wire_bytes()));

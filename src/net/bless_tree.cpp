@@ -31,6 +31,7 @@ void BlessTree::send_hello() {
   pkt->payload_bytes = params_.hello_payload_bytes;
   pkt->created = scheduler_.now();
   pkt->hello = HelloInfo{hops_, parent_, epoch_};
+  pkt->journey = make_journey(id(), pkt->seq, /*hello=*/true);
   last_hello_ = scheduler_.now();
   mac_.unreliable_send(std::move(pkt), kBroadcastId);
 

@@ -1,10 +1,13 @@
 #include "net/multicast_app.hpp"
 
+#include "sim/strfmt.hpp"
+
 namespace rmacsim {
 
 MulticastApp::MulticastApp(Scheduler& scheduler, MacProtocol& mac, BlessTree& tree,
-                           MulticastAppParams params, DeliveryStats& delivery)
-    : scheduler_{scheduler}, mac_{mac}, tree_{tree}, params_{params}, delivery_{delivery} {
+                           MulticastAppParams params, DeliveryStats& delivery, Tracer* tracer)
+    : scheduler_{scheduler}, mac_{mac}, tree_{tree}, params_{params}, delivery_{delivery},
+      tracer_{tracer} {
   mac_.set_upper(this);
 }
 
@@ -20,6 +23,7 @@ void MulticastApp::generate_next() {
   pkt->seq = static_cast<std::uint32_t>(generated_);
   pkt->payload_bytes = params_.payload_bytes;
   pkt->created = scheduler_.now();
+  pkt->journey = make_journey(pkt->origin, pkt->seq);
   ++generated_;
   delivery_.note_generated(params_.receivers_per_packet);
   seen_.insert(pkt->seq);  // the source trivially "has" its own packet
@@ -48,6 +52,14 @@ void MulticastApp::mac_deliver(const Frame& frame) {
   if (!seen_.insert(pkt.seq).second) return;
   ++received_unique_;
   delivery_.note_delivered(scheduler_.now() - pkt.created);
+  if (tracer_ != nullptr && tracer_->wants(TraceCategory::kApp)) {
+    TraceRecord r{scheduler_.now(), TraceCategory::kApp, mac_.id(), {}};
+    r.event = TraceEvent::kDeliver;
+    r.journey = pkt.journey;
+    tracer_->emit(std::move(r), [&pkt] {
+      return cat("delivered seq=", pkt.seq, " from ", pkt.origin);
+    });
+  }
   forward(frame.packet);
 }
 

@@ -33,8 +33,10 @@ struct MulticastAppParams {
 
 class MulticastApp final : public MacUpper {
 public:
+  // `tracer` is optional: when set, first unique deliveries emit structured
+  // kApp/kDeliver records the flight recorder turns into e2e latency.
   MulticastApp(Scheduler& scheduler, MacProtocol& mac, BlessTree& tree,
-               MulticastAppParams params, DeliveryStats& delivery);
+               MulticastAppParams params, DeliveryStats& delivery, Tracer* tracer = nullptr);
 
   // Root only: begin generating packets.
   void start_source();
@@ -56,6 +58,7 @@ private:
   BlessTree& tree_;
   MulticastAppParams params_;
   DeliveryStats& delivery_;
+  Tracer* tracer_{nullptr};
 
   std::unordered_set<std::uint32_t> seen_;  // source seqs already delivered here
   std::uint64_t generated_{0};

@@ -1,0 +1,52 @@
+// Standard-format exporters for flight-recorder data.
+//
+//  * write_chrome_trace  — Chrome trace_event JSON (the JSON Array Format
+//    wrapped in {"traceEvents": [...]}), viewable in Perfetto / chrome://
+//    tracing: one slice track per node (frame transmissions, RBT holds),
+//    instants for ABT pulses and app deliveries, counter tracks from the
+//    time series.
+//  * write_journeys_jsonl — one JSON object per journey per line; the
+//    self-contained per-packet story (journey_test reconstructs protocol
+//    behaviour from this file alone, and tools/journey_report.py renders
+//    post-mortems from it).
+//  * write_timeseries_csv — the TimeSeriesCollector ring as a CSV for
+//    tools/plot_results.py --timeline.
+//  * write_run_manifest   — run provenance (config, seed, digests, output
+//    files) as flat JSON; fields are passed in generically so this layer
+//    stays below scenario/.
+//
+// All writers return false (and write nothing further) on I/O failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/timeseries.hpp"
+
+namespace rmacsim {
+
+[[nodiscard]] bool write_chrome_trace(const std::string& path, const FlightRecorder& recorder,
+                                      const TimeSeriesCollector* timeseries = nullptr);
+
+[[nodiscard]] bool write_journeys_jsonl(const std::string& path, const FlightRecorder& recorder);
+
+// `state_names[i]` labels state_counts[i] columns; pass RMAC's state names
+// for RMAC runs (see rmac_state_names()).
+[[nodiscard]] bool write_timeseries_csv(const std::string& path,
+                                        const TimeSeriesCollector& timeseries,
+                                        const std::vector<std::string>& state_names);
+
+// Column labels matching RmacProtocol::State enumerator order.
+[[nodiscard]] std::vector<std::string> rmac_state_names();
+
+struct ManifestField {
+  std::string key;
+  std::string value;
+  bool raw{false};  // true: emit verbatim (numbers, bools, nested JSON)
+};
+
+[[nodiscard]] bool write_run_manifest(const std::string& path,
+                                      const std::vector<ManifestField>& fields);
+
+}  // namespace rmacsim

@@ -1,0 +1,170 @@
+#include "obs/flight_recorder.hpp"
+
+#include <utility>
+
+namespace rmacsim {
+
+const char* to_string(JourneyEventKind k) noexcept {
+  switch (k) {
+    case JourneyEventKind::kTxStart: return "tx-start";
+    case JourneyEventKind::kTxEnd: return "tx-end";
+    case JourneyEventKind::kTxAbort: return "tx-abort";
+    case JourneyEventKind::kFrameRx: return "frame-rx";
+    case JourneyEventKind::kRbtOn: return "rbt-on";
+    case JourneyEventKind::kRbtOff: return "rbt-off";
+    case JourneyEventKind::kAbtPulse: return "abt-pulse";
+    case JourneyEventKind::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(Tracer& tracer, Config config)
+    : tracer_{tracer}, config_{config} {
+  sink_id_ = tracer_.add_sink(
+      [this](const TraceRecord& r) { on_record(r); },
+      Tracer::bit(TraceCategory::kPhy) | Tracer::bit(TraceCategory::kTone) |
+          Tracer::bit(TraceCategory::kApp),
+      /*needs_message=*/false);
+}
+
+FlightRecorder::~FlightRecorder() { tracer_.remove_sink(sink_id_); }
+
+const Journey* FlightRecorder::find(JourneyId id) const noexcept {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &journeys_[it->second];
+}
+
+Journey* FlightRecorder::journey_for(JourneyId id, SimTime at) {
+  if (id == kInvalidJourney) return nullptr;
+  if (!config_.track_hellos && journey_is_hello(id)) return nullptr;
+  const auto it = index_.find(id);
+  if (it != index_.end()) return &journeys_[it->second];
+  if (journeys_.size() >= config_.max_journeys) {
+    dropped_ids_.insert(id);
+    return nullptr;
+  }
+  Journey j;
+  j.id = id;
+  j.origin = journey_origin(id);
+  j.seq = journey_seq(id);
+  j.hello = journey_is_hello(id);
+  j.first_seen = at;
+  index_.emplace(id, journeys_.size());
+  journeys_.push_back(std::move(j));
+  return &journeys_.back();
+}
+
+void FlightRecorder::append(Journey& j, JourneyEvent ev) {
+  ++total_events_;
+  j.events.push_back(std::move(ev));
+}
+
+void FlightRecorder::on_record(const TraceRecord& r) {
+  switch (r.event) {
+    case TraceEvent::kTxStart: {
+      Journey* j = journey_for(r.journey, r.at);
+      if (j == nullptr || !r.frame) return;
+      JourneyEvent ev;
+      ev.at = r.at;
+      ev.node = r.node;
+      ev.kind = JourneyEventKind::kTxStart;
+      ev.frame_type = r.frame->type;
+      ev.wire_bytes = static_cast<std::uint32_t>(r.frame->wire_bytes());
+      if (!r.frame->receivers.empty()) ev.receivers = r.frame->receivers;
+      if (r.frame->type == FrameType::kMrts || r.frame->type == FrameType::kGrts) {
+        // Attempt ordinal: 1 + number of earlier MRTS/GRTS launches by this
+        // node within the journey (a forwarding hop restarts at 1).  Counted
+        // incrementally — a journey can hold hundreds of events, and a scan
+        // per launch made the recorder the run's hottest observer.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(j - journeys_.data()) << 32) | r.node;
+        ev.attempt = ++attempt_counts_[key];
+      }
+      append(*j, std::move(ev));
+      return;
+    }
+    case TraceEvent::kTxEnd: {
+      Journey* j = journey_for(r.journey, r.at);
+      if (j == nullptr || !r.frame) return;
+      JourneyEvent ev;
+      ev.at = r.at;
+      ev.node = r.node;
+      ev.kind = r.flag ? JourneyEventKind::kTxAbort : JourneyEventKind::kTxEnd;
+      ev.frame_type = r.frame->type;
+      append(*j, std::move(ev));
+      return;
+    }
+    case TraceEvent::kFrameRx: {
+      Journey* j = journey_for(r.journey, r.at);
+      if (j == nullptr || !r.frame) return;
+      const Frame& f = *r.frame;
+      JourneyEvent ev;
+      ev.at = r.at;
+      ev.node = r.node;
+      ev.kind = JourneyEventKind::kFrameRx;
+      ev.frame_type = f.type;
+      append(*j, std::move(ev));
+      // Commit this receiver's next tone activity to the journey (see
+      // header).  Overwrites any stale commitment from an exchange the
+      // receiver never answered.
+      if (f.type == FrameType::kMrts || f.type == FrameType::kGrts) {
+        if (f.receiver_index(r.node).has_value()) rbt_commit_[r.node] = r.journey;
+      } else if (f.type == FrameType::kReliableData) {
+        if (const auto idx = f.receiver_index(r.node); idx.has_value()) {
+          abt_expect_[r.node] = AbtExpect{r.journey, static_cast<std::int32_t>(*idx)};
+        }
+      }
+      return;
+    }
+    case TraceEvent::kToneOn:
+    case TraceEvent::kToneOff: {
+      if (r.flag) return;  // suppressed tone never aired
+      const bool on = r.event == TraceEvent::kToneOn;
+      if (r.aux == kToneKindRbt) {
+        const auto it = rbt_commit_.find(r.node);
+        if (it == rbt_commit_.end()) return;
+        Journey* j = journey_for(it->second, r.at);
+        if (j != nullptr) {
+          JourneyEvent ev;
+          ev.at = r.at;
+          ev.node = r.node;
+          ev.kind = on ? JourneyEventKind::kRbtOn : JourneyEventKind::kRbtOff;
+          append(*j, std::move(ev));
+        }
+        if (!on) rbt_commit_.erase(it);
+      } else if (r.aux == kToneKindAbt && on) {
+        // MX reuses the tone channels for anonymous CTS/NAK feedback; with
+        // no pending reliable-data expectation the pulse is not a per-slot
+        // ABT verdict and is ignored here.
+        const auto it = abt_expect_.find(r.node);
+        if (it == abt_expect_.end()) return;
+        Journey* j = journey_for(it->second.journey, r.at);
+        if (j != nullptr) {
+          JourneyEvent ev;
+          ev.at = r.at;
+          ev.node = r.node;
+          ev.kind = JourneyEventKind::kAbtPulse;
+          ev.slot = it->second.slot;
+          append(*j, std::move(ev));
+        }
+        abt_expect_.erase(it);
+      }
+      return;
+    }
+    case TraceEvent::kDeliver: {
+      Journey* j = journey_for(r.journey, r.at);
+      if (j == nullptr) return;
+      JourneyEvent ev;
+      ev.at = r.at;
+      ev.node = r.node;
+      ev.kind = JourneyEventKind::kDelivered;
+      append(*j, std::move(ev));
+      ++j->deliveries;
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,119 @@
+// Flight recorder: per-packet journey reconstruction from trace records.
+//
+// A FlightRecorder subscribes to the Tracer's structured phy/tone/app
+// records (needs_message=false, so attaching it never forces message
+// rendering) and folds them into per-JourneyId timelines: every frame
+// transmission, abort, and reception that served the packet, the RBT holds
+// its receivers raised, the per-slot ABT verdicts the sender scanned, and
+// each node's first app-layer delivery.  The correlation needs no protocol
+// state — only what is on the frames themselves:
+//
+//  * an MRTS/GRTS reception that lists node R commits R's next RBT
+//    on/off pair to that journey (the receiver raises its RBT immediately
+//    on accepting the MRTS, §3.3.2 step 2);
+//  * a reliable-data reception that lists R at position i commits R's next
+//    ABT pulse to that journey with slot i (the paper's slot assignment,
+//    §3.3.2 step 6) — so per-slot verdicts are exact, not timing-inferred;
+//  * tx/rx/deliver records carry the JourneyId directly.
+//
+// Hello journeys (BLESS-lite routing beacons) are skipped by default; they
+// dominate record counts without being interesting per-packet stories.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "sim/trace.hpp"
+
+namespace rmacsim {
+
+enum class JourneyEventKind : std::uint8_t {
+  kTxStart,   // a frame serving this journey went on air at `node`
+  kTxEnd,     // ... and completed
+  kTxAbort,   // ... and was truncated (RMAC: RBT detected mid-MRTS)
+  kFrameRx,   // an intact frame serving this journey decoded at `node`
+  kRbtOn,     // receiver `node` raised its RBT for this journey
+  kRbtOff,    // ... and dropped it
+  kAbtPulse,  // receiver `node` pulsed its ABT in `slot` for this journey
+  kDelivered, // app layer at `node` counted its first delivery
+};
+
+[[nodiscard]] const char* to_string(JourneyEventKind k) noexcept;
+
+struct JourneyEvent {
+  SimTime at;
+  NodeId node{kInvalidNode};
+  JourneyEventKind kind;
+  FrameType frame_type{FrameType::kUnreliableData};  // frame-borne events only
+  // MRTS/GRTS attempt ordinal at `node` (1 = first attempt); 0 elsewhere.
+  std::uint32_t attempt{0};
+  std::int32_t slot{-1};         // kAbtPulse: ABT slot index
+  std::uint32_t wire_bytes{0};   // kTxStart only
+  std::vector<NodeId> receivers; // kTxStart of listed frames only
+};
+
+struct Journey {
+  JourneyId id{kInvalidJourney};
+  NodeId origin{kInvalidNode};
+  std::uint32_t seq{0};
+  bool hello{false};
+  SimTime first_seen{SimTime::zero()};  // time of the first recorded event
+  std::uint32_t deliveries{0};
+  std::vector<JourneyEvent> events;     // in record order (= time order)
+};
+
+class FlightRecorder {
+public:
+  struct Config {
+    bool track_hellos{false};
+    // Journeys beyond this cap are counted in dropped_journeys() but not
+    // stored; keeps long sweeps bounded.
+    std::size_t max_journeys{1u << 20};
+  };
+
+  explicit FlightRecorder(Tracer& tracer) : FlightRecorder(tracer, Config{}) {}
+  FlightRecorder(Tracer& tracer, Config config);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  [[nodiscard]] const std::vector<Journey>& journeys() const noexcept { return journeys_; }
+  [[nodiscard]] const Journey* find(JourneyId id) const noexcept;
+  // Distinct journeys seen after the max_journeys cap was reached.
+  [[nodiscard]] std::uint64_t dropped_journeys() const noexcept {
+    return dropped_ids_.size();
+  }
+  [[nodiscard]] std::uint64_t total_events() const noexcept { return total_events_; }
+
+private:
+  void on_record(const TraceRecord& r);
+  Journey* journey_for(JourneyId id, SimTime at);
+  void append(Journey& j, JourneyEvent ev);
+
+  struct AbtExpect {
+    JourneyId journey;
+    std::int32_t slot;
+  };
+
+  Tracer& tracer_;
+  Config config_;
+  Tracer::SinkId sink_id_;
+
+  std::vector<Journey> journeys_;
+  std::unordered_map<JourneyId, std::size_t> index_;
+  // Per-receiver commitments established by frame receptions (see header
+  // comment); overwritten by newer receptions, erased when consumed.
+  std::unordered_map<NodeId, JourneyId> rbt_commit_;
+  std::unordered_map<NodeId, AbtExpect> abt_expect_;
+  // MRTS/GRTS launches seen per (journey index << 32 | node), so attempt
+  // ordinals need no scan over the journey's events.
+  std::unordered_map<std::uint64_t, std::uint32_t> attempt_counts_;
+  std::unordered_set<JourneyId> dropped_ids_;
+  std::uint64_t total_events_{0};
+};
+
+}  // namespace rmacsim

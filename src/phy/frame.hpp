@@ -43,6 +43,9 @@ struct AppPacket {
   std::size_t payload_bytes{0};     // application payload size
   SimTime created{SimTime::zero()}; // creation time at the origin (for e2e delay)
   std::optional<HelloInfo> hello;   // set when kind == kHello
+  // Flight-recorder identity (sim/ids.hpp); assigned once at creation and
+  // copied onto every frame that moves this packet.
+  JourneyId journey{kInvalidJourney};
 };
 
 using AppPacketPtr = std::shared_ptr<const AppPacket>;
@@ -100,6 +103,11 @@ struct Frame {
   // NAV reservation (802.11-style frames): time the medium is claimed for,
   // measured from the end of this frame.
   SimTime duration{SimTime::zero()};
+  // Journey of the application packet this frame serves: data frames inherit
+  // it from `packet`, control frames (MRTS/RTS/CTS/ACK/...) carry the journey
+  // of the exchange they belong to.  kInvalidJourney when the frame serves no
+  // particular packet.  Not part of the wire format — observer-only.
+  JourneyId journey{kInvalidJourney};
 
   // MAC-level length in bytes, per the table at the top of this header.
   [[nodiscard]] std::size_t wire_bytes() const noexcept {

@@ -128,6 +128,7 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
     TraceRecord r{now, TraceCategory::kPhy, tx.id(), {}};
     r.event = TraceEvent::kTxStart;
     r.frame = frame;
+    r.journey = frame->journey;
     tracer_->emit(std::move(r), [&] {
       return cat("tx-start ", to_string(frame->type), " ", frame->wire_bytes(), "B air=",
                  airtime.to_us(), "us");
@@ -206,6 +207,7 @@ void Medium::on_tx_done(TxHandle h) {
     TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx->id(), {}};
     r.event = TraceEvent::kTxEnd;
     r.frame = t.frame;
+    r.journey = t.frame->journey;
     tracer_->emit(std::move(r), [&t] { return cat("tx-end ", to_string(t.frame->type)); });
   }
   t.finished = true;
@@ -233,6 +235,7 @@ void Medium::abort_transmission(Radio& tx) {
     TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx.id(), {}};
     r.event = TraceEvent::kTxEnd;
     r.frame = t.frame;
+    r.journey = t.frame->journey;
     r.flag = true;  // aborted
     tracer_->emit(std::move(r), [&t] { return cat("tx-abort ", to_string(t.frame->type)); });
   }

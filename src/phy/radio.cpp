@@ -85,6 +85,7 @@ void Radio::signal_end(std::uint64_t sig, bool intact, const FramePtr& frame) {
       TraceRecord r{medium_.scheduler().now(), TraceCategory::kPhy, id_, {}};
       r.event = TraceEvent::kFrameRx;
       r.frame = frame;
+      r.journey = frame->journey;
       tracer->emit(std::move(r), [&frame] {
         return cat("rx ", to_string(frame->type), " from ", frame->transmitter);
       });

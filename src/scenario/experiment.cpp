@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <filesystem>
 #include <optional>
 #include "sim/strfmt.hpp"
 
 #include "audit/sim_auditor.hpp"
+#include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeseries.hpp"
+
+#ifndef RMAC_GIT_REVISION
+#define RMAC_GIT_REVISION "unknown"
+#endif
 
 namespace rmacsim {
 
@@ -87,6 +96,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     auditor.emplace(net.tracer(), std::move(ac));
   }
 
+  std::optional<FlightRecorder> recorder;
+  std::optional<TimeSeriesCollector> timeseries;
+
   TraceDigest digest;
   std::optional<Tracer::SinkId> digest_sink;
   if (config.trace_digest) {
@@ -110,6 +122,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     const std::size_t c = n.tree->child_count();
     if (c > 0) children.add(static_cast<double>(c));
+  }
+
+  // The flight recorder and time-series collector attach at the end of
+  // warm-up, when the source starts: packet journeys cannot exist earlier
+  // (hello journeys are skipped by default), and keeping the observers off
+  // the warm-up hello storm keeps their overhead proportional to the
+  // traffic actually being studied.
+  if (config.obs.record) {
+    FlightRecorder::Config rc;
+    rc.track_hellos = config.obs.track_hellos;
+    recorder.emplace(net.tracer(), rc);
+    TimeSeriesCollector::Config tc;
+    tc.sample_period = config.obs.sample_period;
+    tc.capacity = config.obs.timeseries_capacity;
+    tc.queue_probe = [&net] {
+      std::uint64_t sum = 0;
+      for (const Node& n : net.nodes()) sum += n.mac->queue_depth();
+      return sum;
+    };
+    timeseries.emplace(sched, net.tracer(), std::move(tc));
+    timeseries->start();
   }
 
   net.start_source();
@@ -185,6 +218,57 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (digest_sink.has_value()) {
     net.tracer().remove_sink(*digest_sink);
     r.trace_digest = digest.value();
+  }
+
+  if (recorder.has_value()) {
+    timeseries->stop();
+    r.obs.journeys = recorder->journeys().size();
+    r.obs.journey_events = recorder->total_events();
+    r.obs.samples = timeseries->sample_count();
+  }
+  // Artifact export is deliberately outside the run's overhead budget: it is
+  // a post-run serialization step whose cost tracks artifact size (tens of
+  // MB on paper-scale scenarios), and r.obs.export_ms reports it.
+  if (recorder.has_value() && !config.obs.out_dir.empty()) {
+    const auto export_begin = std::chrono::steady_clock::now();
+    std::error_code ec;
+    std::filesystem::create_directories(config.obs.out_dir, ec);
+    const std::string base = (std::filesystem::path(config.obs.out_dir) /
+                              config.obs.prefix).string();
+    r.obs.trace_json = base + "_trace.json";
+    r.obs.journeys_jsonl = base + "_journeys.jsonl";
+    r.obs.timeseries_csv = base + "_timeseries.csv";
+    r.obs.manifest_json = base + "_manifest.json";
+    (void)write_chrome_trace(r.obs.trace_json, *recorder, &*timeseries);
+    (void)write_journeys_jsonl(r.obs.journeys_jsonl, *recorder);
+    (void)write_timeseries_csv(r.obs.timeseries_csv, *timeseries,
+                               config.protocol == Protocol::kRmac
+                                   ? rmac_state_names()
+                                   : std::vector<std::string>{});
+
+    std::vector<ManifestField> m;
+    m.push_back({"label", config.label(), false});
+    m.push_back({"protocol", std::string(rmacsim::to_string(config.protocol)), false});
+    m.push_back({"mobility", std::string(rmacsim::to_string(config.mobility)), false});
+    m.push_back({"seed", std::to_string(config.seed), true});
+    m.push_back({"num_nodes", std::to_string(config.num_nodes), true});
+    m.push_back({"rate_pps", cat(config.rate_pps), true});
+    m.push_back({"num_packets", std::to_string(config.num_packets), true});
+    m.push_back({"payload_bytes", std::to_string(config.payload_bytes), true});
+    m.push_back({"git_revision", RMAC_GIT_REVISION, false});
+    if (config.trace_digest) m.push_back({"trace_digest", std::to_string(r.trace_digest), true});
+    m.push_back({"journeys", std::to_string(r.obs.journeys), true});
+    m.push_back({"journey_events", std::to_string(r.obs.journey_events), true});
+    m.push_back({"journeys_dropped", std::to_string(recorder->dropped_journeys()), true});
+    m.push_back({"timeseries_samples", std::to_string(r.obs.samples), true});
+    m.push_back({"sample_period_us", cat(config.obs.sample_period.to_us()), true});
+    m.push_back({"trace_json", r.obs.trace_json, false});
+    m.push_back({"journeys_jsonl", r.obs.journeys_jsonl, false});
+    m.push_back({"timeseries_csv", r.obs.timeseries_csv, false});
+    (void)write_run_manifest(r.obs.manifest_json, m);
+    r.obs.export_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - export_begin)
+                          .count();
   }
   return r;
 }

@@ -36,6 +36,24 @@ struct ExperimentConfig {
   // event order, timing, or frame contents shifts the value.
   bool trace_digest{false};
 
+  // Flight-recorder attachment (src/obs/): when `record` is set the run
+  // attaches a FlightRecorder and TimeSeriesCollector and, at the end,
+  // writes <out_dir>/<prefix>_trace.json (Chrome trace_event JSON),
+  // <prefix>_journeys.jsonl, <prefix>_timeseries.csv, and
+  // <prefix>_manifest.json.  Costs trace-sink dispatch on the hot path
+  // (budget: <10% on the audited 75-node paper scenario), so off by default.
+  struct ObsConfig {
+    bool record{false};
+    SimTime sample_period{SimTime::ms(10)};
+    std::size_t timeseries_capacity{8192};
+    bool track_hellos{false};
+    // Artifact directory; leave empty to record in memory only (ObsSummary
+    // counts are still filled, nothing is written to disk).
+    std::string out_dir{"."};
+    std::string prefix{"run"};
+  };
+  ObsConfig obs;
+
   [[nodiscard]] std::string label() const;
 };
 
@@ -83,6 +101,22 @@ struct ExperimentResult {
 
   // Populated when config.trace_digest is set.
   std::uint64_t trace_digest{0};
+
+  // Populated when config.obs.record is set.
+  struct ObsSummary {
+    std::uint64_t journeys{0};
+    std::uint64_t journey_events{0};
+    std::uint64_t samples{0};
+    // Wall-clock cost of writing the artifacts below (0 when obs.out_dir is
+    // empty and nothing was written).  Reported separately from the run:
+    // export scales with artifact size, not with simulated time.
+    double export_ms{0.0};
+    std::string trace_json;       // paths of the written artifacts
+    std::string journeys_jsonl;
+    std::string timeseries_csv;
+    std::string manifest_json;
+  };
+  ObsSummary obs;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);

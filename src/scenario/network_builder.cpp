@@ -129,7 +129,8 @@ Network::Network(NetworkConfig config) : config_{config} {
 
     MulticastAppParams app = config_.app;
     app.receivers_per_packet = config_.num_nodes - 1;
-    n.app = std::make_unique<MulticastApp>(scheduler_, *n.mac, *n.tree, app, delivery_);
+    n.app = std::make_unique<MulticastApp>(scheduler_, *n.mac, *n.tree, app, delivery_,
+                                           &tracer_);
     nodes_.push_back(std::move(n));
   }
 }

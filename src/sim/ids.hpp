@@ -12,4 +12,34 @@ using NodeId = std::uint32_t;
 inline constexpr NodeId kBroadcastId = std::numeric_limits<NodeId>::max();
 inline constexpr NodeId kInvalidNode = kBroadcastId - 1;
 
+// ---------------------------------------------------------------------------
+// Journey identifiers (flight recorder, src/obs/).
+//
+// Every application packet is assigned a JourneyId at creation; the id rides
+// on the AppPacket and on every frame of every MAC exchange that moves the
+// packet (data frames via their payload pointer, control frames explicitly),
+// so an observer can reconstruct the packet's full multi-hop story from
+// trace records alone.  The id packs the origin-scoped identity so it is
+// stable across runs of the same seed and needs no central allocator:
+//
+//   bit 63     : 1 for routing hellos, 0 for application data
+//   bits 62-32 : origin NodeId + 1 (so a valid journey is never 0)
+//   bits 31-0  : origin-scoped sequence number
+using JourneyId = std::uint64_t;
+
+inline constexpr JourneyId kInvalidJourney = 0;
+
+[[nodiscard]] constexpr JourneyId make_journey(NodeId origin, std::uint32_t seq,
+                                               bool hello = false) noexcept {
+  return (hello ? (JourneyId{1} << 63) : JourneyId{0}) |
+         ((static_cast<JourneyId>(origin) + 1) & 0x7fffffffu) << 32 | seq;
+}
+[[nodiscard]] constexpr NodeId journey_origin(JourneyId j) noexcept {
+  return static_cast<NodeId>(((j >> 32) & 0x7fffffffu) - 1);
+}
+[[nodiscard]] constexpr std::uint32_t journey_seq(JourneyId j) noexcept {
+  return static_cast<std::uint32_t>(j);
+}
+[[nodiscard]] constexpr bool journey_is_hello(JourneyId j) noexcept { return (j >> 63) != 0; }
+
 }  // namespace rmacsim

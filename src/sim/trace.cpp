@@ -22,6 +22,8 @@ std::string_view to_string(TraceEvent e) noexcept {
     case TraceEvent::kFrameRx: return "frame-rx";
     case TraceEvent::kToneOn: return "tone-on";
     case TraceEvent::kToneOff: return "tone-off";
+    case TraceEvent::kMacState: return "mac-state";
+    case TraceEvent::kDeliver: return "deliver";
   }
   return "?";
 }

@@ -21,13 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
-#include <vector>
 
+#include "sim/ids.hpp"
 #include "sim/time.hpp"
 
 namespace rmacsim {
@@ -53,6 +54,8 @@ enum class TraceEvent : std::uint8_t {
   kFrameRx,  // an intact frame was decoded at node (regardless of addressing)
   kToneOn,   // node raised its tone; aux = tone kind; flag = suppressed
   kToneOff,  // node dropped its tone; aux = tone kind; flag = suppressed
+  kMacState, // MAC state transition; aux = (from_state << 8) | to_state
+  kDeliver,  // app-layer first delivery of a packet at node
 };
 
 [[nodiscard]] std::string_view to_string(TraceEvent e) noexcept;
@@ -74,7 +77,10 @@ struct TraceRecord {
   TraceEvent event{TraceEvent::kGeneric};
   std::shared_ptr<const Frame> frame{};  // kTxStart / kTxEnd / kFrameRx
   bool flag{false};                      // kTxEnd: aborted; tones: suppressed
-  std::uint32_t aux{0};                  // tones: kToneKind*
+  std::uint32_t aux{0};                  // tones: kToneKind*; kMacState: states
+  // Journey of the packet this record concerns (flight recorder); mirrors
+  // frame->journey on frame events so mask-only sinks needn't touch `frame`.
+  JourneyId journey{kInvalidJourney};
 };
 
 class Tracer {
@@ -109,17 +115,26 @@ class Tracer {
     add_entry(id, categories, needs_message, std::move(sink));
     return id;
   }
+  // Safe to call from inside a sink callback during emit: the entry is
+  // tombstoned (never invoked again, including for the record currently being
+  // dispatched to later sinks) and physically erased once dispatch unwinds.
   void remove_sink(SinkId id) noexcept {
-    for (std::size_t i = 0; i < sinks_.size(); ++i) {
-      if (sinks_[i].id == id) {
-        sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
+    for (Entry& e : sinks_) {
+      if (e.id == id && e.sink) {
+        e.id = kTombstone;
+        e.sink = nullptr;
+        if (dispatch_depth_ == 0) {
+          compact();
+        } else {
+          pending_compact_ = true;
+        }
         recompute_masks();
         return;
       }
     }
   }
 
-  [[nodiscard]] bool enabled() const noexcept { return !sinks_.empty(); }
+  [[nodiscard]] bool enabled() const noexcept { return union_mask_ != 0; }
 
   // True when some sink subscribed to `c` — the emit-site guard.
   [[nodiscard]] bool wants(TraceCategory c) const noexcept {
@@ -156,10 +171,12 @@ class Tracer {
     SinkId id;
     CategoryMask mask;
     bool needs_message;
-    Sink sink;
+    Sink sink;  // nullptr = tombstone awaiting compaction
   };
 
   static constexpr SinkId kPrimarySink = 0;
+  // Marks a tombstoned entry so a recycled SinkId can never match it.
+  static constexpr SinkId kTombstone = std::numeric_limits<SinkId>::max();
 
   void add_entry(SinkId id, CategoryMask mask, bool needs_message, Sink sink) {
     sinks_.push_back(Entry{id, mask, needs_message, std::move(sink)});
@@ -170,22 +187,42 @@ class Tracer {
     union_mask_ = 0;
     message_mask_ = 0;
     for (const Entry& e : sinks_) {
+      if (!e.sink) continue;
       union_mask_ |= e.mask;
       if (e.needs_message) message_mask_ |= e.mask;
     }
   }
 
-  void dispatch(const TraceRecord& r) const {
-    const CategoryMask b = bit(r.category);
-    for (const Entry& e : sinks_) {
-      if ((e.mask & b) != 0) e.sink(r);
+  void compact() const noexcept {
+    for (std::size_t i = sinks_.size(); i-- > 0;) {
+      if (!sinks_[i].sink) sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
     }
+    pending_compact_ = false;
   }
 
-  std::vector<Entry> sinks_;
+  // Reentrancy contract: a sink callback may add or remove sinks (itself
+  // included).  Entries live in a deque so appends never relocate the entry
+  // whose std::function is currently executing; the size snapshot means a
+  // sink added mid-dispatch first sees the *next* record (never a partial or
+  // double delivery of this one); removal tombstones in place, so later
+  // entries keep their positions and are each visited exactly once.
+  void dispatch(const TraceRecord& r) const {
+    const CategoryMask b = bit(r.category);
+    ++dispatch_depth_;
+    const std::size_t n = sinks_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Entry& e = sinks_[i];
+      if (e.sink && (e.mask & b) != 0) e.sink(r);
+    }
+    if (--dispatch_depth_ == 0 && pending_compact_) compact();
+  }
+
+  mutable std::deque<Entry> sinks_;
   CategoryMask union_mask_{0};
   CategoryMask message_mask_{0};
   SinkId next_id_{1};
+  mutable std::uint32_t dispatch_depth_{0};
+  mutable bool pending_compact_{false};
 };
 
 }  // namespace rmacsim

@@ -55,9 +55,14 @@ struct MacStats {
                : static_cast<double>(retransmissions) / static_cast<double>(reliable_requests);
   }
   [[nodiscard]] double tx_overhead_ratio() const noexcept {
-    const double data = reliable_data_tx_time.to_seconds();
-    if (data <= 0.0) return 0.0;
-    return (control_tx_time + control_rx_time + abt_check_time).to_seconds() / data;
+    // Ratio of integer nanosecond counts: converting each side to seconds
+    // first would round sub-microsecond data time toward 0.0 and report zero
+    // overhead for runs that did transmit (short) reliable data.
+    const std::int64_t data_ns = reliable_data_tx_time.nanoseconds();
+    if (data_ns <= 0) return 0.0;
+    const std::int64_t overhead_ns =
+        (control_tx_time + control_rx_time + abt_check_time).nanoseconds();
+    return static_cast<double>(overhead_ns) / static_cast<double>(data_ns);
   }
   [[nodiscard]] double mrts_abort_ratio() const noexcept {
     return mrts_transmissions == 0

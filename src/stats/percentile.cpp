@@ -38,4 +38,59 @@ double SampleStats::min() const noexcept {
 }
 double SampleStats::percentile(double p) const { return rmacsim::percentile(values_, p); }
 
+StreamingHistogram::StreamingHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      bins_(bins == 0 ? 1 : bins, 0) {}
+
+void StreamingHistogram::add(double v) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((v - lo_) / bin_width_);
+    if (idx >= bins_.size()) idx = bins_.size() - 1;  // fp edge at hi_
+    ++bins_[idx];
+  }
+}
+
+double StreamingHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double StreamingHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Nearest-rank walk over the bins; interpolate within the containing bin.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = underflow_;
+  if (target <= seen) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    if (target <= seen + bins_[i]) {
+      const double frac =
+          static_cast<double>(target - seen) / static_cast<double>(bins_[i]);
+      return lo_ + bin_width_ * (static_cast<double>(i) + frac);
+    }
+    seen += bins_[i];
+  }
+  return hi_;  // target falls into the overflow bin
+}
+
+void StreamingHistogram::clear() noexcept {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  underflow_ = overflow_ = count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
 }  // namespace rmacsim

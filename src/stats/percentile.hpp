@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -35,6 +36,46 @@ public:
 
 private:
   std::vector<double> values_;
+};
+
+// Fixed-bin streaming histogram for unbounded sample streams (time-series
+// collection, src/obs/).  Unlike SampleStats it keeps O(bins) state no matter
+// how many samples arrive; percentiles are estimated by linear interpolation
+// inside the containing bin.  Values outside [lo, hi) land in saturating
+// under/overflow bins that clamp percentile estimates to the range edges.
+class StreamingHistogram {
+public:
+  StreamingHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return empty() ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return empty() ? 0.0 : max_; }
+  // p in [0, 100]; 0 on an empty histogram.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  [[nodiscard]] double bin_lo() const noexcept { return lo_; }
+  [[nodiscard]] double bin_hi() const noexcept { return hi_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const noexcept { return bins_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  void clear() noexcept;
+
+private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_{0};
+  std::uint64_t overflow_{0};
+  std::uint64_t count_{0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
 };
 
 }  // namespace rmacsim

@@ -1,0 +1,211 @@
+// Journey reconstruction from the exported JSONL alone: run the Fig. 4
+// scenario with a scripted loss of C's data copy, dump the flight recorder
+// to disk, then re-read the file and reassemble the MRTS-rebuild story —
+// receiver sets, attempt ordinals, and per-slot ABT verdicts — using only
+// what is in the JSONL.  This is the exporter's round-trip contract: a
+// post-mortem tool must never need the live recorder.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "test_util.hpp"
+
+namespace rmacsim {
+namespace {
+
+using namespace rmacsim::literals;
+using test::TestNet;
+using test::make_packet;
+
+// --- Minimal extraction helpers for the exporter's own JSONL format --------
+// (flat keys, no nesting inside event objects except the receivers array).
+
+std::optional<std::uint64_t> get_u64(const std::string& s, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = s.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::stoull(s.substr(pos + needle.size()));
+}
+
+std::optional<std::string> get_str(const std::string& s, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t pos = s.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = s.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return s.substr(start, end - start);
+}
+
+std::vector<NodeId> get_receivers(const std::string& s) {
+  std::vector<NodeId> out;
+  const std::string needle = "\"receivers\":[";
+  const std::size_t pos = s.find(needle);
+  if (pos == std::string::npos) return out;
+  std::size_t start = pos + needle.size();
+  const std::size_t end = s.find(']', start);
+  std::stringstream ss{s.substr(start, end - start)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<NodeId>(std::stoul(item)));
+  }
+  return out;
+}
+
+// Split the "events":[{...},{...}] array into per-event object strings.
+// Event objects are flat except for the receivers array, so objects are
+// delimited by matching braces at depth 1.
+std::vector<std::string> split_events(const std::string& line) {
+  std::vector<std::string> out;
+  const std::string needle = "\"events\":[";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return out;
+  int depth = 0;
+  std::size_t obj_start = 0;
+  for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '{') {
+      if (depth == 0) obj_start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) out.push_back(line.substr(obj_start, i - obj_start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+struct ParsedEvent {
+  std::string kind;
+  NodeId node{kInvalidNode};
+  std::string frame;
+  std::uint32_t attempt{0};
+  std::int32_t slot{-1};
+  std::vector<NodeId> receivers;
+};
+
+std::vector<ParsedEvent> parse_journey_line(const std::string& line) {
+  std::vector<ParsedEvent> out;
+  for (const std::string& obj : split_events(line)) {
+    ParsedEvent e;
+    e.kind = get_str(obj, "kind").value_or("");
+    e.node = static_cast<NodeId>(get_u64(obj, "node").value_or(kInvalidNode));
+    e.frame = get_str(obj, "frame").value_or("");
+    e.attempt = static_cast<std::uint32_t>(get_u64(obj, "attempt").value_or(0));
+    if (const auto s = get_u64(obj, "slot")) e.slot = static_cast<std::int32_t>(*s);
+    e.receivers = get_receivers(obj);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+TEST(JourneyJsonl, RebuiltMrtsReceiverSetAndPerSlotAbtVerdictsRoundTrip) {
+  TestNet net;
+  FlightRecorder recorder{net.tracer()};
+
+  RmacProtocol& a = net.add_rmac({0, 0});   // A = node 0
+  net.add_rmac({40, 0});                    // B = node 1
+  net.add_rmac({0, 40});                    // C = node 2
+
+  // Corrupt C's copy of the first data frame: C's ABT slot stays silent and
+  // A must rebuild the MRTS for {C} alone.
+  net.scripted().drop_next(/*rx=*/2, FrameType::kReliableData, /*count=*/1);
+
+  auto pkt = make_packet(0, 7);
+  const JourneyId jid = pkt->journey;
+  a.reliable_send(std::move(pkt), {1, 2});
+  net.run_for(1_s);
+  ASSERT_EQ(net.upper(1).data_count(), 1u);
+  ASSERT_EQ(net.upper(2).data_count(), 1u);
+
+  // Export and then drop every in-memory structure: the assertions below
+  // may only look at the file.
+  const std::string path = testing::TempDir() + "journey_roundtrip.jsonl";
+  ASSERT_TRUE(write_journeys_jsonl(path, recorder));
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<ParsedEvent> events;
+  bool found = false;
+  while (std::getline(in, line)) {
+    if (get_u64(line, "journey") == jid) {
+      found = true;
+      EXPECT_EQ(get_u64(line, "origin"), 0u);
+      EXPECT_EQ(get_u64(line, "seq"), 7u);
+      events = parse_journey_line(line);
+    }
+  }
+  ASSERT_TRUE(found) << "journey " << jid << " missing from " << path;
+  ASSERT_FALSE(events.empty());
+
+  // --- Reassemble the story from the parsed events only ---------------------
+  std::vector<ParsedEvent> mrts_txs;
+  std::vector<ParsedEvent> pulses;
+  for (const ParsedEvent& e : events) {
+    if (e.kind == "tx-start" && e.frame == "MRTS" && e.node == 0) mrts_txs.push_back(e);
+    if (e.kind == "abt-pulse") pulses.push_back(e);
+  }
+
+  // Attempt 1 announced {B, C}; the rebuilt MRTS announced {C} alone.
+  ASSERT_GE(mrts_txs.size(), 2u);
+  EXPECT_EQ(mrts_txs[0].attempt, 1u);
+  EXPECT_EQ(mrts_txs[0].receivers, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(mrts_txs[1].attempt, 2u);
+  EXPECT_EQ(mrts_txs[1].receivers, (std::vector<NodeId>{2}));
+
+  // Per-slot verdicts: B pulsed slot 0 of the first scan; slot 1 (C's slot
+  // in the first data frame) stayed silent; after the rebuild C owns slot 0
+  // and pulsed it.
+  ASSERT_EQ(pulses.size(), 2u);
+  EXPECT_EQ(pulses[0].node, 1u);
+  EXPECT_EQ(pulses[0].slot, 0);
+  EXPECT_EQ(pulses[1].node, 2u);
+  EXPECT_EQ(pulses[1].slot, 0);
+  for (const ParsedEvent& p : pulses) EXPECT_NE(p.slot, 1);
+}
+
+TEST(JourneyJsonl, CleanDeliveryHasSingleAttemptAndAllSlotsPulsed) {
+  TestNet net;
+  FlightRecorder recorder{net.tracer()};
+  RmacProtocol& a = net.add_rmac({0, 0});
+  net.add_rmac({40, 0});
+  net.add_rmac({0, 40});
+
+  auto pkt = make_packet(0, 1);
+  const JourneyId jid = pkt->journey;
+  a.reliable_send(std::move(pkt), {1, 2});
+  net.run_for(1_s);
+
+  const std::string path = testing::TempDir() + "journey_clean.jsonl";
+  ASSERT_TRUE(write_journeys_jsonl(path, recorder));
+
+  std::ifstream in{path};
+  std::string line;
+  std::vector<ParsedEvent> events;
+  while (std::getline(in, line)) {
+    if (get_u64(line, "journey") == jid) events = parse_journey_line(line);
+  }
+  ASSERT_FALSE(events.empty());
+
+  std::uint32_t max_attempt = 0;
+  std::vector<std::int32_t> slots;
+  for (const ParsedEvent& e : events) {
+    max_attempt = std::max(max_attempt, e.attempt);
+    if (e.kind == "abt-pulse") slots.push_back(e.slot);
+  }
+  EXPECT_EQ(max_attempt, 1u);
+  EXPECT_EQ(slots, (std::vector<std::int32_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -1,0 +1,52 @@
+// MacStats ratio accessors: in particular the Fig. 11 transmission-overhead
+// ratio, which must divide raw nanosecond counts — an earlier formulation
+// converted to seconds first and collapsed sub-microsecond data airtime to a
+// zero denominator.
+#include <gtest/gtest.h>
+
+#include "stats/metrics.hpp"
+
+namespace rmacsim {
+namespace {
+
+TEST(MacStats, TxOverheadRatioSurvivesSubMicrosecondDataTime) {
+  MacStats s;
+  s.control_tx_time = SimTime::ns(400);
+  s.control_rx_time = SimTime::ns(300);
+  s.abt_check_time = SimTime::ns(100);
+  s.reliable_data_tx_time = SimTime::ns(200);  // rounds to 0.0 in seconds
+  EXPECT_DOUBLE_EQ(s.tx_overhead_ratio(), 4.0);
+}
+
+TEST(MacStats, TxOverheadRatioZeroWhenNoReliableDataWasSent) {
+  MacStats s;
+  s.control_tx_time = SimTime::ms(5);
+  EXPECT_DOUBLE_EQ(s.tx_overhead_ratio(), 0.0);  // no division by zero
+}
+
+TEST(MacStats, TxOverheadRatioMatchesPaperScaleNumbers) {
+  MacStats s;
+  s.control_tx_time = SimTime::us(216);
+  s.control_rx_time = SimTime::us(384);
+  s.abt_check_time = SimTime::us(40);
+  s.reliable_data_tx_time = SimTime::us(6400);
+  EXPECT_DOUBLE_EQ(s.tx_overhead_ratio(), 640.0 / 6400.0);
+}
+
+TEST(MacStats, CountRatiosGuardZeroDenominators) {
+  MacStats s;
+  EXPECT_DOUBLE_EQ(s.drop_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.retransmission_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mrts_abort_ratio(), 0.0);
+  s.reliable_requests = 4;
+  s.reliable_dropped = 1;
+  s.retransmissions = 2;
+  s.mrts_transmissions = 8;
+  s.mrts_aborted = 2;
+  EXPECT_DOUBLE_EQ(s.drop_ratio(), 0.25);
+  EXPECT_DOUBLE_EQ(s.retransmission_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(s.mrts_abort_ratio(), 0.25);
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -73,6 +73,7 @@ inline AppPacketPtr make_packet(NodeId origin, std::uint32_t seq, std::size_t by
   p->origin = origin;
   p->seq = seq;
   p->payload_bytes = bytes;
+  p->journey = make_journey(origin, seq);  // flight-recorder correlation
   return p;
 }
 

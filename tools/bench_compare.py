@@ -42,6 +42,14 @@ def main() -> int:
     parser.add_argument("--append-trajectory", metavar="PATH", default="",
                         help="append a one-line summary of the candidate to "
                              "this JSONL file (the perf trajectory artifact)")
+    parser.add_argument("--ratio-gate", metavar="NAME_A:NAME_B:MAX_RATIO",
+                        action="append", default=[],
+                        help="fail unless candidate cpu_time(NAME_A) / "
+                             "cpu_time(NAME_B) <= MAX_RATIO; compares within "
+                             "the candidate report so machine speed cancels "
+                             "out (e.g. the flight-recorder overhead budget: "
+                             "BM_RecordedSmallExperiment:"
+                             "BM_AuditedSmallExperiment:1.10)")
     args = parser.parse_args()
 
     base = by_name(load(args.baseline))
@@ -71,6 +79,29 @@ def main() -> int:
         allocs = c.get("counters", {}).get("allocs_per_tx")
         if allocs is not None and allocs > 0:
             failures.append(f"{name}: allocs_per_tx = {allocs} (must be 0)")
+
+    # Candidate-internal ratio gates (A must cost at most MAX_RATIO x B).
+    for gate in args.ratio_gate:
+        try:
+            name_a, name_b, max_ratio_s = gate.rsplit(":", 2)
+            max_ratio = float(max_ratio_s)
+        except ValueError:
+            parser.error(f"--ratio-gate {gate!r}: expected NAME_A:NAME_B:MAX_RATIO")
+        a, b = cand.get(name_a), cand.get(name_b)
+        if a is None or b is None:
+            missing = name_a if a is None else name_b
+            failures.append(f"ratio gate {gate}: {missing} missing from candidate")
+            continue
+        if b["cpu_time"] <= 0:
+            failures.append(f"ratio gate {gate}: {name_b} cpu_time is zero")
+            continue
+        ratio = a["cpu_time"] / b["cpu_time"]
+        verdict = "OK" if ratio <= max_ratio else "FAILED"
+        print(f"  ratio {name_a} / {name_b} = {ratio:.3f} "
+              f"(max {max_ratio:.3f})  {verdict}")
+        if ratio > max_ratio:
+            failures.append(f"ratio gate: {name_a} is {ratio:.3f}x {name_b} "
+                            f"(budget {max_ratio:.3f}x)")
 
     width = max((len(n) for n, _ in rows), default=0)
     for name, verdict in sorted(rows):

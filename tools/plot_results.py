@@ -8,6 +8,13 @@ Usage:
 Produces one PNG per reproduced figure (7-13) in the paper's 3-panel layout
 when matplotlib is available; otherwise prints per-panel text tables so the
 tool remains useful on minimal machines.
+
+A second mode plots the flight recorder's channel time-series (written by
+`run_experiment --obs-dir` as <prefix>_timeseries.csv) as a single
+fig_timeline.png — channel busy fraction, RBT/ABT tone occupancy, aggregate
+queue depth, and per-MAC-state node residency over simulated time:
+
+    python3 tools/plot_results.py --timeline out/run_timeseries.csv [outdir]
 """
 import csv
 import statistics
@@ -97,10 +104,97 @@ def plot(rows, outdir):
         print(f"wrote {out}")
 
 
+TIMELINE_COLUMNS = ["t_s", "busy_frac", "active_tx", "rbt_on", "abt_on",
+                    "queue_depth"]
+
+
+def load_timeline(path):
+    """cols[name] -> list of floats; state columns collected separately."""
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        fields = reader.fieldnames or []
+        missing = [c for c in TIMELINE_COLUMNS if c not in fields]
+        if missing:
+            sys.exit(
+                f"{path}: missing column(s) {', '.join(missing)} — expected a "
+                f"flight-recorder time-series CSV as written by "
+                f"`run_experiment --obs-dir` (header: t_s,busy_frac,...), "
+                f"not a paper_sweep results CSV")
+        state_cols = [c for c in fields if c.startswith("state_")]
+        cols = {c: [] for c in TIMELINE_COLUMNS + state_cols}
+        for row in reader:
+            for c in cols:
+                cols[c].append(float(row[c]))
+    if not cols["t_s"]:
+        sys.exit(f"{path}: no samples")
+    return cols, state_cols
+
+
+def timeline_text_report(cols, state_cols):
+    n = len(cols["t_s"])
+    print(f"{n} samples over {cols['t_s'][0]:.2f}..{cols['t_s'][-1]:.2f} s")
+    for c in TIMELINE_COLUMNS[1:] + state_cols:
+        vals = cols[c]
+        print(f"  {c:<18} mean {statistics.fmean(vals):8.3f}  "
+              f"max {max(vals):8.3f}")
+
+
+def plot_timeline(path, outdir):
+    cols, state_cols = load_timeline(path)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("(matplotlib not available — text report instead)")
+        timeline_text_report(cols, state_cols)
+        return 0
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    t = cols["t_s"]
+    fig, axes = plt.subplots(4, 1, figsize=(12, 10), sharex=True)
+
+    axes[0].plot(t, cols["busy_frac"], lw=0.8, color="tab:blue")
+    axes[0].set_ylabel("channel busy fraction")
+    axes[0].set_ylim(0, 1.05)
+
+    axes[1].plot(t, cols["rbt_on"], lw=0.8, label="RBT on", color="tab:orange")
+    axes[1].plot(t, cols["abt_on"], lw=0.8, label="ABT on", color="tab:green")
+    axes[1].set_ylabel("tones raised")
+    axes[1].legend(loc="upper right")
+
+    axes[2].plot(t, cols["queue_depth"], lw=0.8, color="tab:red")
+    axes[2].set_ylabel("aggregate queue depth")
+
+    if state_cols:
+        labels = [c.removeprefix("state_") for c in state_cols]
+        axes[3].stackplot(t, [cols[c] for c in state_cols], labels=labels,
+                          alpha=0.85)
+        axes[3].legend(loc="upper right", ncol=4, fontsize=8)
+    axes[3].set_ylabel("nodes per MAC state")
+    axes[3].set_xlabel("simulated time (s)")
+
+    for ax in axes:
+        ax.grid(True, alpha=0.3)
+    fig.suptitle("Flight recorder timeline")
+    fig.tight_layout()
+    out = outdir / "fig_timeline.png"
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return 0
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 2
+    if sys.argv[1] == "--timeline":
+        if len(sys.argv) < 3:
+            print(__doc__)
+            return 2
+        outdir = Path(sys.argv[3]) if len(sys.argv) > 3 else Path("plots")
+        return plot_timeline(sys.argv[2], outdir)
     rows = load(sys.argv[1])
     if not rows:
         print("no rows parsed — is this a paper_sweep CSV?", file=sys.stderr)
