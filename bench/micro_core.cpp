@@ -292,6 +292,65 @@ void BM_RecordedSmallExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_RecordedSmallExperiment)->Unit(benchmark::kMillisecond);
 
+// The audited experiment with the metrics snapshot attached, artifacts kept
+// in memory (metrics.out_dir empty).  The loss ledger runs on every
+// experiment already; what this prices is the end-of-run collect pass and
+// the registry publication — which happen after the last event executes, so
+// the budget is tight: <10% over BM_AuditedSmallExperiment, ratio-gated in
+// CI alongside the recorder benchmark.
+void BM_MetricsSmallExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig c;
+    c.protocol = Protocol::kRmac;
+    c.num_nodes = 20;
+    c.area = Rect{250.0, 250.0};
+    c.num_packets = 20;
+    c.rate_pps = 20.0;
+    c.warmup = SimTime::sec(10);
+    c.drain = SimTime::sec(2);
+    c.seed = 42;
+    c.audit = true;
+    c.trace_digest = true;
+    c.metrics.enabled = true;
+    c.metrics.out_dir.clear();  // snapshot in memory; no file I/O in the loop
+    const ExperimentResult r = run_experiment(c);
+    benchmark::DoNotOptimize(r.delivery_ratio);
+    state.counters["events"] = static_cast<double>(r.events_executed);
+    state.counters["series"] = static_cast<double>(r.metrics.series);
+    state.counters["leaks"] = static_cast<double>(r.ledger.leaks());
+  }
+}
+BENCHMARK(BM_MetricsSmallExperiment)->Unit(benchmark::kMillisecond);
+
+// The same experiment with the self-profiler attached on top.  The profiler
+// pays ~two steady_clock reads per instrumented scope, and the phy hot
+// paths are instrumented, so its cost scales with event rate rather than
+// with snapshot size.  Reported (the gap to BM_MetricsSmallExperiment is
+// the whole profiler price) but not ratio-gated: profiling is a diagnosis
+// mode, not an always-on attachment like the ledger or registry.
+void BM_ProfiledSmallExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig c;
+    c.protocol = Protocol::kRmac;
+    c.num_nodes = 20;
+    c.area = Rect{250.0, 250.0};
+    c.num_packets = 20;
+    c.rate_pps = 20.0;
+    c.warmup = SimTime::sec(10);
+    c.drain = SimTime::sec(2);
+    c.seed = 42;
+    c.audit = true;
+    c.trace_digest = true;
+    c.metrics.enabled = true;
+    c.metrics.out_dir.clear();
+    c.profile = true;
+    const ExperimentResult r = run_experiment(c);
+    benchmark::DoNotOptimize(r.delivery_ratio);
+    state.counters["events_per_sec"] = r.profile.events_per_sec;
+  }
+}
+BENCHMARK(BM_ProfiledSmallExperiment)->Unit(benchmark::kMillisecond);
+
 // The same recorded experiment writing all four artifacts each iteration.
 // Export cost scales with artifact size rather than simulated time, so it is
 // reported (export_ms counter) but not ratio-gated; the gap to

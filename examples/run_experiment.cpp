@@ -4,12 +4,17 @@
 //   ./build/examples/run_experiment --protocol rmac --mobility speed1
 //       --rate 20 --packets 500 --seed 3 --nodes 75 [--ber 1e-5]
 //       [--capture 2.0] [--no-rbt] [--queue-limit 64] [--audit] [--digest]
-//       [--obs] [--obs-dir DIR]
+//       [--obs] [--obs-dir DIR] [--metrics] [--metrics-dir DIR] [--profile]
 //
 // --obs-dir attaches the flight recorder and writes the Perfetto trace,
 // journey JSONL, time-series CSV, and run manifest into DIR.  --obs attaches
 // the recorder without writing artifacts (summary counts only) — handy for
 // measuring the recorder's observer effect.
+//
+// --metrics-dir snapshots the metrics registry into DIR as
+// <prefix>_metrics.txt (OpenMetrics) and _metrics.json; --metrics prints the
+// loss-ledger breakdown and conservation verdict without writing artifacts.
+// --profile attaches the self-profiler and prints the hotspot table.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +32,8 @@ namespace {
                "[--mobility stationary|speed1|speed2]\n"
                "          [--rate pps] [--packets n] [--seed n] [--nodes n]\n"
                "          [--ber p] [--capture ratio] [--no-rbt] [--queue-limit n]\n"
-               "          [--audit] [--digest] [--obs] [--obs-dir DIR]\n",
+               "          [--audit] [--digest] [--obs] [--obs-dir DIR]\n"
+               "          [--metrics] [--metrics-dir DIR] [--profile]\n",
                argv0);
   std::exit(2);
 }
@@ -90,6 +96,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--obs-dir") {
       c.obs.record = true;
       c.obs.out_dir = next();
+    } else if (arg == "--metrics") {
+      c.metrics.enabled = true;
+      c.metrics.out_dir.clear();
+    } else if (arg == "--metrics-dir") {
+      c.metrics.enabled = true;
+      c.metrics.out_dir = next();
+    } else if (arg == "--profile") {
+      c.profile = true;
     } else {
       usage(argv[0]);
     }
@@ -121,6 +135,23 @@ int main(int argc, char** argv) {
   std::printf("%-28s %.4f\n", "MAC-believed success", r.mac_believed_success);
   std::printf("%-28s %llu\n", "simulator events",
               static_cast<unsigned long long>(r.events_executed));
+
+  // Loss ledger: where every expected reception that did not arrive went.
+  std::uint64_t queue_drop_receptions = 0;
+  std::printf("%-28s %llu expected = %llu delivered + %llu dropped%s\n", "loss ledger",
+              static_cast<unsigned long long>(r.ledger.expected),
+              static_cast<unsigned long long>(r.ledger.delivered),
+              static_cast<unsigned long long>(r.ledger.total_dropped()),
+              r.ledger.conservation_ok() ? " [conserved]" : " [LEAK]");
+  for (std::size_t i = 1; i < kDropReasonCount; ++i) {
+    const std::uint64_t n = r.ledger.dropped[i];
+    if (n == 0) continue;
+    if (static_cast<DropReason>(i) == DropReason::kQueueOverflow) queue_drop_receptions = n;
+    std::printf("%-28s   %-16s %llu\n", "", to_string(static_cast<DropReason>(i)),
+                static_cast<unsigned long long>(n));
+  }
+  std::printf("%-28s %llu reception(s)\n", "queue drops",
+              static_cast<unsigned long long>(queue_drop_receptions));
   if (c.audit) {
     std::printf("%-28s %llu violation(s)\n", "audit",
                 static_cast<unsigned long long>(r.audit.total));
@@ -138,6 +169,29 @@ int main(int argc, char** argv) {
       std::printf("%-28s %s\n", "", r.obs.journeys_jsonl.c_str());
       std::printf("%-28s %s\n", "", r.obs.timeseries_csv.c_str());
       std::printf("%-28s %s\n", "", r.obs.manifest_json.c_str());
+    }
+  }
+  if (c.metrics.enabled) {
+    std::printf("%-28s %llu series, conservation %s\n", "metrics snapshot",
+                static_cast<unsigned long long>(r.metrics.series),
+                r.metrics.conservation_ok ? "ok" : "FAILED");
+    if (!r.metrics.text_path.empty()) {
+      std::printf("%-28s %s\n", "", r.metrics.text_path.c_str());
+      std::printf("%-28s %s\n", "", r.metrics.json_path.c_str());
+    }
+  }
+  if (c.profile) {
+    std::printf("%-28s %.2f s wall, %.0f events/s\n", "profile", r.profile.wall_s,
+                r.profile.events_per_sec);
+    const std::size_t top = r.profile.report.sections.size() < 8
+                                ? r.profile.report.sections.size()
+                                : 8;
+    for (std::size_t i = 0; i < top; ++i) {
+      const auto& s = r.profile.report.sections[i];
+      std::printf("%-28s   %-24s %8.2f ms self, %8.2f ms total, %llu calls\n", "",
+                  s.name.c_str(), static_cast<double>(s.self_ns) / 1e6,
+                  static_cast<double>(s.total_ns) / 1e6,
+                  static_cast<unsigned long long>(s.calls));
     }
   }
   return 0;

@@ -13,13 +13,18 @@ BmmmProtocol::BmmmProtocol(Scheduler& scheduler, Radio& radio, Rng rng, MacParam
 void BmmmProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
   assert(packet != nullptr);
   if (receivers.empty()) {
-    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    ReliableSendResult ok;
+    ok.packet = std::move(packet);
+    ok.success = true;
+    report_done(std::move(ok));
     return;
   }
   if (!queue_admit(params_)) {
     ReliableSendResult r;
     r.packet = std::move(packet);
     r.failed_receivers = std::move(receivers);
+    r.receivers = r.failed_receivers;
+    r.drop_reason = DropReason::kQueueOverflow;
     report_done(r);
     return;
   }
@@ -28,7 +33,7 @@ void BmmmProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receiv
   req.packet = std::move(packet);
   req.receivers = std::move(receivers);
   ++stats_.reliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -40,7 +45,7 @@ void BmmmProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
   req.packet = std::move(packet);
   req.dest = dest;
   ++stats_.unreliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -54,14 +59,14 @@ void BmmmProtocol::maybe_start() {
     a.remaining = a.req.receivers;
     active_.emplace(std::move(a));
   }
-  phase_ = Phase::kContend;
+  set_phase(Phase::kContend);
   contend();
 }
 
 void BmmmProtocol::on_contention_won() {
   if (!active_.has_value()) {
     if (queue_.empty()) {
-      phase_ = Phase::kIdle;
+      set_phase(Phase::kIdle);
       return;
     }
     Active a;
@@ -74,7 +79,7 @@ void BmmmProtocol::on_contention_won() {
     // Unreliable service: plain 802.11 broadcast, one shot.
     if (!transmit_now(make_data80211(id(), active_->req.dest, {}, active_->req.packet,
                                      active_->req.packet->seq, SimTime::zero()))) {
-      phase_ = Phase::kContend;
+      set_phase(Phase::kContend);
       post_tx_backoff();
     }
     return;
@@ -89,7 +94,7 @@ void BmmmProtocol::begin_round() {
   a.responded.clear();
   a.acked.clear();
   a.index = 0;
-  phase_ = Phase::kRtsCts;
+  set_phase(Phase::kRtsCts);
   send_rts(0);
 }
 
@@ -131,13 +136,13 @@ void BmmmProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/)
       if (!active_->req.reliable) {
         // Unreliable broadcast finished.
         active_.reset();
-        phase_ = Phase::kIdle;
+        set_phase(Phase::kIdle);
         post_tx_backoff();
         maybe_start();
         return;
       }
       stats_.reliable_data_tx_time += airtime(*frame);
-      phase_ = Phase::kRakAck;
+      set_phase(Phase::kRakAck);
       active_->index = 0;
       scheduler_.schedule_in(phy_.sifs, [this] { send_rak(0); });
       return;
@@ -253,7 +258,7 @@ void BmmmProtocol::after_rts_phase() {
     round_failed();
     return;
   }
-  phase_ = Phase::kData;
+  set_phase(Phase::kData);
   const SimTime nav = remaining_batch_time(0, false, a.remaining.size());
   if (!transmit_now(make_data80211(id(), kInvalidNode, a.remaining, a.req.packet,
                                    a.req.packet->seq, nav))) {
@@ -304,7 +309,7 @@ void BmmmProtocol::round_failed() {
     return;
   }
   bump_cw();
-  phase_ = Phase::kContend;
+  set_phase(Phase::kContend);
   backoff_.draw(cw_);
   contend();
 }
@@ -315,18 +320,27 @@ void BmmmProtocol::finish(bool success) {
   result.packet = active_->req.packet;
   result.success = success;
   result.transmissions = active_->rounds;
+  result.receivers = active_->req.receivers;
   if (success) {
     ++stats_.reliable_delivered;
   } else {
     ++stats_.reliable_dropped;
     result.failed_receivers = active_->remaining;
+    result.drop_reason = DropReason::kRetryExhausted;
   }
   active_.reset();
   reset_cw();
-  phase_ = Phase::kIdle;
+  set_phase(Phase::kIdle);
   report_done(result);
   post_tx_backoff();
   maybe_start();
+}
+
+void BmmmProtocol::for_each_pending_reliable(const PendingReliableFn& fn) const {
+  if (active_.has_value() && active_->req.reliable && active_->req.packet != nullptr) {
+    fn(active_->req.packet, active_->req.receivers);
+  }
+  MacProtocol::for_each_pending_reliable(fn);
 }
 
 }  // namespace rmacsim

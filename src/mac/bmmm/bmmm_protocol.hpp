@@ -30,6 +30,8 @@ public:
   enum class Phase : std::uint8_t { kIdle, kContend, kRtsCts, kData, kRakAck };
   [[nodiscard]] Phase phase() const noexcept { return phase_; }
 
+  void for_each_pending_reliable(const PendingReliableFn& fn) const override;
+
 private:
   struct Active {
     TxRequest req;
@@ -58,6 +60,13 @@ private:
   // of the frame about to be sent.
   [[nodiscard]] SimTime remaining_batch_time(std::size_t rts_left, bool data_left,
                                              std::size_t rak_left) const;
+
+  // FSM edges funnel through here so rmacsim_mac_state_transitions_total
+  // counts every protocol the same way.
+  void set_phase(Phase p) noexcept {
+    if (p != phase_) ++stats_.state_transitions;
+    phase_ = p;
+  }
 
   Phase phase_{Phase::kIdle};
   std::optional<Active> active_;

@@ -43,13 +43,18 @@ BmwProtocol::BmwProtocol(Scheduler& scheduler, Radio& radio, Rng rng, MacParams 
 void BmwProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
   assert(packet != nullptr);
   if (receivers.empty()) {
-    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    ReliableSendResult ok;
+    ok.packet = std::move(packet);
+    ok.success = true;
+    report_done(std::move(ok));
     return;
   }
   if (!queue_admit(params_)) {
     ReliableSendResult r;
     r.packet = std::move(packet);
     r.failed_receivers = std::move(receivers);
+    r.receivers = r.failed_receivers;
+    r.drop_reason = DropReason::kQueueOverflow;
     report_done(r);
     return;
   }
@@ -58,7 +63,7 @@ void BmwProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receive
   req.packet = std::move(packet);
   req.receivers = std::move(receivers);
   ++stats_.reliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -70,7 +75,7 @@ void BmwProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
   req.packet = std::move(packet);
   req.dest = dest;
   ++stats_.unreliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -84,14 +89,14 @@ void BmwProtocol::maybe_start() {
     a.pending = a.req.receivers;
     active_.emplace(std::move(a));
   }
-  step_ = Step::kContend;
+  set_step(Step::kContend);
   contend();
 }
 
 void BmwProtocol::on_contention_won() {
   if (!active_.has_value()) {
     if (queue_.empty()) {
-      step_ = Step::kIdle;
+      set_step(Step::kIdle);
       return;
     }
     Active a;
@@ -104,7 +109,7 @@ void BmwProtocol::on_contention_won() {
   if (!a.req.reliable) {
     if (!transmit_now(make_data80211(id(), a.req.dest, {}, a.req.packet, a.req.packet->seq,
                                      SimTime::zero()))) {
-      step_ = Step::kContend;
+      set_step(Step::kContend);
       post_tx_backoff();
     }
     return;
@@ -115,7 +120,7 @@ void BmwProtocol::on_contention_won() {
   unsigned& tries = a.attempts[current_receiver_];
   ++tries;
   if (tries > 1) ++stats_.retransmissions;
-  step_ = Step::kWfCts;
+  set_step(Step::kWfCts);
   const SimTime nav = phy_.sifs + airtime_bytes(kCtsBytes) + phy_.sifs +
                       airtime_bytes(kDot11DataFramingBytes + a.req.packet->payload_bytes) +
                       phy_.sifs + airtime_bytes(kAckBytes) + 4 * phy_.max_propagation;
@@ -136,13 +141,13 @@ void BmwProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) 
     case FrameType::kData80211:
       if (!active_->req.reliable) {
         active_.reset();
-        step_ = Step::kIdle;
+        set_step(Step::kIdle);
         post_tx_backoff();
         maybe_start();
         return;
       }
       stats_.reliable_data_tx_time += airtime(*frame);
-      step_ = Step::kWfAck;
+      set_step(Step::kWfAck);
       timeout_ = scheduler_.schedule_in(
           phy_.sifs + airtime_bytes(kAckBytes) + 2 * phy_.max_propagation + phy_.slot,
           [this] { on_ack_timeout(); });
@@ -264,7 +269,7 @@ void BmwProtocol::next_receiver() {
     finish();
     return;
   }
-  step_ = Step::kContend;
+  set_step(Step::kContend);
   backoff_.draw(cw_);
   contend();
 }
@@ -275,6 +280,8 @@ void BmwProtocol::finish() {
   result.packet = a.req.packet;
   result.success = a.failed.empty();
   result.failed_receivers = a.failed;
+  result.receivers = a.req.receivers;
+  if (!result.success) result.drop_reason = DropReason::kRetryExhausted;
   unsigned total = 0;
   for (const auto& [r, n] : a.attempts) total += n;
   result.transmissions = total;
@@ -285,10 +292,17 @@ void BmwProtocol::finish() {
   }
   active_.reset();
   reset_cw();
-  step_ = Step::kIdle;
+  set_step(Step::kIdle);
   report_done(result);
   post_tx_backoff();
   maybe_start();
+}
+
+void BmwProtocol::for_each_pending_reliable(const PendingReliableFn& fn) const {
+  if (active_.has_value() && active_->req.reliable && active_->req.packet != nullptr) {
+    fn(active_->req.packet, active_->req.receivers);
+  }
+  MacProtocol::for_each_pending_reliable(fn);
 }
 
 }  // namespace rmacsim

@@ -30,6 +30,8 @@ public:
   // Number of contention phases entered for reliable sends (Fig. 1 metric).
   [[nodiscard]] std::uint64_t contention_phases() const noexcept { return contention_phases_; }
 
+  void for_each_pending_reliable(const PendingReliableFn& fn) const override;
+
 private:
   struct Active {
     TxRequest req;
@@ -51,6 +53,14 @@ private:
   void finish();
 
   enum class Step : std::uint8_t { kIdle, kContend, kWfCts, kWfAck };
+
+  // FSM edges funnel through here so rmacsim_mac_state_transitions_total
+  // counts every protocol the same way.
+  void set_step(Step s) noexcept {
+    if (s != step_) ++stats_.state_transitions;
+    step_ = s;
+  }
+
   Step step_{Step::kIdle};
   std::optional<Active> active_;
   NodeId current_receiver_{kInvalidNode};

@@ -55,6 +55,7 @@ bool Dot11Base::transmit_now(FramePtr frame) {
   // overlapping an exchange we just started) is dropped rather than
   // violating half-duplex; callers convert the drop into a retry.
   if (radio_.transmitting()) return false;
+  count_frame_tx(*frame);
   radio_.transmit(std::move(frame));
   return true;
 }
@@ -82,6 +83,7 @@ SimTime Dot11Base::airtime_bytes(std::size_t bytes) const {
 }
 
 void Dot11Base::on_frame_received(const FramePtr& frame) {
+  count_frame_rx(*frame);
   if (!frame->addressed_to(id())) {
     update_nav(*frame);  // virtual carrier sense from overheard traffic
     return;
@@ -105,13 +107,18 @@ DcfProtocol::DcfProtocol(Scheduler& scheduler, Radio& radio, Rng rng, MacParams 
 void DcfProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
   assert(packet != nullptr);
   if (receivers.empty()) {
-    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    ReliableSendResult ok;
+    ok.packet = std::move(packet);
+    ok.success = true;
+    report_done(std::move(ok));
     return;
   }
   if (!queue_admit(params_)) {
     ReliableSendResult r;
     r.packet = std::move(packet);
     r.failed_receivers = std::move(receivers);
+    r.receivers = r.failed_receivers;
+    r.drop_reason = DropReason::kQueueOverflow;
     report_done(r);
     return;
   }
@@ -120,7 +127,7 @@ void DcfProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receive
   req.packet = std::move(packet);
   req.receivers = std::move(receivers);
   ++stats_.reliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -132,7 +139,7 @@ void DcfProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
   req.packet = std::move(packet);
   req.dest = dest;
   ++stats_.unreliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -143,14 +150,14 @@ void DcfProtocol::maybe_start() {
     active_.emplace(Active{std::move(queue_.front()), 0});
     queue_.pop_front();
   }
-  state_ = State::kContend;
+  set_state(State::kContend);
   contend();
 }
 
 void DcfProtocol::on_contention_won() {
   if (!active_.has_value()) {
     if (queue_.empty()) {
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       return;
     }
     active_.emplace(Active{std::move(queue_.front()), 0});
@@ -168,7 +175,7 @@ void DcfProtocol::on_contention_won() {
   const NodeId dest = req.reliable ? kInvalidNode : req.dest;
   if (!transmit_now(make_data80211(id(), dest, req.receivers, req.packet,
                                    req.packet ? req.packet->seq : 0, SimTime::zero()))) {
-    state_ = State::kContend;
+    set_state(State::kContend);
     post_tx_backoff();  // rare: retry the contention
   }
 }
@@ -183,7 +190,7 @@ void DcfProtocol::start_unicast_exchange() {
   const TxRequest& req = active_->req;
   ++active_->attempts;
   if (active_->attempts > 1) ++stats_.retransmissions;
-  state_ = State::kWfCts;
+  set_state(State::kWfCts);
   const NodeId dest = req.receivers.front();
   FramePtr rts = make_rts(id(), dest, exchange_duration_after_rts(req.packet->payload_bytes),
                           req.packet->journey);
@@ -202,7 +209,7 @@ void DcfProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) 
     case FrameType::kData80211: {
       if (active_.has_value() && active_->req.reliable && active_->req.receivers.size() == 1) {
         stats_.reliable_data_tx_time += airtime(*frame);
-        state_ = State::kWfAck;
+        set_state(State::kWfAck);
         timeout_ = scheduler_.schedule_in(
             phy_.sifs + airtime_bytes(kAckBytes) + 2 * phy_.max_propagation + phy_.slot,
             [this] { on_ack_timeout(); });
@@ -214,7 +221,7 @@ void DcfProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) 
         finish(/*success=*/true);  // 802.11 reports multicast success blindly
       } else {
         active_.reset();
-        state_ = State::kIdle;
+        set_state(State::kIdle);
         post_tx_backoff();
         maybe_start();
       }
@@ -302,7 +309,7 @@ void DcfProtocol::attempt_failed() {
     return;
   }
   bump_cw();
-  state_ = State::kContend;
+  set_state(State::kContend);
   backoff_.draw(cw_);
   contend();
 }
@@ -313,18 +320,27 @@ void DcfProtocol::finish(bool success) {
   result.packet = active_->req.packet;
   result.success = success;
   result.transmissions = active_->attempts;
+  result.receivers = active_->req.receivers;
   if (success) {
     ++stats_.reliable_delivered;
   } else {
     ++stats_.reliable_dropped;
     result.failed_receivers = active_->req.receivers;
+    result.drop_reason = DropReason::kRetryExhausted;
   }
   active_.reset();
   reset_cw();
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   report_done(result);
   post_tx_backoff();
   maybe_start();
+}
+
+void DcfProtocol::for_each_pending_reliable(const PendingReliableFn& fn) const {
+  if (active_.has_value() && active_->req.reliable && active_->req.packet != nullptr) {
+    fn(active_->req.packet, active_->req.receivers);
+  }
+  MacProtocol::for_each_pending_reliable(fn);
 }
 
 }  // namespace rmacsim

@@ -27,6 +27,8 @@ public:
   enum class State : std::uint8_t { kIdle, kContend, kWfCts, kWfAck };
   [[nodiscard]] State state() const noexcept { return state_; }
 
+  void for_each_pending_reliable(const PendingReliableFn& fn) const override;
+
 private:
   struct Active {
     TxRequest req;
@@ -44,6 +46,13 @@ private:
   void finish(bool success);
 
   [[nodiscard]] SimTime exchange_duration_after_rts(std::size_t payload) const;
+
+  // FSM edges funnel through here so rmacsim_mac_state_transitions_total
+  // counts every protocol the same way.
+  void set_state(State s) noexcept {
+    if (s != state_) ++stats_.state_transitions;
+    state_ = s;
+  }
 
   State state_{State::kIdle};
   std::optional<Active> active_;

@@ -36,7 +36,10 @@ protected:
 
   void contend();           // ensure the backoff countdown is running
   void post_tx_backoff();   // fresh draw after any completed transmission
-  void bump_cw() noexcept { cw_ = std::min(2 * cw_ + 1, params_.cw_max); }
+  void bump_cw() noexcept {
+    if (cw_ < params_.cw_max) ++stats_.cw_escalations;
+    cw_ = std::min(2 * cw_ + 1, params_.cw_max);
+  }
   void reset_cw() noexcept { cw_ = params_.cw_min; }
 
   // Transmit `frame` after a SIFS (responses are not subject to contention).

@@ -30,13 +30,18 @@ LammProtocol::LammProtocol(Scheduler& scheduler, Radio& radio, Rng rng, MacParam
 void LammProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
   assert(packet != nullptr);
   if (receivers.empty()) {
-    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    ReliableSendResult ok;
+    ok.packet = std::move(packet);
+    ok.success = true;
+    report_done(std::move(ok));
     return;
   }
   if (!queue_admit(params_)) {
     ReliableSendResult r;
     r.packet = std::move(packet);
     r.failed_receivers = std::move(receivers);
+    r.receivers = r.failed_receivers;
+    r.drop_reason = DropReason::kQueueOverflow;
     report_done(r);
     return;
   }
@@ -45,7 +50,7 @@ void LammProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receiv
   req.packet = std::move(packet);
   req.receivers = std::move(receivers);
   ++stats_.reliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -57,7 +62,7 @@ void LammProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
   req.packet = std::move(packet);
   req.dest = dest;
   ++stats_.unreliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -71,14 +76,14 @@ void LammProtocol::maybe_start() {
     a.remaining = a.req.receivers;
     active_.emplace(std::move(a));
   }
-  phase_ = Phase::kContend;
+  set_phase(Phase::kContend);
   contend();
 }
 
 void LammProtocol::on_contention_won() {
   if (!active_.has_value()) {
     if (queue_.empty()) {
-      phase_ = Phase::kIdle;
+      set_phase(Phase::kIdle);
       return;
     }
     Active a;
@@ -90,7 +95,7 @@ void LammProtocol::on_contention_won() {
   if (!active_->req.reliable) {
     if (!transmit_now(make_data80211(id(), active_->req.dest, {}, active_->req.packet,
                                      active_->req.packet->seq, SimTime::zero()))) {
-      phase_ = Phase::kContend;
+      set_phase(Phase::kContend);
       post_tx_backoff();
     }
     return;
@@ -113,7 +118,7 @@ void LammProtocol::begin_round() {
   FramePtr grts = make_grts(id(), a.remaining, a.req.packet->seq, nav,
                             a.req.packet->journey);
   stats_.control_tx_time += airtime(*grts);
-  phase_ = Phase::kCtsWindow;
+  set_phase(Phase::kCtsWindow);
   if (!transmit_now(std::move(grts))) round_failed();
 }
 
@@ -131,13 +136,13 @@ void LammProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/)
     case FrameType::kData80211:
       if (!active_->req.reliable) {
         active_.reset();
-        phase_ = Phase::kIdle;
+        set_phase(Phase::kIdle);
         post_tx_backoff();
         maybe_start();
         return;
       }
       stats_.reliable_data_tx_time += airtime(*frame);
-      phase_ = Phase::kAckWindow;
+      set_phase(Phase::kAckWindow);
       {
         const auto n = static_cast<std::int64_t>(active_->remaining.size());
         window_timer_ = scheduler_.schedule_in(
@@ -245,7 +250,7 @@ void LammProtocol::round_failed() {
     return;
   }
   bump_cw();
-  phase_ = Phase::kContend;
+  set_phase(Phase::kContend);
   backoff_.draw(cw_);
   contend();
 }
@@ -256,18 +261,27 @@ void LammProtocol::finish(bool success) {
   result.packet = active_->req.packet;
   result.success = success;
   result.transmissions = active_->rounds;
+  result.receivers = active_->req.receivers;
   if (success) {
     ++stats_.reliable_delivered;
   } else {
     ++stats_.reliable_dropped;
     result.failed_receivers = active_->remaining;
+    result.drop_reason = DropReason::kRetryExhausted;
   }
   active_.reset();
   reset_cw();
-  phase_ = Phase::kIdle;
+  set_phase(Phase::kIdle);
   report_done(result);
   post_tx_backoff();
   maybe_start();
+}
+
+void LammProtocol::for_each_pending_reliable(const PendingReliableFn& fn) const {
+  if (active_.has_value() && active_->req.reliable && active_->req.packet != nullptr) {
+    fn(active_->req.packet, active_->req.receivers);
+  }
+  MacProtocol::for_each_pending_reliable(fn);
 }
 
 }  // namespace rmacsim

@@ -37,6 +37,8 @@ public:
   enum class Phase : std::uint8_t { kIdle, kContend, kCtsWindow, kAckWindow };
   [[nodiscard]] Phase phase() const noexcept { return phase_; }
 
+  void for_each_pending_reliable(const PendingReliableFn& fn) const override;
+
 private:
   struct Active {
     TxRequest req;
@@ -59,6 +61,13 @@ private:
   // Slot pitch for the self-scheduled responses.
   [[nodiscard]] SimTime cts_slot() const { return airtime_bytes(kCtsBytes) + phy_.sifs; }
   [[nodiscard]] SimTime ack_slot() const { return airtime_bytes(kAckBytes) + phy_.sifs; }
+
+  // FSM edges funnel through here so rmacsim_mac_state_transitions_total
+  // counts every protocol the same way.
+  void set_phase(Phase p) noexcept {
+    if (p != phase_) ++stats_.state_transitions;
+    phase_ = p;
+  }
 
   Phase phase_{Phase::kIdle};
   std::optional<Active> active_;

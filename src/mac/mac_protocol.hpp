@@ -8,6 +8,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,11 +20,19 @@
 namespace rmacsim {
 
 // Outcome of one Reliable Send invocation, reported to the upper layer.
+//
+// `receivers` names the invocation's full target set (RMAC's §3.4 receiver
+// cap can split one reliable_send call into several invocations; each
+// reports its own subset).  The loss ledger resolves each listed receiver:
+// members of `failed_receivers` terminate with `drop_reason`, the rest were
+// acknowledged (or believed so).
 struct ReliableSendResult {
   AppPacketPtr packet;
   bool success{false};
   std::vector<NodeId> failed_receivers;  // receivers never acknowledged
   unsigned transmissions{0};             // 1 + retransmissions
+  std::vector<NodeId> receivers;         // the invocation's target set
+  DropReason drop_reason{DropReason::kNone};  // cause, when !success
 };
 
 // Upper-layer callbacks (network layer / application).
@@ -75,6 +84,18 @@ public:
   // request currently in service).
   [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
 
+  // End-of-run sweep hook for the loss ledger: visit every reliable request
+  // that is still unfinished — queued here in the base, plus the in-service
+  // request in each protocol's override.  Receivers visited here are
+  // accounted as DropReason::kEndOfRun instead of leaking.
+  using PendingReliableFn =
+      std::function<void(const AppPacketPtr&, const std::vector<NodeId>&)>;
+  virtual void for_each_pending_reliable(const PendingReliableFn& fn) const {
+    for (const TxRequest& q : queue_) {
+      if (q.reliable && q.packet != nullptr) fn(q.packet, q.receivers);
+    }
+  }
+
 protected:
   // Pending transmission request (FIFO service).
   struct TxRequest {
@@ -92,10 +113,34 @@ protected:
     return false;
   }
 
+  // All enqueues go through here so the queue high-water mark (registry
+  // gauge `rmacsim_mac_queue_peak`) tracks without polling.
+  void push_request(TxRequest req) {
+    queue_.push_back(std::move(req));
+    if (queue_.size() > stats_.queue_peak) stats_.queue_peak = queue_.size();
+  }
+
+  // Per-frame-type tx/rx counters feeding the registry's collect pass.
+  void count_frame_tx(const Frame& frame) noexcept {
+    ++stats_.frames_tx[static_cast<std::size_t>(frame.type)];
+  }
+  void count_frame_rx(const Frame& frame) noexcept {
+    ++stats_.frames_rx[static_cast<std::size_t>(frame.type)];
+  }
+
   void deliver_up(const Frame& frame) {
     if (upper_ != nullptr) upper_->mac_deliver(frame);
   }
   void report_done(const ReliableSendResult& r) {
+    // Central per-reason drop accounting: one count per receiver the MAC
+    // gave up on, keyed by the reason the protocol recorded (receptions —
+    // the ledger's unit).  Protocols that predate the taxonomy report
+    // kNone; those land in kRetryExhausted, same as the ledger's fallback.
+    if (!r.success && !r.failed_receivers.empty()) {
+      const DropReason reason =
+          r.drop_reason == DropReason::kNone ? DropReason::kRetryExhausted : r.drop_reason;
+      stats_.drops_by_reason[static_cast<std::size_t>(reason)] += r.failed_receivers.size();
+    }
     if (upper_ != nullptr) upper_->mac_reliable_done(r);
   }
 

@@ -18,13 +18,18 @@ MxProtocol::~MxProtocol() = default;
 void MxProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
   assert(packet != nullptr);
   if (receivers.empty()) {
-    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    ReliableSendResult ok;
+    ok.packet = std::move(packet);
+    ok.success = true;
+    report_done(std::move(ok));
     return;
   }
   if (!queue_admit(params_)) {
     ReliableSendResult r;
     r.packet = std::move(packet);
     r.failed_receivers = std::move(receivers);
+    r.receivers = r.failed_receivers;
+    r.drop_reason = DropReason::kQueueOverflow;
     report_done(r);
     return;
   }
@@ -33,7 +38,7 @@ void MxProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receiver
   req.packet = std::move(packet);
   req.receivers = std::move(receivers);
   ++stats_.reliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -45,7 +50,7 @@ void MxProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
   req.packet = std::move(packet);
   req.dest = dest;
   ++stats_.unreliable_requests;
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -57,14 +62,14 @@ void MxProtocol::maybe_start() {
     active_.emplace(Active{std::move(queue_.front()), 0});
     queue_.pop_front();
   }
-  state_ = State::kContend;
+  set_state(State::kContend);
   contend();
 }
 
 void MxProtocol::on_contention_won() {
   if (!active_.has_value()) {
     if (queue_.empty()) {
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       return;
     }
     active_.emplace(Active{std::move(queue_.front()), 0});
@@ -73,7 +78,7 @@ void MxProtocol::on_contention_won() {
   if (!active_->req.reliable) {
     if (!transmit_now(make_data80211(id(), active_->req.dest, {}, active_->req.packet,
                                      active_->req.packet->seq, SimTime::zero()))) {
-      state_ = State::kContend;
+      set_state(State::kContend);
       post_tx_backoff();
     }
     return;
@@ -110,7 +115,7 @@ void MxProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) {
   if (!active_.has_value()) return;
   switch (frame->type) {
     case FrameType::kRts:
-      state_ = State::kWfCtsTone;
+      set_state(State::kWfCtsTone);
       anchor_ = scheduler_.now();
       stats_.abt_check_time += phy_.tone_slot();
       wait_timer_ =
@@ -119,13 +124,13 @@ void MxProtocol::on_transmit_complete(const FramePtr& frame, bool /*aborted*/) {
     case FrameType::kData80211:
       if (!active_->req.reliable) {
         active_.reset();
-        state_ = State::kIdle;
+        set_state(State::kIdle);
         post_tx_backoff();
         maybe_start();
         return;
       }
       stats_.reliable_data_tx_time += airtime(*frame);
-      state_ = State::kWfNak;
+      set_state(State::kWfNak);
       anchor_ = scheduler_.now();
       stats_.abt_check_time += phy_.tone_slot();
       wait_timer_ = scheduler_.schedule_in(phy_.tone_slot(), [this] { on_nak_check(); });
@@ -169,7 +174,7 @@ void MxProtocol::attempt_failed() {
     return;
   }
   bump_cw();
-  state_ = State::kContend;
+  set_state(State::kContend);
   backoff_.draw(cw_);
   contend();
 }
@@ -179,18 +184,27 @@ void MxProtocol::finish(bool success) {
   result.packet = active_->req.packet;
   result.success = success;
   result.transmissions = active_->attempts;
+  result.receivers = active_->req.receivers;
   if (success) {
     ++stats_.reliable_delivered;
   } else {
     ++stats_.reliable_dropped;
     result.failed_receivers = active_->req.receivers;  // identity unknown to MX
+    result.drop_reason = DropReason::kRetryExhausted;
   }
   active_.reset();
   reset_cw();
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   report_done(result);
   post_tx_backoff();
   maybe_start();
+}
+
+void MxProtocol::for_each_pending_reliable(const PendingReliableFn& fn) const {
+  if (active_.has_value() && active_->req.reliable && active_->req.packet != nullptr) {
+    fn(active_->req.packet, active_->req.receivers);
+  }
+  MacProtocol::for_each_pending_reliable(fn);
 }
 
 // ---------------------------------------------------------------------------

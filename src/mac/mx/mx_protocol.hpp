@@ -46,6 +46,8 @@ public:
   // the ablation bench can quantify the false-positive rate.
   [[nodiscard]] std::uint64_t believed_successes() const noexcept { return believed_ok_; }
 
+  void for_each_pending_reliable(const PendingReliableFn& fn) const override;
+
 private:
   struct Active {
     TxRequest req;
@@ -70,6 +72,13 @@ private:
 
   void end_rx_role(bool nak);
   void on_rx_timeout();
+
+  // FSM edges funnel through here so rmacsim_mac_state_transitions_total
+  // counts every protocol the same way.
+  void set_state(State s) noexcept {
+    if (s != state_) ++stats_.state_transitions;
+    state_ = s;
+  }
 
   ToneChannel& cts_tone_;
   ToneChannel& nak_tone_;

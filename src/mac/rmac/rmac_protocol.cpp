@@ -49,6 +49,7 @@ RmacProtocol::~RmacProtocol() {
 
 void RmacProtocol::set_state(State next, const char* why) {
   if (state_ == next) return;
+  ++stats_.state_transitions;
   if (tracer_ != nullptr && tracer_->wants(TraceCategory::kMacState)) {
     TraceRecord r{scheduler_.now(), TraceCategory::kMacState, id(), {}};
     r.event = TraceEvent::kMacState;
@@ -72,7 +73,10 @@ bool RmacProtocol::channels_idle() const {
 void RmacProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receivers) {
   assert(packet != nullptr);
   if (receivers.empty()) {
-    report_done(ReliableSendResult{std::move(packet), true, {}, 0});
+    ReliableSendResult ok;
+    ok.packet = std::move(packet);
+    ok.success = true;
+    report_done(std::move(ok));
     return;
   }
   // Protocol refinement (§3.4): cap the receivers per invocation; a larger
@@ -86,7 +90,9 @@ void RmacProtocol::reliable_send(AppPacketPtr packet, std::vector<NodeId> receiv
       r.packet = packet;
       r.failed_receivers.assign(receivers.begin() + static_cast<std::ptrdiff_t>(base),
                                 receivers.begin() + static_cast<std::ptrdiff_t>(end));
-      report_done(r);
+      r.receivers = r.failed_receivers;
+      r.drop_reason = DropReason::kQueueOverflow;
+      if (!params_.faults.swallow_drop_report) report_done(r);
       continue;
     }
     TxRequest req;
@@ -111,7 +117,7 @@ void RmacProtocol::unreliable_send(AppPacketPtr packet, NodeId dest) {
 }
 
 void RmacProtocol::enqueue(TxRequest req) {
-  queue_.push_back(std::move(req));
+  push_request(std::move(req));
   maybe_start();
 }
 
@@ -171,6 +177,7 @@ void RmacProtocol::begin_transmission() {
                                           active_->req.packet->seq);
     tx_start_ = scheduler_.now();
     watch_rbt_during_tx();
+    count_frame_tx(*frame);
     radio_.transmit(std::move(frame));
   }
 }
@@ -185,6 +192,7 @@ void RmacProtocol::transmit_mrts() {
   stats_.mrts_lengths_bytes.push_back(static_cast<double>(frame->wire_bytes()));
   tx_start_ = scheduler_.now();
   watch_rbt_during_tx();
+  count_frame_tx(*frame);
   radio_.transmit(std::move(frame));
 }
 
@@ -216,7 +224,7 @@ void RmacProtocol::on_transmit_complete(const FramePtr& frame, bool aborted) {
       stats_.control_tx_time += elapsed;
       if (aborted) {
         ++stats_.mrts_aborted;
-        fail_attempt("C11-abort");
+        fail_attempt("C11-abort", DropReason::kMrtsAbort);
         return;
       }
       set_state(State::kWfRbt, "C17");
@@ -252,13 +260,14 @@ void RmacProtocol::on_wf_rbt_expiry() {
   // it does not distinguish how many receivers raised it.
   const bool detected = rbt_.detected_in_window(id(), anchor_, scheduler_.now());
   if (!detected) {
-    fail_attempt("C15-no-rbt");
+    fail_attempt("C15-no-rbt", DropReason::kNoRbt);
     return;
   }
   set_state(State::kTxRdata, "C18");
   FramePtr frame = make_reliable_data(id(), active_->remaining, active_->req.packet,
                                       active_->req.packet->seq);
   tx_start_ = scheduler_.now();
+  count_frame_tx(*frame);
   radio_.transmit(std::move(frame));  // protected by the receivers' RBTs; never aborted
 }
 
@@ -289,17 +298,19 @@ void RmacProtocol::conclude_reliable_attempt() {
   // Mutation: a broken rebuild retransmits to the full set, spamming
   // receivers that already acknowledged.
   if (!params_.faults.rebuild_keep_acked) active_->remaining = std::move(failed);
-  fail_attempt("missing-abt");
+  fail_attempt("missing-abt", DropReason::kAbtSilence);
 }
 
-void RmacProtocol::fail_attempt(const char* why) {
+void RmacProtocol::fail_attempt(const char* why, DropReason cause) {
   assert(active_.has_value());
+  active_->last_fail = cause;
   if (active_->attempts > params_.mac.retry_limit) {
     // Retry limit exhausted: drop the frame (note (1), §3.3.2).
     finish_active(/*success=*/false);
     return;
   }
   ++stats_.retransmissions;
+  if (cw_ < params_.mac.cw_max) ++stats_.cw_escalations;
   cw_ = std::min(2 * cw_ + 1, params_.mac.cw_max);
   backoff_.draw(cw_);
   backoff_.ensure_running(cw_);
@@ -312,15 +323,19 @@ void RmacProtocol::finish_active(bool success) {
   result.packet = active_->req.packet;
   result.success = success;
   result.transmissions = active_->attempts;
+  result.receivers = active_->req.receivers;
   if (success) {
     ++stats_.reliable_delivered;
   } else {
     ++stats_.reliable_dropped;
     result.failed_receivers = active_->remaining;
+    result.drop_reason = active_->last_fail == DropReason::kNone ? DropReason::kRetryExhausted
+                                                                 : active_->last_fail;
   }
+  const bool swallow = !success && params_.faults.swallow_drop_report;
   active_.reset();
   cw_ = params_.mac.cw_min;
-  report_done(result);
+  if (!swallow) report_done(result);
   post_tx_backoff();
 }
 
@@ -336,6 +351,7 @@ void RmacProtocol::post_tx_backoff() {
 // Receiver side
 
 void RmacProtocol::on_frame_received(const FramePtr& frame) {
+  count_frame_rx(*frame);
   switch (frame->type) {
     case FrameType::kMrts:
       handle_mrts(frame);
@@ -422,6 +438,13 @@ void RmacProtocol::on_wf_rdata_expiry() {
   assert(rx_.has_value() && state_ == State::kWfRdata);
   rx_->timer = kInvalidEvent;
   end_rx_role(/*got_data=*/false);
+}
+
+void RmacProtocol::for_each_pending_reliable(const PendingReliableFn& fn) const {
+  if (active_.has_value() && active_->req.reliable && active_->req.packet != nullptr) {
+    fn(active_->req.packet, active_->req.receivers);
+  }
+  MacProtocol::for_each_pending_reliable(fn);
 }
 
 }  // namespace rmacsim

@@ -46,6 +46,10 @@ public:
     bool rebuild_keep_acked{false};         // retransmitted MRTS keeps ACKed receivers
     bool rbt_release_at_data_start{false};  // RBT dropped at first data bit, not data end
     bool ignore_rbt_during_tx{false};       // never abort MRTS/UDATA on sensed RBT
+    // A drop path that forgets to report: failed invocations vanish without
+    // a mac_reliable_done.  Exists to prove the loss ledger's conservation
+    // check fires on exactly this class of bug (tests/loss_ledger_test.cpp).
+    bool swallow_drop_report{false};
   };
 
   struct Params {
@@ -78,12 +82,15 @@ public:
 
   [[nodiscard]] static const char* to_string(State s) noexcept;
 
+  void for_each_pending_reliable(const PendingReliableFn& fn) const override;
+
 private:
   // One Reliable/Unreliable Send invocation in progress.
   struct Active {
     TxRequest req;
     std::vector<NodeId> remaining;  // receivers still to acknowledge
     unsigned attempts{0};           // MRTS transmissions so far (incl. aborted)
+    DropReason last_fail{DropReason::kNone};  // cause of the latest failed attempt
   };
   // Receiver role established by an MRTS that listed this node.
   struct RxRole {
@@ -106,7 +113,7 @@ private:
   void on_wf_rbt_expiry();
   void on_abt_slot_boundary();
   void conclude_reliable_attempt();
-  void fail_attempt(const char* why);
+  void fail_attempt(const char* why, DropReason cause);
   void finish_active(bool success);
   void post_tx_backoff();
 

@@ -1,0 +1,39 @@
+// Metrics snapshot serializers: OpenMetrics text and a JSON document that
+// tools/metrics_report.py can diff and conservation-check offline.
+//
+// OpenMetrics naming scheme (see docs/simulator_internals.md):
+//   rmacsim_<subsystem>_<quantity>[_total]{label="value",...} <number>
+// `_total` marks monotone counters; gauges carry no suffix; histograms
+// expand into `_bucket{le="..."}`, `_sum`, and `_count` series.  Families
+// appear in name order, series in label order, and nothing in either
+// document reads the wall clock, so snapshots of a fixed seed are
+// byte-identical across runs (the determinism test pins this).
+#pragma once
+
+#include <string>
+
+#include "metrics/loss_ledger.hpp"
+#include "metrics/profiler.hpp"
+#include "metrics/registry.hpp"
+
+namespace rmacsim {
+
+// Render the registry as OpenMetrics text (ends with "# EOF").
+[[nodiscard]] std::string to_openmetrics(const MetricsRegistry& registry);
+
+// Render registry + ledger (+ optional profiler report) as one JSON
+// document.  `ledger` is required: the conservation re-check in
+// tools/metrics_report.py reads it.  `profile` may be nullptr.
+[[nodiscard]] std::string to_metrics_json(const MetricsRegistry& registry,
+                                          const LedgerSummary& ledger,
+                                          const Profiler::Report* profile);
+
+// Write the rendered documents to <dir>/<prefix>_metrics.{txt,json}.
+// Returns false if either file could not be written.  Outputs the chosen
+// paths through the string refs.
+bool write_metrics_artifacts(const MetricsRegistry& registry, const LedgerSummary& ledger,
+                             const Profiler::Report* profile, const std::string& dir,
+                             const std::string& prefix, std::string& text_path,
+                             std::string& json_path);
+
+}  // namespace rmacsim

@@ -1,0 +1,90 @@
+#include "metrics/loss_ledger.hpp"
+
+#include <cassert>
+
+namespace rmacsim {
+
+LossLedger::Journey* LossLedger::find(JourneyId journey) {
+  const auto it = journeys_.find(journey);
+  return it == journeys_.end() ? nullptr : &it->second;
+}
+
+void LossLedger::on_generated(JourneyId journey, NodeId origin) {
+  assert(node_count_ >= 1 && "LossLedger::set_node_count before on_generated");
+  Journey& j = journeys_[journey];
+  j.origin = origin;
+  j.slots.assign(node_count_, Slot{});
+}
+
+void LossLedger::on_attempt(JourneyId journey, std::span<const NodeId> receivers) {
+  Journey* j = find(journey);
+  if (j == nullptr) return;  // hello or untracked packet
+  for (const NodeId r : receivers) {
+    if (r < j->slots.size()) ++j->slots[r].attempts;
+  }
+}
+
+void LossLedger::on_attempt_resolved(JourneyId journey, NodeId receiver, bool mac_success,
+                                     DropReason reason) {
+  Journey* j = find(journey);
+  if (j == nullptr || receiver >= j->slots.size()) return;
+  Slot& s = j->slots[receiver];
+  ++s.resolved;
+  if (mac_success) {
+    ++s.resolved_ok;
+  } else if (s.first_failure == DropReason::kNone) {
+    s.first_failure = reason == DropReason::kNone ? DropReason::kRetryExhausted : reason;
+  }
+}
+
+void LossLedger::on_delivered(JourneyId journey, NodeId receiver) {
+  Journey* j = find(journey);
+  if (j == nullptr || receiver >= j->slots.size()) return;
+  j->slots[receiver].delivered = true;
+}
+
+void LossLedger::sweep_end_of_run(JourneyId journey, std::span<const NodeId> receivers) {
+  Journey* j = find(journey);
+  if (j == nullptr) return;
+  for (const NodeId r : receivers) {
+    if (r < j->slots.size()) j->slots[r].swept = true;
+  }
+}
+
+LedgerSummary LossLedger::finalize() const {
+  LedgerSummary out;
+  out.journeys = journeys_.size();
+  const auto drop = [&out](DropReason r) { ++out.dropped[static_cast<std::size_t>(r)]; };
+  for (const auto& [id, j] : journeys_) {
+    (void)id;
+    for (NodeId n = 0; n < j.slots.size(); ++n) {
+      if (n == j.origin) continue;  // the source trivially has its own packet
+      ++out.expected;
+      const Slot& s = j.slots[n];
+      // Exactly one terminal outcome per slot, checked most-certain first.
+      if (s.delivered) {
+        ++out.delivered;
+      } else if (s.attempts == 0) {
+        // No copy-holder ever targeted this receiver: the loss cascaded
+        // from upstream (tree hole, or the upstream copy itself died).
+        drop(DropReason::kUpstreamLoss);
+      } else if (s.resolved < s.attempts) {
+        // An opened MAC invocation never reported back.  In-flight work at
+        // the end of the run is swept and excused; anything else is a drop
+        // path that forgot to record its reason — the leak the conservation
+        // check exists to catch.
+        drop(s.swept ? DropReason::kEndOfRun : DropReason::kUnaccounted);
+      } else if (s.first_failure != DropReason::kNone) {
+        drop(s.first_failure);
+      } else {
+        // Every attempt resolved "success" yet the packet never arrived:
+        // the MAC believed a lie (hidden-node data collision, blind 802.11
+        // multicast, MX NAK silence misread as consent).
+        drop(DropReason::kDataCollision);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,81 @@
+#include "metrics/profiler.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace rmacsim {
+
+namespace {
+
+// Global section-name table.  Sections are minted once per call site
+// (function-local static), so the mutex is off every hot path.
+std::mutex g_sections_mutex;
+std::vector<const char*> g_section_names;
+
+thread_local Profiler* t_current = nullptr;
+
+}  // namespace
+
+ProfSectionId prof_section(const char* name) {
+  const std::lock_guard<std::mutex> lock(g_sections_mutex);
+  for (ProfSectionId i = 0; i < g_section_names.size(); ++i) {
+    if (g_section_names[i] == name || std::string_view{g_section_names[i]} == name) return i;
+  }
+  g_section_names.push_back(name);
+  return static_cast<ProfSectionId>(g_section_names.size() - 1);
+}
+
+void Profiler::attach() noexcept {
+  t_current = this;
+  attached_at_ns_ = now_ns();
+}
+
+void Profiler::detach() noexcept { t_current = nullptr; }
+
+Profiler* Profiler::current() noexcept { return t_current; }
+
+void Profiler::enter(ProfSectionId section) noexcept {
+  stack_.push_back(Frame{section, now_ns(), 0});
+}
+
+void Profiler::leave() noexcept {
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const std::uint64_t dt = now_ns() - frame.start_ns;
+  if (frame.section >= sections_.size()) sections_.resize(frame.section + 1);
+  Accum& a = sections_[frame.section];
+  ++a.calls;
+  a.total_ns += dt;
+  a.self_ns += dt - std::min(dt, frame.child_ns);
+  if (!stack_.empty()) stack_.back().child_ns += dt;
+}
+
+Profiler::Report Profiler::report() const {
+  Report out;
+  out.wall_s = static_cast<double>(now_ns() - attached_at_ns_) * 1e-9;
+  std::vector<const char*> names;
+  {
+    const std::lock_guard<std::mutex> lock(g_sections_mutex);
+    names = g_section_names;
+  }
+  for (ProfSectionId i = 0; i < sections_.size(); ++i) {
+    const Accum& a = sections_[i];
+    if (a.calls == 0) continue;
+    SectionStats s;
+    s.name = i < names.size() ? names[i] : "?";
+    s.calls = a.calls;
+    s.total_ns = a.total_ns;
+    s.self_ns = a.self_ns;
+    out.accounted_s += static_cast<double>(a.self_ns) * 1e-9;
+    out.sections.push_back(std::move(s));
+  }
+  std::sort(out.sections.begin(), out.sections.end(),
+            [](const SectionStats& a, const SectionStats& b) {
+              return a.self_ns != b.self_ns ? a.self_ns > b.self_ns : a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,106 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmacsim {
+
+std::string metric_label_key(const MetricLabels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+MetricsRegistry::Series& MetricsRegistry::intern(std::string_view family, MetricKind kind,
+                                                 MetricLabels&& labels, std::string_view help,
+                                                 double lo, double hi, std::size_t bins) {
+  std::sort(labels.begin(), labels.end());
+  auto fam_it = families_.find(family);
+  if (fam_it == families_.end()) {
+    Family fam;
+    fam.kind = kind;
+    fam.help = std::string{help};
+    fam_it = families_.emplace(std::string{family}, std::move(fam)).first;
+  }
+  Family& fam = fam_it->second;
+  // A family's kind is fixed by its first instrument; mixing kinds under one
+  // name is a programming error (exports would be ill-typed).
+  assert(fam.kind == kind && "metric family re-registered with a different kind");
+  if (fam.help.empty() && !help.empty()) fam.help = std::string{help};
+
+  const std::string key = metric_label_key(labels);
+  if (const auto hit = fam.by_label_key.find(key); hit != fam.by_label_key.end()) {
+    return series_[hit->second];
+  }
+
+  Series s;
+  s.labels = std::move(labels);
+  switch (kind) {
+    case MetricKind::kCounter: s.counter = &counters_.emplace_back(); break;
+    case MetricKind::kGauge: s.gauge = &gauges_.emplace_back(); break;
+    case MetricKind::kHistogram: s.histogram = &histograms_.emplace_back(lo, hi, bins); break;
+  }
+  const std::size_t idx = series_.size();
+  series_.push_back(std::move(s));
+  fam.by_label_key.emplace(key, idx);
+  // Keep the family's series list sorted by label key so exports are
+  // deterministic regardless of creation order.
+  const auto pos = std::lower_bound(
+      fam.series.begin(), fam.series.end(), key, [this](std::size_t i, const std::string& k) {
+        return metric_label_key(series_[i].labels) < k;
+      });
+  fam.series.insert(pos, idx);
+  return series_[idx];
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view family, MetricLabels labels,
+                                        std::string_view help) {
+  return *intern(family, MetricKind::kCounter, std::move(labels), help, 0, 0, 0).counter;
+}
+
+MetricGauge& MetricsRegistry::gauge(std::string_view family, MetricLabels labels,
+                                    std::string_view help) {
+  return *intern(family, MetricKind::kGauge, std::move(labels), help, 0, 0, 0).gauge;
+}
+
+StreamingHistogram& MetricsRegistry::histogram(std::string_view family, double lo, double hi,
+                                               std::size_t bins, MetricLabels labels,
+                                               std::string_view help) {
+  return *intern(family, MetricKind::kHistogram, std::move(labels), help, lo, hi, bins)
+              .histogram;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  other.for_each_series([this](const SeriesView& v) {
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        counter(*v.family, *v.labels, *v.help).inc(v.counter->value());
+        break;
+      case MetricKind::kGauge:
+        gauge(*v.family, *v.labels, *v.help).set(v.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        StreamingHistogram& dst =
+            histogram(*v.family, v.histogram->bin_lo(), v.histogram->bin_hi(),
+                      v.histogram->bins().size(), *v.labels, *v.help);
+        const StreamingHistogram& src = *v.histogram;
+        if (dst.bin_lo() == src.bin_lo() && dst.bin_hi() == src.bin_hi() &&
+            dst.bins().size() == src.bins().size()) {
+          dst.merge(src);
+        } else {
+          // Shape mismatch (family re-registered with different bins):
+          // preserve the mass, approximately, at the source's summary points.
+          for (std::uint64_t i = 0; i < src.count(); ++i) dst.add(src.mean());
+        }
+        break;
+      }
+    }
+  });
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,139 @@
+// Unified metrics registry: labeled counters, gauges, and streaming
+// histograms behind one namespace-ordered, deterministic snapshot.
+//
+// Design mirrors the tracer's zero-cost-when-unregistered pattern (PR 3):
+// components keep plain unconditional integer counters on their hot paths
+// (a single `++` — no branch, no allocation, no tracer interaction, so
+// golden digests and the allocs_per_tx gate are untouched), and a one-shot
+// *collect pass* at snapshot time publishes them onto registry instruments.
+// Code that wants live registry emit sites holds a `Counter*` / `Gauge*`
+// handle and null-checks it — a detached registry costs one predictable
+// branch, exactly like an unsubscribed trace category.
+//
+// Label sets are interned: the first instrument created for a
+// (family, labels) pair allocates the series; later lookups with the same
+// labels return the same instrument, so emit sites can re-resolve handles
+// cheaply and exports never contain duplicate series.
+//
+// Naming scheme (documented in docs/simulator_internals.md): every family is
+// `rmacsim_<subsystem>_<quantity>[_total]` — `_total` marks monotone
+// counters, OpenMetrics-style — with snake_case label keys, e.g.
+// `rmacsim_mac_frames_tx_total{protocol="rmac",frame="MRTS"}`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/percentile.hpp"
+
+namespace rmacsim {
+
+// One `key=value` label; series identity is the sorted label vector.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricCounter {
+public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+private:
+  std::uint64_t value_{0};
+};
+
+class MetricGauge {
+public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+private:
+  double value_{0.0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Instrument lookup-or-create.  Returned references stay valid for the
+  // registry's lifetime (series live in deques).  `help` is recorded the
+  // first time a family is seen; later calls may pass "".
+  MetricCounter& counter(std::string_view family, MetricLabels labels = {},
+                         std::string_view help = "");
+  MetricGauge& gauge(std::string_view family, MetricLabels labels = {},
+                     std::string_view help = "");
+  // Histograms reuse stats/percentile's StreamingHistogram: fixed bins over
+  // [lo, hi) with saturating under/overflow — mergeable by bin-wise addition.
+  StreamingHistogram& histogram(std::string_view family, double lo, double hi,
+                                std::size_t bins, MetricLabels labels = {},
+                                std::string_view help = "");
+
+  // Merge every series of `other` into this registry: counters add,
+  // gauges take the latest (other wins), histograms add bin-wise (shapes
+  // must match; mismatched shapes fall back to re-adding summary points).
+  void merge(const MetricsRegistry& other);
+
+  [[nodiscard]] std::size_t series_count() const noexcept { return series_.size(); }
+  [[nodiscard]] std::size_t family_count() const noexcept { return families_.size(); }
+
+  // Deterministic iteration for exporters: families in name order, series
+  // in interned-label order.
+  struct SeriesView {
+    const std::string* family;
+    MetricKind kind;
+    const std::string* help;
+    const MetricLabels* labels;
+    const MetricCounter* counter;        // kCounter
+    const MetricGauge* gauge;            // kGauge
+    const StreamingHistogram* histogram; // kHistogram
+  };
+  template <typename Fn>
+  void for_each_series(Fn&& fn) const {
+    for (const auto& [name, fam] : families_) {
+      for (const std::size_t idx : fam.series) {
+        const Series& s = series_[idx];
+        fn(SeriesView{&name, fam.kind, &fam.help, &s.labels, s.counter, s.gauge, s.histogram});
+      }
+    }
+  }
+
+private:
+  struct Series {
+    MetricLabels labels;
+    MetricCounter* counter{nullptr};
+    MetricGauge* gauge{nullptr};
+    StreamingHistogram* histogram{nullptr};
+  };
+  struct Family {
+    MetricKind kind{MetricKind::kCounter};
+    std::string help;
+    // Indices into series_, ordered by serialized label key (deterministic
+    // export order independent of creation order).
+    std::vector<std::size_t> series;
+    std::map<std::string, std::size_t> by_label_key;  // interning table
+  };
+
+  Series& intern(std::string_view family, MetricKind kind, MetricLabels&& labels,
+                 std::string_view help, double lo, double hi, std::size_t bins);
+
+  std::map<std::string, Family, std::less<>> families_;
+  std::deque<Series> series_;
+  std::deque<MetricCounter> counters_;  // deques: stable instrument addresses
+  std::deque<MetricGauge> gauges_;
+  std::deque<StreamingHistogram> histograms_;
+};
+
+// Serialize labels into the canonical interning key (sorted by label key,
+// `k=v` joined with '\x1f').  Exposed for tests.
+[[nodiscard]] std::string metric_label_key(const MetricLabels& labels);
+
+}  // namespace rmacsim

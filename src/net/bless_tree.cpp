@@ -41,6 +41,7 @@ void BlessTree::send_hello() {
 }
 
 void BlessTree::on_hello(NodeId from, const HelloInfo& info) {
+  ++hellos_heard_;
   const SimTime now = scheduler_.now();
   const NodeId old_parent = parent_;
   if (info.hops_to_root < params_.infinite_hops) {
@@ -120,10 +121,12 @@ void BlessTree::expire_and_reselect() {
     }
   }
   if (best == kInvalidNode || best_hops >= params_.infinite_hops) {
+    if (parent_ != kInvalidNode) ++parent_changes_;
     parent_ = kInvalidNode;
     hops_ = params_.infinite_hops;
     return;
   }
+  if (best != parent_) ++parent_changes_;
   parent_ = best;
   hops_ = best_hops + 1;
   epoch_ = chosen_epoch;
@@ -138,6 +141,7 @@ void BlessTree::note_child_send(NodeId child, bool success) {
   }
   if (++it->second.consecutive_failures >= params_.child_failure_evict) {
     children_.erase(it);
+    ++child_evictions_;
   }
 }
 

@@ -73,6 +73,12 @@ public:
   // flooding forwarding strategy and for §3.3's reliable broadcast mode.
   [[nodiscard]] std::vector<NodeId> neighbours() const;
 
+  // Metrics: tree-repair activity over the run.
+  [[nodiscard]] std::uint64_t hellos_sent() const noexcept { return hello_seq_; }
+  [[nodiscard]] std::uint64_t hellos_heard() const noexcept { return hellos_heard_; }
+  [[nodiscard]] std::uint64_t parent_changes() const noexcept { return parent_changes_; }
+  [[nodiscard]] std::uint64_t child_evictions() const noexcept { return child_evictions_; }
+
 private:
   struct NeighbourEntry {
     std::uint32_t hops;
@@ -95,6 +101,10 @@ private:
   Rng rng_;
   std::uint32_t hello_seq_{0};
   SimTime last_hello_{SimTime::zero()};
+
+  std::uint64_t hellos_heard_{0};
+  std::uint64_t parent_changes_{0};
+  std::uint64_t child_evictions_{0};
 
   NodeId parent_{kInvalidNode};
   std::uint32_t hops_;

@@ -1,13 +1,17 @@
 #include "net/multicast_app.hpp"
 
+#include <algorithm>
+
+#include "metrics/profiler.hpp"
 #include "sim/strfmt.hpp"
 
 namespace rmacsim {
 
 MulticastApp::MulticastApp(Scheduler& scheduler, MacProtocol& mac, BlessTree& tree,
-                           MulticastAppParams params, DeliveryStats& delivery, Tracer* tracer)
+                           MulticastAppParams params, DeliveryStats& delivery, Tracer* tracer,
+                           LossLedger* ledger)
     : scheduler_{scheduler}, mac_{mac}, tree_{tree}, params_{params}, delivery_{delivery},
-      tracer_{tracer} {
+      tracer_{tracer}, ledger_{ledger} {
   mac_.set_upper(this);
 }
 
@@ -26,6 +30,7 @@ void MulticastApp::generate_next() {
   pkt->journey = make_journey(pkt->origin, pkt->seq);
   ++generated_;
   delivery_.note_generated(params_.receivers_per_packet);
+  if (ledger_ != nullptr) ledger_->on_generated(pkt->journey, pkt->origin);
   seen_.insert(pkt->seq);  // the source trivially "has" its own packet
   forward(pkt);
   scheduler_.schedule_in(SimTime::from_seconds(1.0 / params_.rate_pps),
@@ -38,10 +43,14 @@ void MulticastApp::forward(const AppPacketPtr& packet) {
                                       : tree_.children();
   if (receivers.empty()) return;  // leaf (tree) or isolated node (flood)
   ++forwarded_;
+  if (ledger_ != nullptr && packet->kind == AppPacket::Kind::kData) {
+    ledger_->on_attempt(packet->journey, receivers);
+  }
   mac_.reliable_send(packet, std::move(receivers));
 }
 
 void MulticastApp::mac_deliver(const Frame& frame) {
+  RMAC_PROF_SCOPE("app.mac_deliver");
   if (!frame.packet) return;
   const AppPacket& pkt = *frame.packet;
   if (pkt.kind == AppPacket::Kind::kHello) {
@@ -51,7 +60,8 @@ void MulticastApp::mac_deliver(const Frame& frame) {
   // Data packet: first reception counts; duplicates are suppressed.
   if (!seen_.insert(pkt.seq).second) return;
   ++received_unique_;
-  delivery_.note_delivered(scheduler_.now() - pkt.created);
+  delivery_.note_delivered_reception(scheduler_.now() - pkt.created);
+  if (ledger_ != nullptr) ledger_->on_delivered(pkt.journey, mac_.id());
   if (tracer_ != nullptr && tracer_->wants(TraceCategory::kApp)) {
     TraceRecord r{scheduler_.now(), TraceCategory::kApp, mac_.id(), {}};
     r.event = TraceEvent::kDeliver;
@@ -64,6 +74,17 @@ void MulticastApp::mac_deliver(const Frame& frame) {
 }
 
 void MulticastApp::mac_reliable_done(const ReliableSendResult& result) {
+  // Ledger resolution runs for every strategy: each receiver of the MAC
+  // invocation terminates here, as a success or with the MAC's DropReason.
+  if (ledger_ != nullptr && result.packet != nullptr &&
+      result.packet->kind == AppPacket::Kind::kData) {
+    for (NodeId r : result.receivers) {
+      const bool failed = std::find(result.failed_receivers.begin(),
+                                    result.failed_receivers.end(), r) !=
+                          result.failed_receivers.end();
+      ledger_->on_attempt_resolved(result.packet->journey, r, !failed, result.drop_reason);
+    }
+  }
   // Feed per-child success back to the tree so departed children are
   // evicted promptly (BlessParams::child_failure_evict).
   if (params_.strategy != ForwardStrategy::kTree) return;

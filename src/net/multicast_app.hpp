@@ -10,6 +10,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "metrics/loss_ledger.hpp"
 #include "net/bless_tree.hpp"
 #include "stats/metrics.hpp"
 
@@ -35,8 +36,12 @@ class MulticastApp final : public MacUpper {
 public:
   // `tracer` is optional: when set, first unique deliveries emit structured
   // kApp/kDeliver records the flight recorder turns into e2e latency.
+  // `ledger` is optional: when set, this app is the ledger's narrow waist —
+  // it opens reception slots at generation, attempts at each forward, and
+  // resolutions/deliveries as the MAC reports back.
   MulticastApp(Scheduler& scheduler, MacProtocol& mac, BlessTree& tree,
-               MulticastAppParams params, DeliveryStats& delivery, Tracer* tracer = nullptr);
+               MulticastAppParams params, DeliveryStats& delivery, Tracer* tracer = nullptr,
+               LossLedger* ledger = nullptr);
 
   // Root only: begin generating packets.
   void start_source();
@@ -59,6 +64,7 @@ private:
   MulticastAppParams params_;
   DeliveryStats& delivery_;
   Tracer* tracer_{nullptr};
+  LossLedger* ledger_{nullptr};
 
   std::unordered_set<std::uint32_t> seen_;  // source seqs already delivered here
   std::uint64_t generated_{0};

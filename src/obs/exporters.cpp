@@ -1,93 +1,18 @@
 #include "obs/exporters.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdint>
-#include <cstdio>
-#include <fstream>
 #include <string>
+
+#include "sim/bufio.hpp"
 
 namespace rmacsim {
 
 namespace {
 
-// All exporters format into one in-memory buffer and write it with a single
-// os.write().  The first version streamed through ofstream operator<< with a
-// snprintf per field; on a 75-node run that put export at ~200ms against a
-// ~40ms simulation budget (snprintf alone was most of it), so numbers go
-// through std::to_chars and timestamps through a pure-integer path.
-struct Buf {
-  std::string s;
-
-  Buf() { s.reserve(1u << 20); }
-
-  void lit(const char* t) { s += t; }
-  void ch(char c) { s += c; }
-  void str(const std::string& t) { s += t; }
-  void u64(std::uint64_t v) {
-    char b[24];
-    const auto r = std::to_chars(b, b + sizeof b, v);
-    s.append(b, static_cast<std::size_t>(r.ptr - b));
-  }
-  void i64(std::int64_t v) {
-    char b[24];
-    const auto r = std::to_chars(b, b + sizeof b, v);
-    s.append(b, static_cast<std::size_t>(r.ptr - b));
-  }
-  // Microsecond timestamp with nanosecond precision (Perfetto's `ts` unit).
-  // Formatted from the integer nanosecond count — "<us>.<3-digit frac>".
-  void us(SimTime t) {
-    std::int64_t ns = t.nanoseconds();
-    if (ns < 0) {
-      ch('-');
-      ns = -ns;
-    }
-    u64(static_cast<std::uint64_t>(ns) / 1000u);
-    const auto frac = static_cast<unsigned>(static_cast<std::uint64_t>(ns) % 1000u);
-    char b[4] = {'.', static_cast<char>('0' + frac / 100u),
-                 static_cast<char>('0' + (frac / 10u) % 10u),
-                 static_cast<char>('0' + frac % 10u)};
-    s.append(b, 4);
-  }
-  // Matches ostream's default 6-significant-digit formatting.
-  void dbl(double v) {
-    char b[40];
-    const auto r = std::to_chars(b, b + sizeof b, v, std::chars_format::general, 6);
-    s.append(b, static_cast<std::size_t>(r.ptr - b));
-  }
-  // Matches ostream with setprecision(9).
-  void dbl9(double v) {
-    char b[40];
-    const auto r = std::to_chars(b, b + sizeof b, v, std::chars_format::general, 9);
-    s.append(b, static_cast<std::size_t>(r.ptr - b));
-  }
-  void escaped(const std::string& t) {
-    for (char c : t) {
-      switch (c) {
-        case '"': s += "\\\""; break;
-        case '\\': s += "\\\\"; break;
-        case '\n': s += "\\n"; break;
-        case '\t': s += "\\t"; break;
-        case '\r': s += "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char b[8];
-            std::snprintf(b, sizeof b, "\\u%04x", c);
-            s += b;
-          } else {
-            s += c;
-          }
-      }
-    }
-  }
-
-  bool flush_to(const std::string& path) const {
-    std::ofstream os(path, std::ios::binary);
-    if (!os) return false;
-    os.write(s.data(), static_cast<std::streamsize>(s.size()));
-    return static_cast<bool>(os);
-  }
-};
+// All exporters format into one shared to_chars buffer (sim/bufio.hpp) and
+// write it with a single os.write(); see BufWriter for the rationale.
+using Buf = BufWriter;
 
 void receivers_json(Buf& b, const std::vector<NodeId>& receivers) {
   b.ch('[');

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include "metrics/profiler.hpp"
 #include "sim/strfmt.hpp"
 
 namespace rmacsim {
@@ -119,6 +120,7 @@ void Medium::maybe_recycle(TxHandle h) noexcept {
 }
 
 SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
+  RMAC_PROF_SCOPE("phy.begin_transmission");
   assert(tx.medium_tx_handle() == 0 && "radio already has a transmission in flight");
   const SimTime airtime = params_.frame_airtime(frame->wire_bytes());
   const SimTime now = scheduler_.now();
@@ -168,11 +170,23 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
     const double dist = std::sqrt(c.dist_sq);
     const SimTime prop = params_.propagation_delay(dist);
     const std::uint64_t sig = next_sig_++;
-    // Beyond range_m the signal interferes but can never be decoded.
-    const bool ber_ok = c.dist_sq <= r2 &&
-                        (params_.bit_error_rate <= 0.0 ||
-                         rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits))) &&
-                        script_allows_delivery(f, rx->id(), now);
+    // Beyond range_m the signal interferes but can never be decoded.  The
+    // staged evaluation mirrors the original short-circuit exactly — the
+    // bernoulli draw happens iff the receiver is in decode range — so the
+    // RNG stream (and with it the golden digests) is unchanged; the stages
+    // exist only to attribute each loss to its cause.
+    const bool in_range = c.dist_sq <= r2;
+    bool ber_pass = true;
+    if (in_range && params_.bit_error_rate > 0.0) {
+      ber_pass = rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits));
+      if (!ber_pass) ++counters_.ber_losses;
+    }
+    bool script_pass = true;
+    if (in_range && ber_pass) {
+      script_pass = script_allows_delivery(f, rx->id(), now);
+      if (!script_pass) ++counters_.scripted_losses;
+    }
+    const bool ber_ok = in_range && ber_pass && script_pass;
     // The leading edge never reads the slot (capture bookkeeping needs only
     // the distance), so it takes no pending ref and the frame is not copied
     // into any closure.
@@ -191,6 +205,7 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
 }
 
 void Medium::on_signal_end(TxHandle h, Radio* rx, std::uint64_t sig, bool ok) {
+  RMAC_PROF_SCOPE("phy.signal_end");
   Transmission& t = slot_of(h);
   // `t.frame` stays alive across the listener callback: this closure's
   // pending ref blocks recycling, and the deque keeps `t` stable even if the
@@ -220,6 +235,7 @@ void Medium::abort_transmission(Radio& tx) {
   assert(h != 0 && "no transmission to abort");
   Transmission& t = slot_of(h);
   t.aborted = true;
+  ++counters_.tx_aborted;
   if (scheduler_.cancel(t.done_event)) --t.pending;
   // Truncate the signal at every receiver: the tail that would have arrived
   // after now + prop never airs; the partial frame is corrupt.

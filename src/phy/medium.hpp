@@ -70,6 +70,31 @@ public:
   [[nodiscard]] std::size_t pool_slots() const noexcept { return slots_.size(); }
   [[nodiscard]] std::size_t pool_free_slots() const noexcept { return free_slots_.size(); }
 
+  // Reception-outcome tally for the metrics registry.  Plain unconditional
+  // increments on the hot path; published to labeled series at end of run.
+  struct Counters {
+    std::uint64_t tx_aborted{0};
+    std::uint64_t ber_losses{0};       // decode-range copies killed by the BER draw
+    std::uint64_t scripted_losses{0};  // copies killed by the test script seam
+    std::uint64_t rx_delivered{0};     // trailing edges handed to a listener
+    std::uint64_t rx_collision{0};     // overlap corrupted the copy (incl. capture loss)
+    std::uint64_t rx_corrupt{0};       // clean on air but BER/script/abort-truncated
+    std::uint64_t rx_half_duplex{0};  // arrived intact while the receiver transmitted
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  // Called by Radio::signal_end with the decode verdict for one trailing edge.
+  void note_reception(bool delivered, bool clean, bool intact, bool transmitting) noexcept {
+    if (delivered) {
+      ++counters_.rx_delivered;
+    } else if (!clean) {
+      ++counters_.rx_collision;
+    } else if (!intact) {
+      ++counters_.rx_corrupt;
+    } else if (transmitting) {
+      ++counters_.rx_half_duplex;
+    }
+  }
+
 protected:
   // Test seam: consulted once per (transmission, in-decode-range receiver)
   // pair; returning false corrupts the copy at that receiver (scripted
@@ -147,6 +172,7 @@ private:
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_sig_{1};
   std::uint64_t tx_started_{0};
+  Counters counters_{};
 };
 
 }  // namespace rmacsim

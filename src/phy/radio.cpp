@@ -73,6 +73,7 @@ void Radio::signal_end(std::uint64_t sig, bool intact, const FramePtr& frame) {
   }
   assert(idx < incoming_.size());
   const bool deliver = incoming_[idx].clean && intact && !transmitting_;
+  medium_.note_reception(deliver, incoming_[idx].clean, intact, transmitting_);
   const bool busy_before = carrier_busy();
   incoming_[idx] = incoming_.back();
   incoming_.pop_back();

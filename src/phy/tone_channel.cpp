@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include "metrics/profiler.hpp"
 #include "sim/strfmt.hpp"
 
 namespace rmacsim {
@@ -47,6 +48,7 @@ std::size_t ToneChannel::history_size(NodeId id) const noexcept {
 }
 
 void ToneChannel::set_tone(NodeId id, bool on) {
+  RMAC_PROF_SCOPE("tone.set_tone");
   auto it = sources_.find(id);
   assert(it != sources_.end() && "set_tone on unattached node");
   Source& s = it->second;
@@ -54,6 +56,8 @@ void ToneChannel::set_tone(NodeId id, bool on) {
   const SimTime now = scheduler_.now();
   s.on = on;
   if (on) {
+    ++raises_;
+    if (s.suppressed) ++suppressed_raises_;
     s.history.push_back(Interval{now, SimTime::max()});
     prune(s);
     if (!edge_subs_.empty() && !s.suppressed) {
@@ -78,6 +82,7 @@ void ToneChannel::set_tone(NodeId id, bool on) {
     }
   } else {
     assert(!s.history.empty());
+    on_time_total_ += now - s.history.back().on;
     s.history.back().off = now;
     prune(s);
   }

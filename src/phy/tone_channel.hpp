@@ -70,6 +70,13 @@ public:
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const PhyParams& params() const noexcept { return params_; }
 
+  // Metrics: lifetime raise count and summed tone on-time (across all
+  // sources; still-on tones contribute when they drop).  Divide on-time by
+  // (sim duration × node count) for the duty cycle.
+  [[nodiscard]] std::uint64_t raises() const noexcept { return raises_; }
+  [[nodiscard]] std::uint64_t suppressed_raises() const noexcept { return suppressed_raises_; }
+  [[nodiscard]] SimTime on_time_total() const noexcept { return on_time_total_; }
+
   // Retained history intervals for a source (diagnostics/tests: stale
   // history is pruned on queries as well as on tone transitions).
   [[nodiscard]] std::size_t history_size(NodeId id) const noexcept;
@@ -99,6 +106,9 @@ private:
   std::unordered_map<NodeId, EdgeCallback> edge_subs_;
   mutable SpatialIndex index_;
   std::vector<std::pair<NodeId, double>> scratch_;  // set_tone edge fan-out
+  std::uint64_t raises_{0};
+  std::uint64_t suppressed_raises_{0};
+  SimTime on_time_total_{SimTime::zero()};
 };
 
 }  // namespace rmacsim

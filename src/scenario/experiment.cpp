@@ -8,9 +8,12 @@
 #include "sim/strfmt.hpp"
 
 #include "audit/sim_auditor.hpp"
+#include "metrics/export.hpp"
+#include "metrics/profiler.hpp"
 #include "obs/exporters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/timeseries.hpp"
+#include "scenario/metrics_collect.hpp"
 
 #ifndef RMAC_GIT_REVISION
 #define RMAC_GIT_REVISION "unknown"
@@ -110,8 +113,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         /*needs_message=*/false);
   }
 
+  // The profiler attaches to this thread only (parallel_runner workers each
+  // run their own run_experiment, so per-thread attachment is exactly the
+  // isolation needed).  It reads nothing but the wall clock; digests and
+  // event order are unaffected.
+  std::optional<Profiler> profiler;
+  if (config.profile) {
+    profiler.emplace();
+    profiler->attach();
+  }
+  const auto run_begin = std::chrono::steady_clock::now();
+
   net.start_routing();
-  sched.run_until(config.warmup);
+  {
+    RMAC_PROF_SCOPE("sim.run");
+    sched.run_until(config.warmup);
+  }
 
   // §4.1.1 tree statistics at the end of warm-up.
   SampleStats hops;
@@ -148,18 +165,52 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   net.start_source();
   const SimTime gen_span =
       SimTime::from_seconds(static_cast<double>(config.num_packets) / config.rate_pps);
-  sched.run_until(config.warmup + gen_span + config.drain);
+  {
+    RMAC_PROF_SCOPE("sim.run");
+    sched.run_until(config.warmup + gen_span + config.drain);
+  }
+  const double run_wall_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - run_begin)
+                                .count();
+
+  // End-of-run ledger sweep: reliable work still queued or in service when
+  // the clock stops is kEndOfRun, not a leak.  After this, finalize() may
+  // classify a slot kUnaccounted only if a drop path truly forgot to report.
+  LossLedger& ledger = net.ledger();
+  for (Node& n : net.nodes()) {
+    n.mac->for_each_pending_reliable(
+        [&ledger](const AppPacketPtr& packet, const std::vector<NodeId>& receivers) {
+          if (packet != nullptr && packet->kind == AppPacket::Kind::kData) {
+            ledger.sweep_end_of_run(packet->journey, receivers);
+          }
+        });
+  }
 
   ExperimentResult r;
   r.config = config;
   const DeliveryStats& d = net.delivery();
   r.delivery_ratio = d.delivery_ratio();
   r.generated = d.generated();
-  r.delivered = d.delivered();
-  r.expected = d.expected();
+  r.delivered = d.delivered_receptions();
+  r.expected = d.expected_receptions();
   r.avg_delay_s = mean(d.delays_seconds());
   r.p99_delay_s = percentile(d.delays_seconds(), 99.0);
+  r.delay_samples_s = d.delays_seconds();
   r.events_executed = sched.executed_count();
+
+  // Conservation check: every expected reception terminated in exactly one
+  // outcome, none leaked.  The verdict rides on the result (tests and the
+  // mutation knob assert on it; a hard assert here would make the
+  // prove-the-check-fires test impossible to run).
+  r.ledger = ledger.finalize();
+
+  if (profiler.has_value()) {
+    r.profile.wall_s = run_wall_s;
+    r.profile.events_per_sec =
+        run_wall_s > 0.0 ? static_cast<double>(r.events_executed) / run_wall_s : 0.0;
+    r.profile.report = profiler->report();
+    Profiler::detach();
+  }
 
   // Figs. 8, 10, 11, 13 average over non-leaf nodes.  The paper's tree is
   // stable, so its non-leaf set is clean; under churn our harness can
@@ -270,6 +321,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                           std::chrono::steady_clock::now() - export_begin)
                           .count();
   }
+
+  // Metrics snapshot: a pure post-run collect pass over counters the hot
+  // paths already maintained, so enabling it cannot shift digests or the
+  // allocs-per-tx gate.
+  if (config.metrics.enabled) {
+    MetricsRegistry reg;
+    collect_metrics(reg, net);
+    collect_ledger(reg, r.ledger);
+    r.metrics.series = reg.series_count();
+    r.metrics.conservation_ok = r.ledger.conservation_ok();
+    if (!config.metrics.out_dir.empty()) {
+      (void)write_metrics_artifacts(reg, r.ledger,
+                                    profiler.has_value() ? &r.profile.report : nullptr,
+                                    config.metrics.out_dir, config.metrics.prefix,
+                                    r.metrics.text_path, r.metrics.json_path);
+    }
+  }
   return r;
 }
 
@@ -278,10 +346,14 @@ ExperimentResult average_results(const std::vector<ExperimentResult>& runs) {
   ExperimentResult avg;
   avg.config = runs.front().config;
   const double n = static_cast<double>(runs.size());
+  // Delay statistics pool the raw per-reception samples across seeds before
+  // taking mean/percentile: averaging per-seed p99s would weight a
+  // 10-delivery seed equally with a 10000-delivery one and is not a
+  // percentile of anything (the skewed-seed regression test pins this).
+  SampleStats pooled_delays;
   for (const ExperimentResult& r : runs) {
     avg.delivery_ratio += r.delivery_ratio / n;
-    avg.avg_delay_s += r.avg_delay_s / n;
-    avg.p99_delay_s += r.p99_delay_s / n;
+    pooled_delays.add_all(r.delay_samples_s);
     avg.avg_drop_ratio += r.avg_drop_ratio / n;
     avg.avg_retx_ratio += r.avg_retx_ratio / n;
     avg.avg_txoh_ratio += r.avg_txoh_ratio / n;
@@ -300,6 +372,12 @@ ExperimentResult average_results(const std::vector<ExperimentResult>& runs) {
     avg.delivered += r.delivered;
     avg.expected += r.expected;
     avg.events_executed += r.events_executed;
+    avg.ledger.journeys += r.ledger.journeys;
+    avg.ledger.expected += r.ledger.expected;
+    avg.ledger.delivered += r.ledger.delivered;
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+      avg.ledger.dropped[i] += r.ledger.dropped[i];
+    }
     avg.audit.total += r.audit.total;
     for (const auto& [name, count] : r.audit.by_invariant) {
       auto it = std::find_if(avg.audit.by_invariant.begin(), avg.audit.by_invariant.end(),
@@ -311,6 +389,9 @@ ExperimentResult average_results(const std::vector<ExperimentResult>& runs) {
       }
     }
   }
+  avg.avg_delay_s = pooled_delays.mean();
+  avg.p99_delay_s = pooled_delays.percentile(99.0);
+  avg.delay_samples_s = pooled_delays.values();
   return avg;
 }
 

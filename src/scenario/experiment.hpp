@@ -5,6 +5,8 @@
 
 #include <string>
 
+#include "metrics/loss_ledger.hpp"
+#include "metrics/profiler.hpp"
 #include "scenario/network_builder.hpp"
 #include "stats/metrics.hpp"
 #include "stats/percentile.hpp"
@@ -54,6 +56,26 @@ struct ExperimentConfig {
   };
   ObsConfig obs;
 
+  // Metrics snapshot: when `enabled`, the end-of-run collect pass publishes
+  // every subsystem counter onto a MetricsRegistry and writes
+  // <out_dir>/<prefix>_metrics.txt (OpenMetrics) and _metrics.json.  The
+  // collect pass runs after the simulation finishes, so it costs nothing on
+  // the hot path and cannot shift golden digests.  Leave out_dir empty to
+  // snapshot in memory only (MetricsSummary is still filled).
+  struct MetricsConfig {
+    bool enabled{false};
+    std::string out_dir{"."};
+    std::string prefix{"run"};
+  };
+  MetricsConfig metrics;
+
+  // Attach the self-profiler (metrics/profiler.hpp) for the run: scoped
+  // wall-clock timers on the phy/net hot paths plus a whole-run "sim.run"
+  // section.  Wall-clock only — never reads simulation state — so event
+  // order and digests are unaffected; the cost is ~two clock reads per
+  // instrumented scope.
+  bool profile{false};
+
   [[nodiscard]] std::string label() const;
 };
 
@@ -95,6 +117,33 @@ struct ExperimentResult {
   std::uint64_t delivered{0};
   std::uint64_t expected{0};
   std::uint64_t events_executed{0};
+
+  // Raw per-reception end-to-end delays (seconds).  Kept on the result so
+  // average_results can pool samples across seeds before taking percentiles
+  // — a percentile of per-seed percentiles is not a percentile of the
+  // pooled distribution.
+  std::vector<double> delay_samples_s;
+
+  // Loss-ledger terminal accounting (always filled: the ledger is attached
+  // to every run) plus the conservation verdict run_experiment asserted.
+  LedgerSummary ledger;
+
+  // Populated when config.metrics.enabled is set.
+  struct MetricsSummary {
+    std::uint64_t series{0};      // registry series in the snapshot
+    bool conservation_ok{false};  // ledger verdict carried into the snapshot
+    std::string text_path;        // OpenMetrics artifact ("" if not written)
+    std::string json_path;
+  };
+  MetricsSummary metrics;
+
+  // Populated when config.profile is set.
+  struct ProfileSummary {
+    double wall_s{0.0};          // run_until wall time (warmup + traffic)
+    double events_per_sec{0.0};  // events_executed / wall_s
+    Profiler::Report report;     // per-section hotspot table
+  };
+  ProfileSummary profile;
 
   // Populated when config.audit is set.
   AuditCounters audit;

@@ -1,0 +1,226 @@
+#include "scenario/metrics_collect.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "phy/frame.hpp"
+#include "phy/frame_pool.hpp"
+
+namespace rmacsim {
+
+namespace {
+
+// MRTS wire length grows with the receiver list; 256 B comfortably covers
+// the paper's 20-receiver worst case.
+constexpr double kMrtsHistHi = 256.0;
+constexpr std::size_t kMrtsHistBins = 32;
+// End-to-end delays on paper-scale scenarios sit well under 2 s (Fig. 9).
+constexpr double kDelayHistHi = 2.0;
+constexpr std::size_t kDelayHistBins = 40;
+
+void collect_tone(MetricsRegistry& reg, const ToneChannel& tone, const char* label) {
+  const MetricLabels l{{"tone", label}};
+  reg.counter("rmacsim_tone_raises_total", l, "busy-tone rising edges")
+      .set(tone.raises());
+  reg.counter("rmacsim_tone_suppressed_raises_total", l,
+              "rising edges raised while scripted-suppressed")
+      .set(tone.suppressed_raises());
+  reg.gauge("rmacsim_tone_on_time_seconds", l, "cumulative tone-on airtime")
+      .set(tone.on_time_total().to_seconds());
+}
+
+}  // namespace
+
+void collect_metrics(MetricsRegistry& reg, Network& net) {
+  // --- scheduler -----------------------------------------------------------
+  const Scheduler& sched = net.scheduler();
+  reg.counter("rmacsim_sched_events_executed_total", {}, "events executed")
+      .set(sched.executed_count());
+  reg.counter("rmacsim_sched_events_scheduled_total", {}, "events scheduled")
+      .set(sched.scheduled_count());
+  reg.counter("rmacsim_sched_events_cancelled_total", {}, "events cancelled")
+      .set(sched.cancelled_count());
+  reg.gauge("rmacsim_sched_pending_peak", {}, "high-water mark of pending events")
+      .set(static_cast<double>(sched.peak_pending()));
+  reg.gauge("rmacsim_sched_pool_slots", {}, "event slab capacity")
+      .set(static_cast<double>(sched.pool_slots()));
+  reg.gauge("rmacsim_sched_pool_free_slots", {}, "event slab free slots")
+      .set(static_cast<double>(sched.pool_free_slots()));
+  reg.gauge("rmacsim_sched_sim_time_seconds", {}, "simulated time at snapshot")
+      .set(sched.now().to_seconds());
+
+  // --- medium --------------------------------------------------------------
+  const Medium& med = net.medium();
+  const Medium::Counters& mc = med.counters();
+  reg.counter("rmacsim_phy_tx_started_total", {}, "transmissions started")
+      .set(med.transmissions_started());
+  reg.counter("rmacsim_phy_tx_aborted_total", {}, "transmissions aborted on air")
+      .set(mc.tx_aborted);
+  reg.counter("rmacsim_phy_copy_losses_total", {{"cause", "ber"}},
+              "per-receiver copies killed before the trailing edge")
+      .set(mc.ber_losses);
+  reg.counter("rmacsim_phy_copy_losses_total", {{"cause", "scripted"}}, "")
+      .set(mc.scripted_losses);
+  reg.counter("rmacsim_phy_rx_total", {{"outcome", "delivered"}},
+              "trailing-edge decode outcomes at listeners")
+      .set(mc.rx_delivered);
+  reg.counter("rmacsim_phy_rx_total", {{"outcome", "collision"}}, "").set(mc.rx_collision);
+  reg.counter("rmacsim_phy_rx_total", {{"outcome", "corrupt"}}, "").set(mc.rx_corrupt);
+  reg.counter("rmacsim_phy_rx_total", {{"outcome", "half_duplex"}}, "")
+      .set(mc.rx_half_duplex);
+  reg.gauge("rmacsim_phy_pool_slots", {}, "transmission slab capacity")
+      .set(static_cast<double>(med.pool_slots()));
+  reg.gauge("rmacsim_phy_pool_free_slots", {}, "transmission slab free slots")
+      .set(static_cast<double>(med.pool_free_slots()));
+  reg.gauge("rmacsim_frame_pool_free_blocks", {}, "frame slab free blocks")
+      .set(static_cast<double>(frame_pool::free_blocks()));
+  reg.gauge("rmacsim_frame_pool_outstanding_blocks", {}, "frame slab live blocks")
+      .set(static_cast<double>(frame_pool::outstanding_blocks()));
+
+  // --- busy-tone channels --------------------------------------------------
+  collect_tone(reg, net.rbt(), "RBT");
+  collect_tone(reg, net.abt(), "ABT");
+
+  // --- MAC (summed over nodes, labeled by protocol) ------------------------
+  const MetricLabels proto{{"protocol", to_string(net.config().protocol)}};
+  MacStats sum;
+  std::size_t queue_peak = 0;
+  StreamingHistogram& mrts_hist = reg.histogram(
+      "rmacsim_mac_mrts_length_bytes", 0.0, kMrtsHistHi, kMrtsHistBins, proto,
+      "MRTS wire lengths (receiver-list growth, Fig. 12)");
+  for (const Node& n : net.nodes()) {
+    const MacStats& s = n.mac->stats();
+    sum.reliable_requests += s.reliable_requests;
+    sum.reliable_delivered += s.reliable_delivered;
+    sum.reliable_dropped += s.reliable_dropped;
+    sum.retransmissions += s.retransmissions;
+    sum.unreliable_requests += s.unreliable_requests;
+    sum.queue_drops += s.queue_drops;
+    queue_peak = std::max(queue_peak, s.queue_peak);
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+      sum.drops_by_reason[i] += s.drops_by_reason[i];
+    }
+    for (std::size_t i = 0; i < kMacFrameKinds; ++i) {
+      sum.frames_tx[i] += s.frames_tx[i];
+      sum.frames_rx[i] += s.frames_rx[i];
+    }
+    sum.state_transitions += s.state_transitions;
+    sum.cw_escalations += s.cw_escalations;
+    sum.mrts_transmissions += s.mrts_transmissions;
+    sum.mrts_aborted += s.mrts_aborted;
+    for (const double b : s.mrts_lengths_bytes) mrts_hist.add(b);
+  }
+  reg.counter("rmacsim_mac_reliable_requests_total", proto,
+              "reliable-send invocations accepted")
+      .set(sum.reliable_requests);
+  reg.counter("rmacsim_mac_reliable_delivered_total", proto,
+              "invocations the MAC believes fully delivered")
+      .set(sum.reliable_delivered);
+  reg.counter("rmacsim_mac_reliable_dropped_total", proto,
+              "invocations dropped after the retry limit")
+      .set(sum.reliable_dropped);
+  reg.counter("rmacsim_mac_retransmissions_total", proto, "retransmission attempts")
+      .set(sum.retransmissions);
+  reg.counter("rmacsim_mac_unreliable_requests_total", proto, "unreliable sends")
+      .set(sum.unreliable_requests);
+  reg.counter("rmacsim_mac_queue_drops_total", proto, "requests refused by a full queue")
+      .set(sum.queue_drops);
+  reg.gauge("rmacsim_mac_queue_peak", proto, "deepest tx queue seen on any node")
+      .set(static_cast<double>(queue_peak));
+  reg.counter("rmacsim_mac_state_transitions_total", proto, "MAC FSM edges taken")
+      .set(sum.state_transitions);
+  reg.counter("rmacsim_mac_cw_escalations_total", proto, "backoff-stage escalations")
+      .set(sum.cw_escalations);
+  reg.counter("rmacsim_mac_mrts_tx_total", proto, "MRTS transmissions attempted")
+      .set(sum.mrts_transmissions);
+  reg.counter("rmacsim_mac_mrts_aborted_total", proto, "MRTS aborted on RBT detection")
+      .set(sum.mrts_aborted);
+  // Per-frame-type and per-reason families: zero-valued series are skipped
+  // (a DCF run never mentions MRTS), which is itself deterministic — the
+  // same seed produces the same set of nonzero kinds.
+  constexpr std::size_t kLiveFrameKinds = 9;
+  for (std::size_t i = 0; i < kLiveFrameKinds; ++i) {
+    const char* kind = to_string(static_cast<FrameType>(i));
+    if (sum.frames_tx[i] != 0) {
+      MetricLabels l = proto;
+      l.emplace_back("frame", kind);
+      reg.counter("rmacsim_mac_frames_tx_total", std::move(l), "frames put on the air")
+          .set(sum.frames_tx[i]);
+    }
+    if (sum.frames_rx[i] != 0) {
+      MetricLabels l = proto;
+      l.emplace_back("frame", kind);
+      reg.counter("rmacsim_mac_frames_rx_total", std::move(l), "frames decoded")
+          .set(sum.frames_rx[i]);
+    }
+  }
+  for (std::size_t i = 1; i < kDropReasonCount; ++i) {  // skip kNone
+    if (sum.drops_by_reason[i] == 0) continue;
+    MetricLabels l = proto;
+    l.emplace_back("reason", to_string(static_cast<DropReason>(i)));
+    reg.counter("rmacsim_mac_drops_total", std::move(l),
+                "failed reliable receptions by terminal cause")
+        .set(sum.drops_by_reason[i]);
+  }
+
+  // --- tree + app ----------------------------------------------------------
+  std::uint64_t hellos_sent = 0, hellos_heard = 0, parent_changes = 0, evictions = 0;
+  std::uint64_t app_generated = 0, app_received = 0, app_forwarded = 0;
+  for (const Node& n : net.nodes()) {
+    hellos_sent += n.tree->hellos_sent();
+    hellos_heard += n.tree->hellos_heard();
+    parent_changes += n.tree->parent_changes();
+    evictions += n.tree->child_evictions();
+    app_generated += n.app->generated();
+    app_received += n.app->received_unique();
+    app_forwarded += n.app->forwarded();
+  }
+  reg.counter("rmacsim_tree_hellos_sent_total", {}, "BLESS hellos broadcast")
+      .set(hellos_sent);
+  reg.counter("rmacsim_tree_hellos_heard_total", {}, "BLESS hellos received")
+      .set(hellos_heard);
+  reg.counter("rmacsim_tree_parent_changes_total", {}, "parent re-selections (repairs)")
+      .set(parent_changes);
+  reg.counter("rmacsim_tree_child_evictions_total", {},
+              "children evicted on MAC send failures")
+      .set(evictions);
+  reg.counter("rmacsim_app_generated_total", {}, "source packets generated")
+      .set(app_generated);
+  reg.counter("rmacsim_app_received_unique_total", {}, "first unique deliveries")
+      .set(app_received);
+  reg.counter("rmacsim_app_forwarded_total", {}, "reliable forward invocations")
+      .set(app_forwarded);
+
+  const DeliveryStats& d = net.delivery();
+  reg.counter("rmacsim_app_expected_receptions_total", {},
+              "reception slots opened (generated x group size)")
+      .set(d.expected_receptions());
+  reg.counter("rmacsim_app_delivered_receptions_total", {},
+              "reception slots that delivered")
+      .set(d.delivered_receptions());
+  StreamingHistogram& delays = reg.histogram(
+      "rmacsim_app_e2e_delay_seconds", 0.0, kDelayHistHi, kDelayHistBins, {},
+      "end-to-end delay of delivered receptions (Fig. 9)");
+  for (const double s : d.delays_seconds()) delays.add(s);
+}
+
+void collect_ledger(MetricsRegistry& reg, const LedgerSummary& ledger) {
+  reg.counter("rmacsim_ledger_journeys_total", {}, "generated packets tracked")
+      .set(ledger.journeys);
+  reg.counter("rmacsim_ledger_expected_total", {}, "expected receptions opened")
+      .set(ledger.expected);
+  reg.counter("rmacsim_ledger_delivered_total", {}, "receptions that terminated delivered")
+      .set(ledger.delivered);
+  for (std::size_t i = 1; i < kDropReasonCount; ++i) {  // kNone never terminal
+    if (ledger.dropped[i] == 0) continue;
+    reg.counter("rmacsim_ledger_dropped_total",
+                {{"reason", to_string(static_cast<DropReason>(i))}},
+                "receptions that terminated dropped, by cause")
+        .set(ledger.dropped[i]);
+  }
+  reg.gauge("rmacsim_ledger_conservation_ok", {},
+            "1 when expected == delivered + dropped and no leaks")
+      .set(ledger.conservation_ok() ? 1.0 : 0.0);
+}
+
+}  // namespace rmacsim

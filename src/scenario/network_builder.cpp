@@ -55,6 +55,7 @@ std::vector<Vec2> Network::draw_placement(Rng& rng) const {
 }
 
 Network::Network(NetworkConfig config) : config_{config} {
+  ledger_.set_node_count(config_.num_nodes);
   Rng master{config_.seed};
   Rng placement_rng = master.fork(Rng::hash_label("placement"));
   Rng medium_rng = master.fork(Rng::hash_label("medium"));
@@ -130,7 +131,7 @@ Network::Network(NetworkConfig config) : config_{config} {
     MulticastAppParams app = config_.app;
     app.receivers_per_packet = config_.num_nodes - 1;
     n.app = std::make_unique<MulticastApp>(scheduler_, *n.mac, *n.tree, app, delivery_,
-                                           &tracer_);
+                                           &tracer_, &ledger_);
     nodes_.push_back(std::move(n));
   }
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mac/rmac/rmac_protocol.hpp"
+#include "metrics/loss_ledger.hpp"
 #include "phy/medium.hpp"
 #include "phy/tone_channel.hpp"
 #include "scenario/node.hpp"
@@ -55,6 +56,7 @@ public:
   [[nodiscard]] std::vector<Node>& nodes() noexcept { return nodes_; }
   [[nodiscard]] Node& node(NodeId id) noexcept { return nodes_[id]; }
   [[nodiscard]] DeliveryStats& delivery() noexcept { return delivery_; }
+  [[nodiscard]] LossLedger& ledger() noexcept { return ledger_; }
 
   // Start every node's BLESS hello schedule.
   void start_routing();
@@ -77,6 +79,7 @@ private:
   std::unique_ptr<ToneChannel> rbt_;
   std::unique_ptr<ToneChannel> abt_;
   DeliveryStats delivery_;
+  LossLedger ledger_;
   std::vector<Node> nodes_;
 };
 

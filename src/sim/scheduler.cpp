@@ -24,6 +24,8 @@ EventId Scheduler::schedule_at(SimTime at, EventFn fn) {
   s.fn = std::move(fn);
   s.active = true;
   ++live_;
+  ++scheduled_;
+  if (live_ > peak_live_) peak_live_ = live_;
   heap_.push_back(HeapNode{at, next_seq_++, slot, s.generation});
   sift_up(heap_.size() - 1);
   return encode(slot, s.generation);
@@ -48,6 +50,7 @@ bool Scheduler::cancel(EventId id) noexcept {
   const Slot& s = slots_[slot];
   if (!s.active || s.generation != generation_of(id)) return false;
   release_slot(slot);  // the heap node is skipped lazily when popped
+  ++cancelled_;
   return true;
 }
 

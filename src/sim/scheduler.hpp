@@ -57,6 +57,12 @@ public:
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] std::size_t pending_count() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
+  // Lifetime totals and pool introspection for the metrics registry.
+  [[nodiscard]] std::uint64_t scheduled_count() const noexcept { return scheduled_; }
+  [[nodiscard]] std::uint64_t cancelled_count() const noexcept { return cancelled_; }
+  [[nodiscard]] std::size_t peak_pending() const noexcept { return peak_live_; }
+  [[nodiscard]] std::size_t pool_slots() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t pool_free_slots() const noexcept { return free_slots_.size(); }
 
 private:
   struct Slot {
@@ -100,7 +106,10 @@ private:
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
+  std::uint64_t scheduled_{0};
+  std::uint64_t cancelled_{0};
   std::size_t live_{0};
+  std::size_t peak_live_{0};
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapNode> heap_;

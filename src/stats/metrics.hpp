@@ -2,6 +2,7 @@
 // evaluation metrics (§4.2, §4.3).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -11,6 +12,50 @@
 #include "sim/time.hpp"
 
 namespace rmacsim {
+
+// Why an expected reception never happened.  Every terminal loss in the
+// simulator maps to exactly one of these; the loss ledger
+// (metrics/loss_ledger.hpp) proves the mapping is total via the conservation
+// invariant  generated × expected = Σ delivered + Σ dropped_by_reason.
+//
+// kNone is the sentinel for "not dropped" (successful resolutions and
+// unset result fields); it never appears in a finalized ledger breakdown.
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kQueueOverflow,   // MAC admission refused by a full transmission queue
+  kRetryExhausted,  // retry limit hit (802.11-family cause unknown)
+  kMrtsAbort,       // RMAC: final attempt's MRTS aborted on RBT detection
+  kNoRbt,           // RMAC: no RBT response followed the final MRTS
+  kAbtSilence,      // RMAC: a receiver's ABT slot stayed silent after data
+  kDataCollision,   // MAC believed success but the data never arrived intact
+                    // (hidden-node collision, blind multicast, NAK blind spot)
+  kUpstreamLoss,    // no copy-holder ever attempted this receiver (tree hole)
+  kEndOfRun,        // the run ended with the request still queued/in service
+  kUnaccounted,     // LEAK: an attempt terminated without reporting — always
+                    // a simulator bug; the conservation check fires on it
+};
+inline constexpr std::size_t kDropReasonCount = 10;
+
+[[nodiscard]] constexpr const char* to_string(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kQueueOverflow: return "queue_overflow";
+    case DropReason::kRetryExhausted: return "retry_exhausted";
+    case DropReason::kMrtsAbort: return "mrts_abort";
+    case DropReason::kNoRbt: return "no_rbt";
+    case DropReason::kAbtSilence: return "abt_silence";
+    case DropReason::kDataCollision: return "data_collision";
+    case DropReason::kUpstreamLoss: return "upstream_loss";
+    case DropReason::kEndOfRun: return "end_of_run";
+    case DropReason::kUnaccounted: return "unaccounted";
+  }
+  return "?";
+}
+
+// Array extent for per-frame-type counters.  Sized generously so stats/
+// needs no dependency on phy/frame.hpp; MAC code indexes these with
+// static_cast<std::size_t>(FrameType) (9 live kinds today).
+inline constexpr std::size_t kMacFrameKinds = 16;
 
 // Violation counters produced by an attached SimAuditor (audit/), carried on
 // ExperimentResult so sweeps can assert protocol conformance alongside the
@@ -31,6 +76,20 @@ struct MacStats {
 
   std::uint64_t unreliable_requests{0};
   std::uint64_t queue_drops{0};         // requests refused by a full queue
+  std::size_t queue_peak{0};            // high-water mark of the tx queue
+
+  // Failed reliable receptions by terminal cause, counted once per receiver
+  // the MAC gave up on (receptions, matching the ledger unit — one reliable
+  // invocation toward k receivers can add up to k here).
+  std::array<std::uint64_t, kDropReasonCount> drops_by_reason{};
+
+  // Registry feed (metrics/registry.hpp): cheap unconditional counters the
+  // end-of-run collect pass turns into labeled series.  Indexed by
+  // static_cast<std::size_t>(FrameType).
+  std::array<std::uint64_t, kMacFrameKinds> frames_tx{};
+  std::array<std::uint64_t, kMacFrameKinds> frames_rx{};
+  std::uint64_t state_transitions{0};  // MAC FSM edges taken
+  std::uint64_t cw_escalations{0};     // backoff-stage doublings (802.11 family)
 
   // RMAC-specific (Figs. 12, 13).
   std::uint64_t mrts_transmissions{0};  // MRTS transmissions attempted
@@ -72,30 +131,42 @@ struct MacStats {
 };
 
 // Network-wide delivery accounting for the multicast application (Fig. 7, 9).
+//
+// Unit discipline: everything here counts *receptions at receivers*, not
+// packets.  One generated packet with k expected receivers contributes k to
+// expected_receptions(); every node's first unique delivery of it contributes
+// 1 to delivered_receptions().  delivery_ratio() is therefore
+// receptions/receptions — the paper's R_deliv — never packets/receptions.
 class DeliveryStats {
 public:
   void note_generated(std::uint32_t receivers_expected) noexcept {
     ++generated_;
     expected_receptions_ += receivers_expected;
   }
-  void note_delivered(SimTime e2e_delay) {
-    ++delivered_;
+  // Called once per receiver node that delivers the packet for the first
+  // time (k calls for a packet that reaches all k receivers).
+  void note_delivered_reception(SimTime e2e_delay) {
+    ++delivered_receptions_;
     delays_s_.push_back(e2e_delay.to_seconds());
   }
 
   [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
-  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
-  [[nodiscard]] std::uint64_t expected() const noexcept { return expected_receptions_; }
+  [[nodiscard]] std::uint64_t delivered_receptions() const noexcept {
+    return delivered_receptions_;
+  }
+  [[nodiscard]] std::uint64_t expected_receptions() const noexcept {
+    return expected_receptions_;
+  }
   [[nodiscard]] double delivery_ratio() const noexcept {
-    return expected_receptions_ == 0
-               ? 0.0
-               : static_cast<double>(delivered_) / static_cast<double>(expected_receptions_);
+    return expected_receptions_ == 0 ? 0.0
+                                     : static_cast<double>(delivered_receptions_) /
+                                           static_cast<double>(expected_receptions_);
   }
   [[nodiscard]] const std::vector<double>& delays_seconds() const noexcept { return delays_s_; }
 
 private:
   std::uint64_t generated_{0};
-  std::uint64_t delivered_{0};
+  std::uint64_t delivered_receptions_{0};
   std::uint64_t expected_receptions_{0};
   std::vector<double> delays_s_;
 };

@@ -87,6 +87,23 @@ double StreamingHistogram::percentile(double p) const noexcept {
   return hi_;  // target falls into the overflow bin
 }
 
+void StreamingHistogram::merge(const StreamingHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  const std::size_t n = std::min(bins_.size(), other.bins_.size());
+  for (std::size_t i = 0; i < n; ++i) bins_[i] += other.bins_[i];
+}
+
 void StreamingHistogram::clear() noexcept {
   std::fill(bins_.begin(), bins_.end(), 0);
   underflow_ = overflow_ = count_ = 0;

@@ -63,6 +63,10 @@ public:
   [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
 
+  // Bin-wise accumulation of an identically-shaped histogram (same lo, hi,
+  // bin count); used by the metrics registry to fold per-run snapshots.
+  void merge(const StreamingHistogram& other) noexcept;
+
   void clear() noexcept;
 
 private:

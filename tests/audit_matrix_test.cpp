@@ -1,8 +1,11 @@
-// Acceptance matrix for the SimAuditor: the full 75-node paper scenario
-// (§4.1.1) must audit clean — zero invariant violations — for every MAC
-// protocol across five placement seeds.  Any nonzero count here means either
-// a protocol implementation drifted from its contract or the auditor model
-// produces false positives; both are release blockers.
+// Acceptance matrix for the SimAuditor and the loss ledger: the full
+// 75-node paper scenario (§4.1.1) must audit clean — zero invariant
+// violations — AND conserve every expected reception (delivered + typed
+// drops, zero unaccounted leaks) for every MAC protocol across five
+// placement seeds.  Any nonzero count here means either a protocol
+// implementation drifted from its contract, the auditor model produces
+// false positives, or a drop path forgot to report; all are release
+// blockers.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -44,6 +47,17 @@ TEST(AuditMatrix, PaperScenarioAuditsCleanForEveryProtocolAndSeed) {
     EXPECT_EQ(r.audit.total, 0u) << r.config.label() << " audit violations:\n"
                                  << r.audit.detail;
     EXPECT_GT(r.delivered, 0u) << r.config.label() << ": run produced no traffic to audit";
+    // Conservation: every expected reception terminated in exactly one
+    // outcome, with no unaccounted slots (a leak = a drop path that forgot
+    // to report; the mutation test in loss_ledger_test proves this fires).
+    EXPECT_EQ(r.ledger.leaks(), 0u) << r.config.label();
+    EXPECT_TRUE(r.ledger.conservation_ok())
+        << r.config.label() << ": " << r.ledger.expected << " expected != "
+        << r.ledger.delivered << " delivered + " << r.ledger.total_dropped() << " dropped";
+    // The ledger and the delivery accumulator count the same universe with
+    // independent bookkeeping; they must agree exactly.
+    EXPECT_EQ(r.ledger.expected, r.expected) << r.config.label();
+    EXPECT_EQ(r.ledger.delivered, r.delivered) << r.config.label();
   }
 }
 

@@ -117,6 +117,47 @@ TEST(Experiment, AverageResultsAveragesAndMaxes) {
   EXPECT_DOUBLE_EQ(avg.abort_max, 0.01);
 }
 
+// Regression: percentiles must come from the pooled per-reception samples,
+// not from averaging each seed's percentile.  With skewed seeds (one seed
+// contributing 9 fast receptions, another a single 1 s straggler) the two
+// computations differ by design: the pooled p99 is the straggler itself,
+// and the pooled mean weights every sample equally instead of every seed.
+TEST(Experiment, AverageResultsPoolsDelaySamplesBeforePercentiles) {
+  ExperimentResult a;
+  a.delay_samples_s.assign(9, 0.1);
+  a.avg_delay_s = 0.1;  // per-seed summaries, deliberately misleading
+  a.p99_delay_s = 0.1;
+  ExperimentResult b;
+  b.delay_samples_s = {1.0};
+  b.avg_delay_s = 1.0;
+  b.p99_delay_s = 1.0;
+  const ExperimentResult avg = average_results({a, b});
+  ASSERT_EQ(avg.delay_samples_s.size(), 10u);
+  EXPECT_NEAR(avg.avg_delay_s, (9 * 0.1 + 1.0) / 10.0, 1e-12);  // 0.19, not 0.55
+  EXPECT_DOUBLE_EQ(avg.p99_delay_s, 1.0);  // pooled nearest-rank p99, not 0.55
+}
+
+// Regression: the averaged result's ledger is the across-seed sum, so the
+// conservation identity survives averaging.
+TEST(Experiment, AverageResultsSumsLedgers) {
+  ExperimentResult a;
+  a.ledger.journeys = 2;
+  a.ledger.expected = 10;
+  a.ledger.delivered = 9;
+  a.ledger.dropped[static_cast<std::size_t>(DropReason::kRetryExhausted)] = 1;
+  ExperimentResult b;
+  b.ledger.journeys = 3;
+  b.ledger.expected = 15;
+  b.ledger.delivered = 12;
+  b.ledger.dropped[static_cast<std::size_t>(DropReason::kQueueOverflow)] = 3;
+  const ExperimentResult avg = average_results({a, b});
+  EXPECT_EQ(avg.ledger.journeys, 5u);
+  EXPECT_EQ(avg.ledger.expected, 25u);
+  EXPECT_EQ(avg.ledger.delivered, 21u);
+  EXPECT_EQ(avg.ledger.total_dropped(), 4u);
+  EXPECT_TRUE(avg.ledger.conservation_ok());
+}
+
 TEST(NetworkBuilder, ConnectivityChecker) {
   EXPECT_TRUE(Network::placement_connected({{0, 0}, {50, 0}, {100, 0}}, 75.0));
   EXPECT_FALSE(Network::placement_connected({{0, 0}, {50, 0}, {300, 0}}, 75.0));

@@ -1,0 +1,191 @@
+// MetricsRegistry unit tests: label-set interning, histogram merge
+// semantics, registry merge, and byte-identical snapshot determinism
+// regardless of instrument creation order (the property the golden-digest
+// discipline extends to metrics artifacts).
+#include "metrics/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/export.hpp"
+
+namespace rmacsim {
+namespace {
+
+TEST(MetricsRegistry, SameFamilyAndLabelsInternToOneInstrument) {
+  MetricsRegistry reg;
+  MetricCounter& a = reg.counter("rmacsim_test_total", {{"proto", "rmac"}});
+  MetricCounter& b = reg.counter("rmacsim_test_total", {{"proto", "rmac"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(reg.series_count(), 1u);
+
+  // A different label value is a different series under the same family.
+  MetricCounter& c = reg.counter("rmacsim_test_total", {{"proto", "bmmm"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.series_count(), 2u);
+  EXPECT_EQ(reg.family_count(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  MetricCounter& a =
+      reg.counter("rmacsim_rx_total", {{"frame", "MRTS"}, {"outcome", "ok"}});
+  MetricCounter& b =
+      reg.counter("rmacsim_rx_total", {{"outcome", "ok"}, {"frame", "MRTS"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, LabelKeyIsSortInsensitiveOnceCanonicalized) {
+  MetricLabels x{{"b", "2"}, {"a", "1"}};
+  MetricLabels y{{"a", "1"}, {"b", "2"}};
+  // metric_label_key serializes the vector as given; the registry sorts
+  // before keying.  Canonicalized (sorted) inputs must agree.
+  std::sort(x.begin(), x.end());
+  EXPECT_EQ(metric_label_key(x), metric_label_key(y));
+  EXPECT_NE(metric_label_key(MetricLabels{{"a", "1"}}), metric_label_key(y));
+  EXPECT_EQ(metric_label_key({}), "");
+}
+
+TEST(MetricsRegistry, GaugeAndHistogramIntern) {
+  MetricsRegistry reg;
+  MetricGauge& g1 = reg.gauge("rmacsim_depth", {{"node", "3"}});
+  MetricGauge& g2 = reg.gauge("rmacsim_depth", {{"node", "3"}});
+  EXPECT_EQ(&g1, &g2);
+  StreamingHistogram& h1 = reg.histogram("rmacsim_delay_seconds", 0.0, 1.0, 10);
+  StreamingHistogram& h2 = reg.histogram("rmacsim_delay_seconds", 0.0, 1.0, 10);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(StreamingHistogram, MergeAddsBinwise) {
+  StreamingHistogram a{0.0, 10.0, 10};
+  StreamingHistogram b{0.0, 10.0, 10};
+  a.add(0.5);   // bin 0
+  a.add(5.5);   // bin 5
+  a.add(-1.0);  // underflow
+  b.add(0.7);   // bin 0
+  b.add(20.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.bins()[0], 2u);
+  EXPECT_EQ(a.bins()[5], 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_DOUBLE_EQ(a.min(), -1.0);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersTakesOtherGaugesMergesHistograms) {
+  MetricsRegistry a;
+  a.counter("rmacsim_events_total").inc(10);
+  a.gauge("rmacsim_pool_free").set(3.0);
+  a.histogram("rmacsim_len_bytes", 0.0, 100.0, 10).add(25.0);
+
+  MetricsRegistry b;
+  b.counter("rmacsim_events_total").inc(5);
+  b.gauge("rmacsim_pool_free").set(8.0);
+  b.histogram("rmacsim_len_bytes", 0.0, 100.0, 10).add(75.0);
+  b.counter("rmacsim_only_in_b_total", {{"k", "v"}}).inc(2);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("rmacsim_events_total").value(), 15u);       // counters add
+  EXPECT_DOUBLE_EQ(a.gauge("rmacsim_pool_free").value(), 8.0);     // other wins
+  const StreamingHistogram& h = a.histogram("rmacsim_len_bytes", 0.0, 100.0, 10);
+  EXPECT_EQ(h.count(), 2u);                                        // bin-wise union
+  EXPECT_EQ(h.bins()[2], 1u);
+  EXPECT_EQ(h.bins()[7], 1u);
+  EXPECT_EQ(a.counter("rmacsim_only_in_b_total", {{"k", "v"}}).value(), 2u);
+}
+
+TEST(MetricsRegistry, MergeShapeMismatchPreservesMass) {
+  MetricsRegistry a;
+  a.histogram("rmacsim_len_bytes", 0.0, 50.0, 5).add(10.0);
+  MetricsRegistry b;
+  b.histogram("rmacsim_len_bytes", 0.0, 100.0, 10).add(40.0);
+  b.histogram("rmacsim_len_bytes", 0.0, 100.0, 10).add(60.0);
+  a.merge(b);
+  // Shapes differ, so the merge falls back to re-adding summary points:
+  // the sample count is preserved even though exact positions are not.
+  EXPECT_EQ(a.histogram("rmacsim_len_bytes", 0.0, 50.0, 5).count(), 3u);
+}
+
+// Two registries populated with identical data in reversed insertion order
+// must serialize byte-identically: families are name-ordered, series are
+// label-key-ordered, independent of creation history.
+TEST(MetricsExport, SnapshotIsInsertionOrderIndependent) {
+  const auto populate = [](MetricsRegistry& reg, bool reversed) {
+    const auto fill = [&reg](int which) {
+      switch (which) {
+        case 0: reg.counter("rmacsim_zz_total", {{"p", "a"}}, "zz help").inc(1); break;
+        case 1: reg.counter("rmacsim_zz_total", {{"p", "b"}}).inc(2); break;
+        case 2: reg.gauge("rmacsim_aa_depth", {}, "aa help").set(4.5); break;
+        case 3: reg.histogram("rmacsim_mm_seconds", 0.0, 1.0, 4, {{"s", "x"}}).add(0.3); break;
+        default: break;
+      }
+    };
+    for (int i = 0; i < 4; ++i) fill(reversed ? 3 - i : i);
+  };
+  MetricsRegistry fwd;
+  MetricsRegistry rev;
+  populate(fwd, false);
+  populate(rev, true);
+  EXPECT_EQ(to_openmetrics(fwd), to_openmetrics(rev));
+  const LedgerSummary ledger;
+  EXPECT_EQ(to_metrics_json(fwd, ledger, nullptr), to_metrics_json(rev, ledger, nullptr));
+}
+
+TEST(MetricsExport, OpenMetricsShape) {
+  MetricsRegistry reg;
+  reg.counter("rmacsim_frames_tx_total", {{"frame", "MRTS"}, {"protocol", "rmac"}},
+              "frames transmitted")
+      .inc(7);
+  StreamingHistogram& h = reg.histogram("rmacsim_delay_seconds", 0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.75);
+  h.add(0.75);
+  const std::string text = to_openmetrics(reg);
+  EXPECT_NE(text.find("# TYPE rmacsim_delay_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rmacsim_frames_tx_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP rmacsim_frames_tx_total frames transmitted\n"),
+            std::string::npos);
+  // Labels render sorted by key, values quoted.
+  EXPECT_NE(text.find("rmacsim_frames_tx_total{frame=\"MRTS\",protocol=\"rmac\"} 7\n"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("rmacsim_delay_seconds_bucket{le=\"0.5\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("rmacsim_delay_seconds_bucket{le=\"1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rmacsim_delay_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rmacsim_delay_seconds_count 3\n"), std::string::npos);
+  // The exposition ends with the OpenMetrics terminator.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(MetricsExport, JsonCarriesLedgerVerdict) {
+  MetricsRegistry reg;
+  reg.counter("rmacsim_ledger_expected_total").inc(10);
+  LedgerSummary ledger;
+  ledger.journeys = 2;
+  ledger.expected = 10;
+  ledger.delivered = 9;
+  ledger.dropped[static_cast<std::size_t>(DropReason::kQueueOverflow)] = 1;
+  const std::string json = to_metrics_json(reg, ledger, nullptr);
+  EXPECT_NE(json.find("\"expected\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"delivered\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_overflow\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"conservation_ok\": true"), std::string::npos);
+
+  // Break conservation: a leak flips the verdict in the same document.
+  ledger.dropped[static_cast<std::size_t>(DropReason::kQueueOverflow)] = 0;
+  ledger.dropped[static_cast<std::size_t>(DropReason::kUnaccounted)] = 1;
+  const std::string bad = to_metrics_json(reg, ledger, nullptr);
+  EXPECT_NE(bad.find("\"conservation_ok\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -59,7 +59,7 @@ TEST(MulticastApp, PacketsFlowDownTheTree) {
   EXPECT_EQ(chain.apps[1]->received_unique(), 10u);
   EXPECT_EQ(chain.apps[2]->received_unique(), 10u);
   // Every node but the source receives every packet: 2 * 10 receptions.
-  EXPECT_EQ(chain.delivery.delivered(), 20u);
+  EXPECT_EQ(chain.delivery.delivered_receptions(), 20u);
   EXPECT_DOUBLE_EQ(chain.delivery.delivery_ratio(), 1.0);
 }
 
@@ -97,7 +97,7 @@ TEST(MulticastApp, DuplicateReceptionsSuppressed) {
   app.mac_deliver(f);
   app.mac_deliver(f);
   EXPECT_EQ(app.received_unique(), 1u);
-  EXPECT_EQ(delivery.delivered(), 1u);
+  EXPECT_EQ(delivery.delivered_receptions(), 1u);
 }
 
 TEST(MulticastApp, HelloPacketsRouteToTreeNotDelivery) {
@@ -117,7 +117,7 @@ TEST(MulticastApp, HelloPacketsRouteToTreeNotDelivery) {
   f.dest = kBroadcastId;
   f.packet = hello;
   app.mac_deliver(f);
-  EXPECT_EQ(delivery.delivered(), 0u);
+  EXPECT_EQ(delivery.delivered_receptions(), 0u);
   EXPECT_EQ(tree.parent(), 2u);  // the hello updated the tree
   EXPECT_EQ(tree.hops_to_root(), 1u);
 }
@@ -202,11 +202,11 @@ TEST(DeliveryStats, RatioArithmetic) {
   EXPECT_DOUBLE_EQ(d.delivery_ratio(), 0.0);
   d.note_generated(74);
   d.note_generated(74);
-  d.note_delivered(100_ms);
-  d.note_delivered(200_ms);
-  d.note_delivered(300_ms);
-  EXPECT_EQ(d.expected(), 148u);
-  EXPECT_EQ(d.delivered(), 3u);
+  d.note_delivered_reception(100_ms);
+  d.note_delivered_reception(200_ms);
+  d.note_delivered_reception(300_ms);
+  EXPECT_EQ(d.expected_receptions(), 148u);
+  EXPECT_EQ(d.delivered_receptions(), 3u);
   EXPECT_NEAR(d.delivery_ratio(), 3.0 / 148.0, 1e-12);
   ASSERT_EQ(d.delays_seconds().size(), 3u);
   EXPECT_DOUBLE_EQ(d.delays_seconds()[1], 0.2);

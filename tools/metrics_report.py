@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Offline reader for metrics snapshots written by `run_experiment --metrics-dir`.
+
+Modes:
+    python3 tools/metrics_report.py run_metrics.json
+        Summarize the snapshot: ledger breakdown, top counter families,
+        profiler hotspots if present.
+
+    python3 tools/metrics_report.py --check run_metrics.json [more.json ...]
+        Re-verify the conservation invariant from the JSON alone
+        (expected == delivered + sum(dropped), unaccounted == 0) and
+        cross-check the rmacsim_ledger_* registry series against the ledger
+        block.  Exits 1 on any violation — CI runs this on the snapshot
+        artifact.
+
+    python3 tools/metrics_report.py --diff a_metrics.json b_metrics.json
+        Per-series delta between two snapshots (counters/gauges by value,
+        histograms by count/sum); prints series present in only one side.
+
+Stdlib only — no third-party imports, runnable anywhere the repo checks out.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("metrics", "ledger"):
+        if key not in doc:
+            sys.exit(f"{path}: missing top-level '{key}' — not a metrics snapshot")
+    return doc
+
+
+def series_map(doc):
+    """(family, sorted-label-tuple) -> series dict, plus the family type."""
+    out = {}
+    for family, fam in doc["metrics"].items():
+        for s in fam["series"]:
+            key = (family, tuple(sorted(s["labels"].items())))
+            out[key] = (fam["type"], s)
+    return out
+
+
+def series_value(kind, s):
+    if kind == "histogram":
+        return float(s["count"])
+    return float(s["value"])
+
+
+def fmt_key(key):
+    family, labels = key
+    if not labels:
+        return family
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{family}{{{inner}}}"
+
+
+def check(paths):
+    failures = 0
+    for path in paths:
+        doc = load(path)
+        ledger = doc["ledger"]
+        expected = int(ledger["expected"])
+        delivered = int(ledger["delivered"])
+        dropped = {k: int(v) for k, v in ledger["dropped"].items()}
+        total_dropped = sum(dropped.values())
+        problems = []
+        if expected != delivered + total_dropped:
+            problems.append(
+                f"conservation: expected {expected} != delivered {delivered} "
+                f"+ dropped {total_dropped}")
+        if dropped.get("unaccounted", 0) != 0:
+            problems.append(f"{dropped['unaccounted']} unaccounted slot(s) — "
+                            f"a drop path forgot to report")
+        if not ledger.get("conservation_ok", False) and not problems:
+            problems.append("snapshot records conservation_ok=false but the "
+                            "numbers re-check clean — stale or edited snapshot")
+
+        # Cross-check: the registry's ledger families must agree with the
+        # ledger block (they are published from the same summary; divergence
+        # means the document was assembled from mismatched runs).
+        smap = series_map(doc)
+        reg_expected = smap.get(("rmacsim_ledger_expected_total", ()))
+        if reg_expected is not None and int(reg_expected[1]["value"]) != expected:
+            problems.append(
+                f"registry rmacsim_ledger_expected_total "
+                f"{reg_expected[1]['value']} != ledger block {expected}")
+        reg_delivered = smap.get(("rmacsim_ledger_delivered_total", ()))
+        if reg_delivered is not None and int(reg_delivered[1]["value"]) != delivered:
+            problems.append(
+                f"registry rmacsim_ledger_delivered_total "
+                f"{reg_delivered[1]['value']} != ledger block {delivered}")
+        for (family, labels), (kind, s) in smap.items():
+            if family != "rmacsim_ledger_dropped_total":
+                continue
+            reason = dict(labels).get("reason", "?")
+            if int(s["value"]) != dropped.get(reason, 0):
+                problems.append(
+                    f"registry dropped[{reason}]={s['value']} != "
+                    f"ledger block {dropped.get(reason, 0)}")
+
+        if problems:
+            failures += 1
+            print(f"{path}: FAIL")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print(f"{path}: ok — {expected} expected = {delivered} delivered "
+                  f"+ {total_dropped} dropped, no leaks")
+    return 1 if failures else 0
+
+
+def summarize(path):
+    doc = load(path)
+    ledger = doc["ledger"]
+    print(f"ledger: {ledger['expected']} expected = {ledger['delivered']} "
+          f"delivered + {sum(int(v) for v in ledger['dropped'].values())} dropped "
+          f"({'conserved' if ledger.get('conservation_ok') else 'NOT conserved'})")
+    for reason, n in ledger["dropped"].items():
+        if int(n):
+            print(f"  {reason:<16} {n}")
+    print(f"\n{sum(len(f['series']) for f in doc['metrics'].values())} series "
+          f"in {len(doc['metrics'])} families:")
+    for family, fam in doc["metrics"].items():
+        for s in fam["series"]:
+            print(f"  {fmt_key((family, tuple(sorted(s['labels'].items()))))} = "
+                  f"{series_value(fam['type'], s):g}"
+                  + (" (count)" if fam["type"] == "histogram" else ""))
+    prof = doc.get("profile")
+    if prof:
+        print(f"\nprofile: {prof['wall_s']:.3f} s wall, "
+              f"{prof['accounted_s']:.3f} s accounted")
+        for s in prof["sections"][:10]:
+            print(f"  {s['name']:<26} self {s['self_ns'] / 1e6:10.2f} ms  "
+                  f"total {s['total_ns'] / 1e6:10.2f} ms  {s['calls']} calls")
+    return 0
+
+
+def diff(path_a, path_b):
+    a, b = series_map(load(path_a)), series_map(load(path_b))
+    keys = sorted(set(a) | set(b))
+    changed = 0
+    for key in keys:
+        if key not in a:
+            print(f"+ {fmt_key(key)} = {series_value(*b[key]):g}  (only in {path_b})")
+            changed += 1
+        elif key not in b:
+            print(f"- {fmt_key(key)} = {series_value(*a[key]):g}  (only in {path_a})")
+            changed += 1
+        else:
+            va, vb = series_value(*a[key]), series_value(*b[key])
+            if va != vb:
+                delta = vb - va
+                print(f"  {fmt_key(key)}: {va:g} -> {vb:g} ({delta:+g})")
+                changed += 1
+    if not changed:
+        print("snapshots identical")
+    return 0
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    if args[0] == "--check":
+        if len(args) < 2:
+            print(__doc__)
+            return 2
+        return check(args[1:])
+    if args[0] == "--diff":
+        if len(args) != 3:
+            print(__doc__)
+            return 2
+        return diff(args[1], args[2])
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    return summarize(args[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,88 @@ def averaged(rows, metric):
     return series
 
 
+def drop_reason_columns(rows):
+    """drop_* columns present in the CSV (absent in pre-ledger CSVs)."""
+    for seed_rows in rows.values():
+        return sorted(c for c in seed_rows[0] if c.startswith("drop_")
+                      and c != "drop_ratio")
+    return []
+
+
+def drop_fractions(rows, reasons):
+    """fractions[(protocol, mobility)] -> {rate: {reason: lost/expected}}."""
+    out = defaultdict(dict)
+    for (proto, mob, rate), seed_rows in rows.items():
+        expected = sum(float(r["expected"]) for r in seed_rows)
+        if expected == 0:
+            continue
+        out[(proto, mob)][rate] = {
+            reason: sum(float(r[reason]) for r in seed_rows) / expected
+            for reason in reasons
+        }
+    return out
+
+
+def drop_reasons_text_report(rows):
+    reasons = drop_reason_columns(rows)
+    if not reasons:
+        return
+    fractions = drop_fractions(rows, reasons)
+    print("\n== Loss decomposition (ledger, fraction of expected) ==")
+    for (proto, mob), by_rate in sorted(fractions.items()):
+        print(f"-- {proto} / {mob} --")
+        for rate in sorted(by_rate):
+            parts = [f"{reason.removeprefix('drop_')}={frac:.4f}"
+                     for reason, frac in by_rate[rate].items() if frac > 0]
+            print(f"  {rate:6.0f} pps  {' '.join(parts) if parts else '(no loss)'}")
+
+
+def plot_drop_reasons(rows, outdir, plt):
+    """Stacked bars: where the expected receptions that never arrived went."""
+    reasons = drop_reason_columns(rows)
+    if not reasons:
+        print("(CSV has no drop_* columns — skipping fig_drop_reasons)")
+        return
+    fractions = drop_fractions(rows, reasons)
+    protocols = sorted({p for p, _ in fractions})
+    fig, axes = plt.subplots(len(protocols), 3,
+                             figsize=(13, 3.5 * len(protocols)),
+                             sharey=True, squeeze=False)
+    for row_i, proto in enumerate(protocols):
+        for col_i, mob in enumerate(SCENARIOS):
+            ax = axes[row_i][col_i]
+            by_rate = fractions.get((proto, mob), {})
+            rates = sorted(by_rate)
+            bottom = [0.0] * len(rates)
+            for reason in reasons:
+                vals = [by_rate[r][reason] for r in rates]
+                if not any(vals):
+                    continue
+                ax.bar(range(len(rates)), vals, bottom=bottom,
+                       label=reason.removeprefix("drop_"))
+                bottom = [b + v for b, v in zip(bottom, vals)]
+            ax.set_xticks(range(len(rates)))
+            ax.set_xticklabels([f"{r:.0f}" for r in rates])
+            ax.set_title(f"{proto} / {mob}")
+            ax.set_xlabel("source rate (pkt/s)")
+            ax.grid(True, axis="y", alpha=0.3)
+        axes[row_i][0].set_ylabel("lost fraction of expected")
+        handles, labels = axes[row_i][0].get_legend_handles_labels()
+        if not handles:  # legend from whichever panel has loss
+            for col_i in range(3):
+                handles, labels = axes[row_i][col_i].get_legend_handles_labels()
+                if handles:
+                    break
+        if handles:
+            axes[row_i][0].legend(handles, labels, fontsize=8)
+    fig.suptitle("Loss decomposition by ledger drop reason")
+    fig.tight_layout()
+    out = outdir / "fig_drop_reasons.png"
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
 def text_report(rows):
     for _, metric, title in FIGURES:
         series = averaged(rows, metric)
@@ -72,6 +154,7 @@ def text_report(rows):
                     pts = dict(series.get((proto, mob), []))
                     cells.append(f"{pts.get(rate, float('nan')):12.4f}")
                 print("".join(cells))
+    drop_reasons_text_report(rows)
 
 
 def plot(rows, outdir):
@@ -102,6 +185,7 @@ def plot(rows, outdir):
         fig.savefig(out, dpi=120)
         plt.close(fig)
         print(f"wrote {out}")
+    plot_drop_reasons(rows, outdir, plt)
 
 
 TIMELINE_COLUMNS = ["t_s", "busy_frac", "active_tx", "rbt_on", "abt_on",
