@@ -13,6 +13,7 @@
 #include "mac/frame_builders.hpp"
 #include "mobility/spatial_index.hpp"
 #include "phy/medium.hpp"
+#include "phy/node_soa.hpp"
 #include "phy/tone_channel.hpp"
 #include "scenario/experiment.hpp"
 #include "sim/scheduler.hpp"
@@ -126,11 +127,61 @@ void BM_MediumBroadcastFanout(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-// 8/75 cluster everything near node 0 (dense contention); 300/1000 extend
-// the same lattice into a long strip, so the transmitter's neighbourhood
-// stays bounded while the attached-radio count grows — the grid path must
-// stay ~linear in neighbours, not radios (no quadratic blow-up at 1000).
-BENCHMARK(BM_MediumBroadcastFanout)->Arg(8)->Arg(75)->Arg(300)->Arg(1000);
+// 8/75 cluster everything near node 0 (dense contention); 300/1000/5000
+// extend the same lattice into a long strip, so the transmitter's
+// neighbourhood stays bounded while the attached-radio count grows — the
+// grid path must stay ~linear in neighbours, not radios (no quadratic
+// blow-up), and 5000 is where the SoA sweep separates from an AoS walk.
+BENCHMARK(BM_MediumBroadcastFanout)->Arg(8)->Arg(75)->Arg(300)->Arg(1000)->Arg(5000);
+
+// The isolated SoA candidate scan: the packed squared-distance sweep that
+// begin_transmission runs per transmission, without the delivery machinery
+// on top.  Same lattice as the fanout benchmark; items = nodes scanned.
+void BM_FanoutSoA(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SpatialIndex index{PhyParams{}.effective_interference_range()};
+  NodeSoa soa;
+  std::vector<std::unique_ptr<StationaryMobility>> mobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    mobs.push_back(std::make_unique<StationaryMobility>(
+        Vec2{static_cast<double>(i % 8) * 8.0, static_cast<double>(i / 8) * 8.0}));
+    index.insert(static_cast<NodeId>(i), *mobs.back(), mobs.back().get());
+  }
+  index.prepare(SimTime::zero());
+  soa.sync(index);
+  const Vec2 center = mobs[0]->position(SimTime::zero());
+  const double radius = PhyParams{}.effective_interference_range();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    soa.for_each_in_disk(index, center, radius, SimTime::zero(),
+                         [&](std::uint32_t, double) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FanoutSoA)->Arg(75)->Arg(300)->Arg(1000)->Arg(5000);
+
+// Batched same-timestamp dispatch: many events per tick (a broadcast's
+// begin/end storm) across many ticks.  The batched drain touches the heap
+// once per tick; the per-event baseline pays a pop per event.
+void BM_SchedulerBatchDrain(benchmark::State& state) {
+  const auto per_tick = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTicks = 64;
+  for (auto _ : state) {
+    Scheduler sched;
+    for (std::size_t tick = 0; tick < kTicks; ++tick) {
+      for (std::size_t i = 0; i < per_tick; ++i) {
+        sched.schedule_at(SimTime::us(static_cast<std::int64_t>(tick + 1)), [] {});
+      }
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTicks * per_tick));
+}
+BENCHMARK(BM_SchedulerBatchDrain)->Arg(8)->Arg(64)->Arg(512);
 
 // Pure spatial-index lookup at paper scale and beyond, constant density
 // (~75-node/500x300 m): cost must track the in-range neighbour count.

@@ -1,0 +1,82 @@
+// Devirtualized radio-to-MAC dispatch.
+//
+// Every frame delivery, carrier-sense edge, and transmit completion used to
+// reach the MAC through a virtual RadioListener call on MacProtocol.  Those
+// are the hottest calls in the simulator, and a run only ever uses one of
+// six concrete protocol types — all declared `final` — so the indirection
+// buys nothing.  MacDispatch is the hot-path front door: a std::variant over
+// the concrete protocol pointers whose std::visit resolves to direct
+// (inlinable, especially under LTO) member calls.
+//
+// The virtual MacProtocol interface is untouched and remains the seam for
+// tests and tools; binding a protocol into a MacDispatch merely replaces the
+// radio's listener registration (the protocol constructors still register
+// themselves, the network builder then points the radio here instead).
+#pragma once
+
+#include <variant>
+
+#include "mac/bmmm/bmmm_protocol.hpp"
+#include "mac/bmw/bmw_protocol.hpp"
+#include "mac/dcf/dcf_protocol.hpp"
+#include "mac/lamm/lamm_protocol.hpp"
+#include "mac/mx/mx_protocol.hpp"
+#include "mac/rmac/rmac_protocol.hpp"
+
+namespace rmacsim {
+
+class MacDispatch final : public RadioListener {
+public:
+  MacDispatch() = default;
+
+  // One overload per concrete protocol: the variant alternative is chosen at
+  // bind time, where the builder still knows the static type.
+  void bind(RmacProtocol& mac) noexcept { mac_ = &mac; }
+  void bind(BmmmProtocol& mac) noexcept { mac_ = &mac; }
+  void bind(DcfProtocol& mac) noexcept { mac_ = &mac; }
+  void bind(BmwProtocol& mac) noexcept { mac_ = &mac; }
+  void bind(MxProtocol& mac) noexcept { mac_ = &mac; }
+  void bind(LammProtocol& mac) noexcept { mac_ = &mac; }
+
+  [[nodiscard]] bool bound() const noexcept {
+    return !std::holds_alternative<std::monostate>(mac_);
+  }
+  // Generic (virtual-interface) view for diagnostics and tests.
+  [[nodiscard]] MacProtocol* protocol() const noexcept {
+    return std::visit(
+        [](auto alt) -> MacProtocol* {
+          if constexpr (std::is_same_v<decltype(alt), std::monostate>) {
+            return nullptr;
+          } else {
+            return alt;
+          }
+        },
+        mac_);
+  }
+
+  void on_frame_received(const FramePtr& frame) override {
+    visit([&](auto& mac) { mac.on_frame_received(frame); });
+  }
+  void on_carrier_changed(bool busy) override {
+    visit([&](auto& mac) { mac.on_carrier_changed(busy); });
+  }
+  void on_transmit_complete(const FramePtr& frame, bool aborted) override {
+    visit([&](auto& mac) { mac.on_transmit_complete(frame, aborted); });
+  }
+
+private:
+  template <typename F>
+  void visit(F&& f) {
+    std::visit(
+        [&](auto alt) {
+          if constexpr (!std::is_same_v<decltype(alt), std::monostate>) f(*alt);
+        },
+        mac_);
+  }
+
+  std::variant<std::monostate, RmacProtocol*, BmmmProtocol*, DcfProtocol*, BmwProtocol*,
+               MxProtocol*, LammProtocol*>
+      mac_{};
+};
+
+}  // namespace rmacsim

@@ -14,8 +14,6 @@ namespace {
 std::mutex g_sections_mutex;
 std::vector<const char*> g_section_names;
 
-thread_local Profiler* t_current = nullptr;
-
 }  // namespace
 
 ProfSectionId prof_section(const char* name) {
@@ -28,13 +26,11 @@ ProfSectionId prof_section(const char* name) {
 }
 
 void Profiler::attach() noexcept {
-  t_current = this;
+  t_current_ = this;
   attached_at_ns_ = now_ns();
 }
 
-void Profiler::detach() noexcept { t_current = nullptr; }
-
-Profiler* Profiler::current() noexcept { return t_current; }
+void Profiler::detach() noexcept { t_current_ = nullptr; }
 
 void Profiler::enter(ProfSectionId section) noexcept {
   stack_.push_back(Frame{section, now_ns(), 0});

@@ -43,7 +43,7 @@ public:
   // thread; attach replaces the previous one.
   void attach() noexcept;
   static void detach() noexcept;
-  [[nodiscard]] static Profiler* current() noexcept;
+  [[nodiscard]] static Profiler* current() noexcept { return t_current_; }
 
   struct SectionStats {
     std::string name;
@@ -80,6 +80,10 @@ private:
     std::uint64_t total_ns{0};
     std::uint64_t self_ns{0};
   };
+  // Inline thread-local so current() compiles to one TLS load at every
+  // RMAC_PROF_SCOPE site instead of an out-of-line call — scopes sit on
+  // per-event paths where a function call is measurable.
+  static inline thread_local Profiler* t_current_ = nullptr;
   std::vector<Accum> sections_;   // indexed by ProfSectionId
   std::vector<Frame> stack_;
   std::uint64_t attached_at_ns_{0};

@@ -78,6 +78,44 @@ public:
 
   [[nodiscard]] std::uint64_t rebuild_count() const noexcept { return epoch_; }
 
+  // --- Packed (SoA-friendly) access ----------------------------------------
+  // The CSR bucket layout is also the canonical packed ordering for the
+  // structure-of-arrays mirrors (phy/node_soa.hpp): lane k of a mirror holds
+  // the entry at cell_items_[k].  The accessors below expose that layout;
+  // all of them require prepare(t) first and are invalidated by any
+  // insert/remove/rebuild (detectable via epoch()).
+
+  // Rebuild the grid for queries at time t if stale.  Idempotent.
+  void prepare(SimTime t) { refresh(t); }
+  // Worst-case drift of any cached position since the last rebuild.
+  [[nodiscard]] double query_slack(SimTime t) const noexcept { return drift_slack(t); }
+
+  struct CellBox {
+    int cx0, cy0, cx1, cy1;
+  };
+  // Clamped cell-coordinate box covering the disk (center, reach).
+  [[nodiscard]] CellBox cell_box(Vec2 center, double reach) const noexcept {
+    const auto [cx0, cy0] = cell_of(Vec2{center.x - reach, center.y - reach});
+    const auto [cx1, cy1] = cell_of(Vec2{center.x + reach, center.y + reach});
+    return CellBox{cx0, cy0, cx1, cy1};
+  }
+  // Packed-lane range [first, last) of one cell.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> cell_range(int cx,
+                                                                   int cy) const noexcept {
+    const std::size_t cell = static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+                             static_cast<std::size_t>(cx);
+    return {cell_start_[cell], cell_start_[cell + 1]};
+  }
+  // Visit every entry in packed-lane order: f(lane, id, payload, mobility,
+  // cached_pos, moving).  This is how the SoA mirrors resync after a rebuild.
+  template <typename F>
+  void for_each_packed(F&& f) const {
+    for (std::uint32_t k = 0; k < cell_items_.size(); ++k) {
+      const Entry& e = entries_[cell_items_[k]];
+      f(k, e.id, e.payload, e.mobility, e.cached_pos, e.moving);
+    }
+  }
+
 private:
   struct Entry {
     NodeId id;

@@ -31,34 +31,38 @@ void Medium::detach(Radio& radio) noexcept {
     Transmission& t = slot_of(own);
     t.aborted = true;
     if (scheduler_.cancel(t.done_event)) --t.pending;
-    for (Reception& rc : t.receptions) {
-      if (rc.rx == nullptr) continue;
-      if (scheduler_.cancel(rc.end_event)) {
-        // The trailing-edge ref transfers to the truncation edge: pending
-        // stays balanced.
-        rc.end_event = scheduler_.schedule_in(
-            rc.prop, [this, h = own, rx = rc.rx, sig = rc.sig] { on_signal_end(h, rx, sig, false); });
-      }
-    }
+    truncate_groups(own, t);
     t.finished = true;
     radio.set_medium_tx_handle(0);
     maybe_recycle(own);
   }
-  // Cancel every in-flight delivery addressed to the detached radio so no
-  // scheduled closure dereferences it.
-  for (std::size_t s = 0; s < slots_.size(); ++s) {
-    Transmission& t = slots_[s];
+  // Null every in-flight reception addressed to the detached radio: the
+  // shared group events keep firing for the other members and skip the dead
+  // entry, so no scheduled closure dereferences it.
+  for (Transmission& t : slots_) {
     if (!t.live) continue;
-    bool changed = false;
     for (Reception& rc : t.receptions) {
-      if (rc.rx != &radio) continue;
-      scheduler_.cancel(rc.begin_event);  // may already have fired — fine
-      if (scheduler_.cancel(rc.end_event)) --t.pending;
-      rc.rx = nullptr;
-      changed = true;
+      if (rc.rx == &radio) rc.rx = nullptr;
     }
-    if (changed) maybe_recycle(encode(static_cast<std::uint32_t>(s), t.generation));
   }
+}
+
+void Medium::collect_candidates(Vec2 origin, double radius, SimTime now,
+                                const Radio* exclude) const {
+  scratch_.clear();
+  index_.prepare(now);
+  soa_.sync(index_);
+  soa_.for_each_in_disk(index_, origin, radius, now, [&](std::uint32_t k, double d2) {
+    Radio* rx = static_cast<Radio*>(soa_.payloads()[k]);
+    if (rx != exclude) scratch_.push_back(Candidate{rx, soa_.ids()[k], d2});
+  });
+  // Load-bearing sort, not a belt-and-braces one: the SoA sweep visits cells
+  // row-major and lanes within a cell in CSR order (unspecified, so rebuilds
+  // stay cheap).  Signal ids, scheduler sequence tie-breaks, and BER draws
+  // must be assigned in a platform-independent order, so candidates are put
+  // into ascending-NodeId order first.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
 }
 
 std::span<const NodeId> Medium::neighbours_of(NodeId of) const {
@@ -102,7 +106,7 @@ void Medium::release_ref(TxHandle h) noexcept {
   Transmission& t = slot_of(h);
   assert(t.pending > 0);
   --t.pending;
-  maybe_recycle(h);
+  if (t.finished && t.pending == 0) maybe_recycle(h);
 }
 
 void Medium::maybe_recycle(TxHandle h) noexcept {
@@ -110,6 +114,7 @@ void Medium::maybe_recycle(TxHandle h) noexcept {
   if (!t.finished || t.pending != 0) return;
   t.frame.reset();       // frame block returns to its pool right away
   t.receptions.clear();  // capacity retained for the next occupant
+  t.groups.clear();
   t.tx = nullptr;
   t.aborted = false;
   t.finished = false;
@@ -142,19 +147,7 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
   const double r2 = params_.range_m * params_.range_m;
   const double bits = static_cast<double>(frame->wire_bytes()) * 8.0;
 
-  scratch_.clear();
-  index_.for_each_in_range(origin, ir, now, [&](NodeId id, void* payload, Vec2, double d2) {
-    Radio* rx = static_cast<Radio*>(payload);
-    if (rx != &tx) scratch_.push_back(Candidate{rx, id, d2});
-  });
-  // Load-bearing sort, not a belt-and-braces one: the grid visits cells
-  // row-major and entries within a cell in insertion order (see
-  // spatial_index.hpp, which explicitly leaves visit order unspecified so
-  // rebuilds stay cheap).  Signal ids, scheduler sequence tie-breaks, and
-  // BER draws below must be assigned in a platform-independent order, so
-  // candidates are put into ascending-NodeId order first.
-  std::sort(scratch_.begin(), scratch_.end(),
-            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
+  collect_candidates(origin, ir, now, &tx);
 
   const std::uint32_t slot = acquire_slot();
   Transmission& t = slots_[slot];
@@ -182,36 +175,107 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
       if (!ber_pass) ++counters_.ber_losses;
     }
     bool script_pass = true;
-    if (in_range && ber_pass) {
-      script_pass = script_allows_delivery(f, rx->id(), now);
+    if (in_range && ber_pass && scripted_) {
+      script_pass = script_allows_delivery(f, c.id, now);
       if (!script_pass) ++counters_.scripted_losses;
     }
-    const bool ber_ok = in_range && ber_pass && script_pass;
-    // The leading edge never reads the slot (capture bookkeeping needs only
-    // the distance), so it takes no pending ref and the frame is not copied
-    // into any closure.
-    const EventId begin_ev =
-        scheduler_.schedule_in(prop, [rx, sig, dist] { rx->signal_begin(sig, dist); });
-    const EventId end_ev = scheduler_.schedule_in(
-        prop + airtime, [this, h, rx, sig, ber_ok] { on_signal_end(h, rx, sig, ber_ok); });
-    t.receptions.push_back(Reception{rx, sig, begin_ev, end_ev, prop});
-    ++t.pending;
+    const bool deliver_ok = in_range && ber_pass && script_pass;
+    t.receptions.push_back(Reception{rx, sig, dist, prop, c.id, deliver_ok});
   }
 
-  t.done_event = scheduler_.schedule_in(airtime, [this, h] { on_tx_done(h); });
-  ++t.pending;
+  // Group receptions by propagation delay: each distinct arrival tick gets
+  // one shared begin event and one shared end event.  The (prop, id) sort
+  // keeps equal-prop runs contiguous *and* in ascending NodeId order, which
+  // is exactly the firing order the old per-receiver events had (ids were
+  // assigned seqs in id order), so the trace is bit-identical.  Leading and
+  // trailing edges can never collide on a tick: airtime carries a fixed
+  // >= 96 us phy overhead while in-range propagation is ~1 us at most.
+  if (grouped_delivery_ && t.receptions.size() > 1) {
+    // Permute via 16-byte (prop, index) keys: receptions were pushed in
+    // ascending-id order, so index order *is* id order and the key sort
+    // reproduces the (prop, id) order exactly; one gather pass then moves
+    // each 48-byte record once instead of O(n log n) times.
+    order_keys_.clear();
+    for (std::uint32_t i = 0; i < t.receptions.size(); ++i) {
+      order_keys_.emplace_back(t.receptions[i].prop, i);
+    }
+    std::sort(order_keys_.begin(), order_keys_.end());
+    reception_scratch_.clear();
+    reception_scratch_.reserve(t.receptions.size());
+    for (const auto& [prop, idx] : order_keys_) {
+      reception_scratch_.push_back(t.receptions[idx]);
+    }
+    t.receptions.swap(reception_scratch_);
+  }
+  t.groups.clear();
+  const std::uint32_t n = static_cast<std::uint32_t>(t.receptions.size());
+  for (std::uint32_t first = 0; first < n;) {
+    std::uint32_t last = first + 1;
+    if (grouped_delivery_) {
+      while (last < n && t.receptions[last].prop == t.receptions[first].prop) ++last;
+    }
+    t.groups.push_back(DeliveryGroup{t.receptions[first].prop, first, last, kInvalidEvent});
+    first = last;
+  }
+  // All begin groups first, then all end groups, then the done bookkeeping
+  // event: within a tick the scheduler runs seq order, and this matches the
+  // old begin-before-end interleaving for the prop == 0 edge case.  The
+  // whole salvo goes through one BulkInsert, so the heap is re-established
+  // once instead of sifting per event.
+  {
+    Scheduler::BulkInsert bulk{scheduler_};
+    for (std::uint32_t g = 0; g < t.groups.size(); ++g) {
+      bulk.in(t.groups[g].prop, [this, h, g] { on_group_begin(h, g); });
+    }
+    for (std::uint32_t g = 0; g < t.groups.size(); ++g) {
+      t.groups[g].end_event =
+          bulk.in(t.groups[g].prop + airtime, [this, h, g] { on_group_end(h, g); });
+    }
+    t.done_event = bulk.in(airtime, [this, h] { on_tx_done(h); });
+    t.pending += 2 * static_cast<std::uint32_t>(t.groups.size()) + 1;
+  }
   tx.set_medium_tx_handle(h);
   return airtime;
 }
 
-void Medium::on_signal_end(TxHandle h, Radio* rx, std::uint64_t sig, bool ok) {
+void Medium::on_group_begin(TxHandle h, std::uint32_t group) {
+  Transmission& t = slot_of(h);
+  const DeliveryGroup g = t.groups[group];
+  for (std::uint32_t i = g.first; i < g.last; ++i) {
+    const Reception& rc = t.receptions[i];
+    if (rc.rx != nullptr) rc.rx->signal_begin(rc.sig, rc.dist);
+  }
+  release_ref(h);
+}
+
+void Medium::on_group_end(TxHandle h, std::uint32_t group) {
   RMAC_PROF_SCOPE("phy.signal_end");
   Transmission& t = slot_of(h);
-  // `t.frame` stays alive across the listener callback: this closure's
-  // pending ref blocks recycling, and the deque keeps `t` stable even if the
-  // listener re-enters begin_transmission.
-  rx->signal_end(sig, ok && !t.aborted, t.frame);
+  const DeliveryGroup g = t.groups[group];
+  for (std::uint32_t i = g.first; i < g.last; ++i) {
+    const Reception& rc = t.receptions[i];
+    if (rc.rx == nullptr) continue;  // receiver detached mid-flight
+    // `t.frame` stays alive across the listener callback: this closure's
+    // pending ref blocks recycling, and the deque keeps `t` stable even if
+    // the listener re-enters begin_transmission.  `t.aborted` is re-read per
+    // member, matching the old per-receiver events' fire-time evaluation.
+    rc.rx->signal_end(rc.sig, rc.deliver_ok && !t.aborted, t.frame);
+  }
   release_ref(h);
+}
+
+void Medium::truncate_groups(TxHandle h, Transmission& t) {
+  // Truncate the signal at every receiver: the tail that would have arrived
+  // after now + prop never airs; the partial frame is corrupt.  The group's
+  // trailing-edge ref transfers to the truncation edge (same handler — with
+  // t.aborted set it delivers `intact == false` to every member).
+  for (std::uint32_t g = 0; g < t.groups.size(); ++g) {
+    DeliveryGroup& grp = t.groups[g];
+    if (scheduler_.cancel(grp.end_event)) {
+      grp.end_event =
+          scheduler_.schedule_in(grp.prop, [this, h, g] { on_group_end(h, g); });
+    }
+  }
 }
 
 void Medium::on_tx_done(TxHandle h) {
@@ -237,16 +301,7 @@ void Medium::abort_transmission(Radio& tx) {
   t.aborted = true;
   ++counters_.tx_aborted;
   if (scheduler_.cancel(t.done_event)) --t.pending;
-  // Truncate the signal at every receiver: the tail that would have arrived
-  // after now + prop never airs; the partial frame is corrupt.
-  for (Reception& rc : t.receptions) {
-    if (rc.rx == nullptr) continue;  // receiver detached mid-flight
-    if (scheduler_.cancel(rc.end_event)) {
-      // Trailing-edge ref transfers to the truncation edge.
-      rc.end_event = scheduler_.schedule_in(
-          rc.prop, [this, h, rx = rc.rx, sig = rc.sig] { on_signal_end(h, rx, sig, false); });
-    }
-  }
+  truncate_groups(h, t);
   if (tracer_ != nullptr && tracer_->wants(TraceCategory::kPhy)) {
     TraceRecord r{scheduler_.now(), TraceCategory::kPhy, tx.id(), {}};
     r.event = TraceEvent::kTxEnd;

@@ -6,11 +6,21 @@
 // overlap at receivers and corrupt each other (no capture), matching the
 // paper's GloMoSim configuration at equal transmit power.
 //
-// Receiver lookup goes through a uniform-grid SpatialIndex: a transmission
-// only examines the cells within interference range instead of every
-// attached radio, so fan-out cost scales with neighbourhood size, not
-// network size.  Candidates are visited in ascending NodeId order to keep
-// event ordering platform-independent.
+// Receiver lookup goes through a uniform-grid SpatialIndex whose packed CSR
+// buckets feed a structure-of-arrays mirror (phy/node_soa.hpp): the
+// candidate disk check is a contiguous squared-distance sweep over packed
+// x/y lanes (auto-vectorized) instead of a strided walk over Entry structs.
+// Candidates are visited in ascending NodeId order to keep event ordering
+// platform-independent.
+//
+// Deliveries are scheduled as *groups*: receptions whose leading edges land
+// on the same tick (equal propagation delay — ubiquitous on lattice and
+// quantized topologies) share one scheduled begin event and one end event
+// instead of N heap pushes each.  Within a group receivers fire in
+// ascending NodeId order, which is exactly the seq order the per-receiver
+// events had, so grouping is invisible to the golden trace digests;
+// set_grouped_delivery(false) forces singleton groups for the equivalence
+// tests.
 //
 // Transmission/reception records live in a slab pool (generation-checked
 // handles, mirroring the scheduler's event slab): begin/abort_transmission
@@ -25,11 +35,13 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
 #include "mobility/spatial_index.hpp"
 #include "phy/frame.hpp"
+#include "phy/node_soa.hpp"
 #include "phy/params.hpp"
 #include "phy/radio.hpp"
 #include "sim/rng.hpp"
@@ -63,6 +75,12 @@ public:
   // top; dispatch cost is per transmission, not per event.
   virtual SimTime begin_transmission(Radio& tx, FramePtr frame);
   virtual void abort_transmission(Radio& tx);
+
+  // Equal-propagation receptions share one begin/end event pair (default).
+  // Off = one group per reception; the equivalence tests prove both modes
+  // produce bit-identical traces.
+  void set_grouped_delivery(bool on) noexcept { grouped_delivery_ = on; }
+  [[nodiscard]] bool grouped_delivery() const noexcept { return grouped_delivery_; }
 
   // Counters for diagnostics.
   [[nodiscard]] std::uint64_t transmissions_started() const noexcept { return tx_started_; }
@@ -98,11 +116,15 @@ public:
 protected:
   // Test seam: consulted once per (transmission, in-decode-range receiver)
   // pair; returning false corrupts the copy at that receiver (scripted
-  // loss).  The default medium never drops a deliverable frame here.
+  // loss).  The default medium never drops a deliverable frame here — and
+  // never pays the virtual call either: the staging loop only dispatches
+  // when a subclass has flipped scripted_ on.
   [[nodiscard]] virtual bool script_allows_delivery(const Frame& /*frame*/, NodeId /*rx*/,
                                                     SimTime /*tx_start*/) {
     return true;
   }
+  // Set by subclasses that implement script_allows_delivery.
+  bool scripted_{false};
 
   [[nodiscard]] Radio* radio_for(NodeId id) const noexcept {
     const auto it = radios_by_id_.find(id);
@@ -114,11 +136,22 @@ private:
   using TxHandle = std::uint64_t;
 
   struct Reception {
-    Radio* rx;                // nulled if the receiver detaches mid-flight
+    Radio* rx;           // nulled if the receiver detaches mid-flight
     std::uint64_t sig;
-    EventId begin_event;      // leading edge (cancelled on receiver detach)
-    EventId end_event;        // trailing edge, or the truncation edge after abort
+    double dist;         // exact distance at transmission start
     SimTime prop;
+    NodeId id;           // receiver id, kept flat for the (prop, id) sort
+    bool deliver_ok;     // in decode range, BER draw passed, script allowed
+  };
+  // One scheduled begin/end event pair covering the contiguous reception
+  // range [first, last) — all with propagation delay `prop`, kept in
+  // ascending NodeId order so the shared events replay the exact per-
+  // receiver firing order.
+  struct DeliveryGroup {
+    SimTime prop;
+    std::uint32_t first;
+    std::uint32_t last;
+    EventId end_event;   // trailing edges, or the truncation edge after abort
   };
   struct Transmission {
     FramePtr frame;
@@ -129,11 +162,12 @@ private:
     bool live{false};         // slot currently in use
     EventId done_event{kInvalidEvent};
     std::uint32_t generation{0};
-    // Outstanding scheduled closures that read this slot (trailing edges +
+    // Outstanding scheduled closures that read this slot (begin/end groups +
     // done).  The slot recycles only when finished && pending == 0, so a
     // closure can always dereference its handle.
     std::uint32_t pending{0};
-    std::vector<Reception> receptions;  // capacity survives recycling
+    std::vector<Reception> receptions;     // capacity survives recycling
+    std::vector<DeliveryGroup> groups;     // capacity survives recycling
   };
   struct Candidate {
     Radio* rx;
@@ -155,8 +189,15 @@ private:
   void maybe_recycle(TxHandle h) noexcept;
 
   // Scheduled-closure entry points.
-  void on_signal_end(TxHandle h, Radio* rx, std::uint64_t sig, bool ok);
+  void on_group_begin(TxHandle h, std::uint32_t group);
+  void on_group_end(TxHandle h, std::uint32_t group);
   void on_tx_done(TxHandle h);
+  // Cancel a group's pending trailing edge and replace it with a truncation
+  // edge at the leading-edge time (abort / transmitter detach).
+  void truncate_groups(TxHandle h, Transmission& t);
+  // Fill scratch_ with the radios within `radius` of `origin` (ascending
+  // NodeId, exact positions at `now`, excluding `exclude`).
+  void collect_candidates(Vec2 origin, double radius, SimTime now, const Radio* exclude) const;
 
   PhyParams params_;
   Scheduler& scheduler_;
@@ -164,8 +205,16 @@ private:
   Tracer* tracer_;
   std::unordered_map<NodeId, Radio*> radios_by_id_;
   mutable SpatialIndex index_;
+  mutable NodeSoa soa_;                           // packed mirror of index_
   mutable std::vector<Candidate> scratch_;        // reused per transmission
   mutable std::vector<NodeId> neighbour_scratch_; // backs neighbours_of()
+  // Delivery-order staging: receptions are built in NodeId order (the RNG
+  // contract), then permuted into (prop, id) order through these reused
+  // buffers — sorting 16-byte keys and gathering once is cheaper than
+  // sorting the 48-byte Reception records in place.
+  std::vector<std::pair<SimTime, std::uint32_t>> order_keys_;
+  std::vector<Reception> reception_scratch_;
+  bool grouped_delivery_{true};
   // deque: slot references stay valid while a MAC callback re-enters
   // begin_transmission and grows the pool.
   std::deque<Transmission> slots_;

@@ -1,0 +1,38 @@
+#include "phy/node_soa.hpp"
+
+#include <algorithm>
+
+namespace rmacsim {
+
+bool NodeSoa::sync(const SpatialIndex& index) {
+  if (index.epoch() == synced_epoch_) return false;
+  const std::size_t n = index.size();
+  // resize() keeps capacity: steady-state scenarios re-sync without heap
+  // traffic (the allocs_per_tx gauge covers the whole delivery path).
+  xs_.resize(n);
+  ys_.resize(n);
+  ids_.resize(n);
+  payloads_.resize(n);
+  mobs_.resize(n);
+  flags_.assign(n, 0);
+  NodeId max_id = 0;
+  index.for_each_packed([&](std::uint32_t k, NodeId id, void* payload, MobilityModel* mob,
+                            Vec2 cached, bool moving) {
+    xs_[k] = cached.x;
+    ys_[k] = cached.y;
+    ids_[k] = id;
+    payloads_[k] = payload;
+    mobs_[k] = mob;
+    if (moving) flags_[k] = kFlagMoving;
+    max_id = std::max(max_id, id);
+  });
+  if (lane_of_.size() < static_cast<std::size_t>(max_id) + 1 && n > 0) {
+    lane_of_.resize(static_cast<std::size_t>(max_id) + 1);
+  }
+  std::fill(lane_of_.begin(), lane_of_.end(), kNoLane);
+  for (std::uint32_t k = 0; k < n; ++k) lane_of_[ids_[k]] = k;
+  synced_epoch_ = index.epoch();
+  return true;
+}
+
+}  // namespace rmacsim

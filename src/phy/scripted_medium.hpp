@@ -11,6 +11,7 @@
 
 #include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "phy/medium.hpp"
@@ -19,7 +20,10 @@ namespace rmacsim {
 
 class ScriptedMedium final : public Medium {
 public:
-  using Medium::Medium;
+  template <typename... Args>
+  explicit ScriptedMedium(Args&&... args) : Medium(std::forward<Args>(args)...) {
+    scripted_ = true;  // opt in to the per-receiver script_allows_delivery hook
+  }
 
   // Corrupt matching frames at receiver `rx`.  A rule matches a transmission
   // whose first bit airs inside [from, to] (defaults: all of time), whose

@@ -42,6 +42,17 @@ void ToneChannel::prune(const Source& s) const {
   while (!s.history.empty() && s.history.front().off < cutoff) s.history.pop_front();
 }
 
+void ToneChannel::sync_soa(SimTime t) const {
+  index_.prepare(t);
+  if (soa_.sync(index_)) {
+    // Rebuild wiped the owner bits; re-seed from the authoritative sources.
+    std::uint8_t* fl = soa_.flags();
+    for (std::uint32_t k = 0; k < soa_.size(); ++k) {
+      fl[k] |= source_flags(*static_cast<const Source*>(soa_.payloads()[k]));
+    }
+  }
+}
+
 std::size_t ToneChannel::history_size(NodeId id) const noexcept {
   const auto it = sources_.find(id);
   return it == sources_.end() ? 0 : it->second.history.size();
@@ -60,17 +71,20 @@ void ToneChannel::set_tone(NodeId id, bool on) {
     if (s.suppressed) ++suppressed_raises_;
     s.history.push_back(Interval{now, SimTime::max()});
     prune(s);
+    soa_.set_flag(id, NodeSoa::kFlagActive, true);
     if (!edge_subs_.empty() && !s.suppressed) {
       // Notify in-range edge subscribers after propagation plus the lambda
-      // detection latency.  The grid visit order is unspecified, so collect
-      // and sort by NodeId: equal-latency callbacks must fire in a
+      // detection latency.  The SoA sweep's visit order is unspecified, so
+      // collect and sort by NodeId: equal-latency callbacks must fire in a
       // deterministic, platform-independent order.
       const Vec2 src_pos = s.mobility->position(now);
       scratch_.clear();
-      index_.for_each_in_range(src_pos, params_.range_m, now,
-                               [&](NodeId nid, void*, Vec2, double d2) {
-                                 if (nid != id) scratch_.emplace_back(nid, d2);
-                               });
+      sync_soa(now);
+      soa_.for_each_in_disk(index_, src_pos, params_.range_m, now,
+                            [&](std::uint32_t k, double d2) {
+                              const NodeId nid = soa_.ids()[k];
+                              if (nid != id) scratch_.emplace_back(nid, d2);
+                            });
       std::sort(scratch_.begin(), scratch_.end());
       for (const auto& [listener, d2] : scratch_) {
         const auto sub = edge_subs_.find(listener);
@@ -99,6 +113,7 @@ void ToneChannel::set_suppressed(NodeId id, bool suppressed) {
   auto it = sources_.find(id);
   assert(it != sources_.end() && "set_suppressed on unattached node");
   it->second.suppressed = suppressed;
+  soa_.set_flag(id, NodeSoa::kFlagSuppressed, suppressed);
 }
 
 bool ToneChannel::suppressed(NodeId id) const noexcept {
@@ -116,14 +131,21 @@ bool ToneChannel::sensed_at(NodeId listener) const {
   if (lit == sources_.end()) return false;
   const SimTime now = scheduler_.now();
   const Vec2 at = lit->second.mobility->position(now);
+  sync_soa(now);
   bool sensed = false;
-  index_.for_each_in_range(
-      at, params_.range_m, now, [&](NodeId id, void* payload, Vec2, double d2) -> bool {
-        if (id == listener) return true;
-        const Source& s = *static_cast<const Source*>(payload);
-        if (s.suppressed) return true;
+  // Silent sources (no kFlagActive) are skipped by the packed prefilter
+  // before their position or history is ever touched.
+  soa_.for_each_in_disk<NodeSoa::kFlagActive>(
+      index_, at, params_.range_m, now, [&](std::uint32_t k, double d2) -> bool {
+        if (soa_.ids()[k] == listener) return true;
+        if ((soa_.flags()[k] & NodeSoa::kFlagSuppressed) != 0) return true;
+        const Source& s = *static_cast<const Source*>(soa_.payloads()[k]);
         prune(s);
-        if (s.history.empty()) return true;
+        if (s.history.empty()) {
+          // Fully pruned and off: decay the active bit so later sweeps skip.
+          soa_.flags()[k] &= static_cast<std::uint8_t>(~NodeSoa::kFlagActive);
+          return true;
+        }
         const SimTime arrival_shift = params_.propagation_delay(std::sqrt(d2));
         // The signal present at the listener now left the source `prop` ago.
         const SimTime src_time = now - arrival_shift;
@@ -143,14 +165,18 @@ bool ToneChannel::detected_in_window(NodeId listener, SimTime from, SimTime to) 
   if (lit == sources_.end()) return false;
   const SimTime now = scheduler_.now();
   const Vec2 at = lit->second.mobility->position(now);
+  sync_soa(now);
   bool detected = false;
-  index_.for_each_in_range(
-      at, params_.range_m, now, [&](NodeId id, void* payload, Vec2, double d2) -> bool {
-        if (id == listener) return true;
-        const Source& s = *static_cast<const Source*>(payload);
-        if (s.suppressed) return true;
+  soa_.for_each_in_disk<NodeSoa::kFlagActive>(
+      index_, at, params_.range_m, now, [&](std::uint32_t k, double d2) -> bool {
+        if (soa_.ids()[k] == listener) return true;
+        if ((soa_.flags()[k] & NodeSoa::kFlagSuppressed) != 0) return true;
+        const Source& s = *static_cast<const Source*>(soa_.payloads()[k]);
         prune(s);
-        if (s.history.empty()) return true;
+        if (s.history.empty()) {
+          soa_.flags()[k] &= static_cast<std::uint8_t>(~NodeSoa::kFlagActive);
+          return true;
+        }
         const SimTime prop = params_.propagation_delay(std::sqrt(d2));
         for (const Interval& iv : s.history) {
           // Tone present at the listener during [on + prop, off + prop).

@@ -23,6 +23,7 @@
 
 #include "mobility/mobility.hpp"
 #include "mobility/spatial_index.hpp"
+#include "phy/node_soa.hpp"
 #include "phy/params.hpp"
 #include "sim/ids.hpp"
 #include "sim/scheduler.hpp"
@@ -96,6 +97,18 @@ private:
   };
 
   void prune(const Source& s) const;
+  // Bring the SoA mirror up to date with the index and re-seed the per-lane
+  // tone flags after a rebuild.  kFlagActive means "this source could be
+  // audible": tone on now, or history not yet pruned empty.  The bit decays
+  // lazily — queries clear it when they find a pruned-empty history — so the
+  // sensing sweeps prefilter silent sources without walking their deques.
+  void sync_soa(SimTime t) const;
+  [[nodiscard]] static std::uint8_t source_flags(const Source& s) noexcept {
+    std::uint8_t f = 0;
+    if (s.on || !s.history.empty()) f |= NodeSoa::kFlagActive;
+    if (s.suppressed) f |= NodeSoa::kFlagSuppressed;
+    return f;
+  }
 
   Scheduler& scheduler_;
   const PhyParams& params_;
@@ -105,6 +118,7 @@ private:
   std::unordered_map<NodeId, Source> sources_;
   std::unordered_map<NodeId, EdgeCallback> edge_subs_;
   mutable SpatialIndex index_;
+  mutable NodeSoa soa_;                             // packed mirror of index_
   std::vector<std::pair<NodeId, double>> scratch_;  // set_tone edge fan-out
   std::uint64_t raises_{0};
   std::uint64_t suppressed_raises_{0};

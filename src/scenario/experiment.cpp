@@ -82,6 +82,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   Network net{net_cfg};
   Scheduler& sched = net.scheduler();
+  sched.set_batch_dispatch(config.batched_dispatch);
+  net.medium().set_grouped_delivery(config.grouped_delivery);
 
   std::optional<SimAuditor> auditor;
   if (config.audit) {

@@ -28,6 +28,13 @@ struct ExperimentConfig {
   MacParams mac{};
   bool rbt_protection{true};
   ForwardStrategy strategy{ForwardStrategy::kTree};
+  // Hot-path mechanics toggles (tests only): batched same-timestamp event
+  // dispatch in the scheduler and shared-event delivery groups in the
+  // medium.  Both default on; turning either off must not change any trace
+  // digest — the batch_dispatch equivalence tests prove exactly that.
+  bool batched_dispatch{true};
+  bool grouped_delivery{true};
+
   // Attach a SimAuditor for the run; violation counters land in
   // ExperimentResult::audit.  Costs trace-sink dispatch on the hot path, so
   // off by default for performance sweeps.

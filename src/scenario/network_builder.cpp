@@ -93,37 +93,60 @@ Network::Network(NetworkConfig config) : config_{config} {
     abt_->attach(i, *n.mobility);
 
     Rng mac_rng = node_rng.fork(Rng::hash_label("mac"));
+    n.dispatch = std::make_unique<MacDispatch>();
     switch (config_.protocol) {
       case Protocol::kRmac: {
         RmacProtocol::Params p;
         p.mac = config_.mac;
         p.rbt_protection = config_.rbt_protection;
-        n.mac = std::make_unique<RmacProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng, p,
-                                               &tracer_);
+        auto mac = std::make_unique<RmacProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng,
+                                                  p, &tracer_);
+        n.dispatch->bind(*mac);
+        n.mac = std::move(mac);
         break;
       }
-      case Protocol::kBmmm:
-        n.mac = std::make_unique<BmmmProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                               &tracer_);
+      case Protocol::kBmmm: {
+        auto mac = std::make_unique<BmmmProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                                  &tracer_);
+        n.dispatch->bind(*mac);
+        n.mac = std::move(mac);
         break;
-      case Protocol::kDcf:
-        n.mac = std::make_unique<DcfProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                              &tracer_);
+      }
+      case Protocol::kDcf: {
+        auto mac = std::make_unique<DcfProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                                 &tracer_);
+        n.dispatch->bind(*mac);
+        n.mac = std::move(mac);
         break;
-      case Protocol::kBmw:
-        n.mac = std::make_unique<BmwProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                              &tracer_);
+      }
+      case Protocol::kBmw: {
+        auto mac = std::make_unique<BmwProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                                 &tracer_);
+        n.dispatch->bind(*mac);
+        n.mac = std::move(mac);
         break;
-      case Protocol::kMx:
+      }
+      case Protocol::kMx: {
         // MX reuses the two tone channels as its CTS/NAK tones.
-        n.mac = std::make_unique<MxProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng,
-                                             config_.mac, &tracer_);
+        auto mac = std::make_unique<MxProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng,
+                                                config_.mac, &tracer_);
+        n.dispatch->bind(*mac);
+        n.mac = std::move(mac);
         break;
-      case Protocol::kLamm:
-        n.mac = std::make_unique<LammProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                               &tracer_);
+      }
+      case Protocol::kLamm: {
+        auto mac = std::make_unique<LammProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
+                                                  &tracer_);
+        n.dispatch->bind(*mac);
+        n.mac = std::move(mac);
         break;
+      }
     }
+    // The protocol constructor registered itself as the radio listener;
+    // repoint the radio at the devirtualized front door.  The protocol
+    // destructor still clears the registration at teardown, so the dispatch
+    // (destroyed after `mac`) never dangles.
+    n.radio->set_listener(n.dispatch.get());
 
     n.tree = std::make_unique<BlessTree>(scheduler_, *n.mac, config_.root, config_.bless,
                                          node_rng.fork(Rng::hash_label("bless")));

@@ -26,6 +26,18 @@ public:
             typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
                                         std::is_invocable_r_v<void, D&>>>
   EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    emplace(std::forward<F>(f));
+  }
+
+  // Construct a callable directly into this EventFn's storage, destroying
+  // any previous one.  The scheduler builds captures in the event slot with
+  // this instead of move-assigning a temporary, which skips a relocate (an
+  // indirect call plus a capture copy) on every scheduled event.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
     if constexpr (fits_inline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       vtable_ = &kInlineVTable<D>;
@@ -51,6 +63,24 @@ public:
 
   void operator()() { vtable_->call(buf_); }
 
+  // Single-indirect-call execution for the scheduler's hot loop: detaches
+  // the callable and returns a runner that moves the capture to the stack
+  // and invokes it.  This EventFn is left empty immediately, so its storage
+  // slot can be recycled before the runner fires — the runner moves the
+  // capture out before any user code runs, making it safe for the callable
+  // to schedule into (and overwrite) its own former slot.  Call the runner
+  // exactly once, before the storage is relocated.
+  struct Runner {
+    void (*run)(void* storage);
+    void* storage;
+    void operator()() { run(storage); }
+  };
+  [[nodiscard]] Runner detach_runner() noexcept {
+    const VTable* vt = vtable_;
+    vtable_ = nullptr;
+    return Runner{vt->run, buf_};
+  }
+
   void reset() noexcept {
     if (vtable_ != nullptr) {
       vtable_->destroy(buf_);
@@ -70,6 +100,7 @@ private:
     void (*call)(void* storage);
     void (*relocate)(void* dst, void* src) noexcept;  // move-construct dst, destroy src
     void (*destroy)(void* storage) noexcept;
+    void (*run)(void* storage);  // move to stack, destroy storage, invoke
   };
 
   void steal(EventFn& other) noexcept {
@@ -89,6 +120,12 @@ private:
         from->~F();
       },
       [](void* s) noexcept { std::launder(reinterpret_cast<F*>(s))->~F(); },
+      [](void* s) {
+        F* from = std::launder(reinterpret_cast<F*>(s));
+        F local(std::move(*from));
+        from->~F();
+        local();
+      },
   };
 
   template <typename F>
@@ -98,6 +135,11 @@ private:
         ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
       },
       [](void* s) noexcept { delete *std::launder(reinterpret_cast<F**>(s)); },
+      [](void* s) {
+        F* p = *std::launder(reinterpret_cast<F**>(s));
+        (*p)();
+        delete p;
+      },
   };
 
   alignas(std::max_align_t) unsigned char buf_[kEventFnInlineBytes];

@@ -1,0 +1,89 @@
+// Equivalence proofs for the hot-path dispatch mechanics.
+//
+// Batched same-timestamp event dispatch (Scheduler::set_batch_dispatch) and
+// shared-event delivery groups (Medium::set_grouped_delivery) are pure
+// scheduling mechanics: they change how events reach the heap, never what
+// runs or in what order.  These tests pin that claim with full-experiment
+// trace digests — every combination of the two toggles must produce a
+// bit-identical structured trace, for tone-based and 802.11-family
+// protocols alike, in the stationary and the mobile (grid-rebuilding, SoA
+// resyncing) scenarios.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace rmacsim {
+namespace {
+
+ExperimentConfig small_config(Protocol proto, std::uint64_t seed) {
+  ExperimentConfig c;
+  c.protocol = proto;
+  c.seed = seed;
+  c.num_nodes = 20;
+  c.area = Rect{250.0, 250.0};
+  c.rate_pps = 20.0;
+  c.num_packets = 5;
+  c.warmup = SimTime::sec(10);
+  c.drain = SimTime::sec(2);
+  c.trace_digest = true;
+  return c;
+}
+
+TEST(BatchDispatch, AllToggleCombinationsAreBitIdentical) {
+  for (const Protocol proto : {Protocol::kRmac, Protocol::kDcf, Protocol::kBmmm}) {
+    ExperimentConfig ref_cfg = small_config(proto, 7);
+    ref_cfg.batched_dispatch = false;  // the pre-optimization per-event path
+    ref_cfg.grouped_delivery = false;
+    const ExperimentResult ref = run_experiment(ref_cfg);
+    ASSERT_NE(ref.trace_digest, 0u);
+    for (const bool batched : {false, true}) {
+      for (const bool grouped : {false, true}) {
+        if (!batched && !grouped) continue;
+        ExperimentConfig cfg = small_config(proto, 7);
+        cfg.batched_dispatch = batched;
+        cfg.grouped_delivery = grouped;
+        const ExperimentResult r = run_experiment(cfg);
+        EXPECT_EQ(r.trace_digest, ref.trace_digest)
+            << to_string(proto) << " batched=" << batched << " grouped=" << grouped;
+        EXPECT_EQ(r.delivered, ref.delivered);
+      }
+    }
+  }
+}
+
+TEST(BatchDispatch, MobileScenarioStaysBitIdentical) {
+  // Random-waypoint mobility forces grid rebuilds and SoA resyncs mid-run;
+  // the moving-entry exact-position recompute path must not diverge.
+  ExperimentConfig ref_cfg = small_config(Protocol::kRmac, 11);
+  ref_cfg.mobility = MobilityScenario::kSpeed1;
+  ref_cfg.batched_dispatch = false;
+  ref_cfg.grouped_delivery = false;
+  const ExperimentResult ref = run_experiment(ref_cfg);
+  ExperimentConfig cfg = small_config(Protocol::kRmac, 11);
+  cfg.mobility = MobilityScenario::kSpeed1;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.trace_digest, ref.trace_digest);
+}
+
+TEST(BatchDispatch, PaperScenarioMatchesPerEventPath) {
+  // The 75-node paper scenario whose digest the golden tests pin: the
+  // per-event, ungrouped replay must land on the same digest the batched
+  // default produced (which golden_trace_test already checks against the
+  // pinned constant).
+  ExperimentConfig c;  // defaults: 75 nodes, 500x300 m
+  c.protocol = Protocol::kRmac;
+  c.seed = 1;
+  c.rate_pps = 10.0;
+  c.num_packets = 5;
+  c.warmup = SimTime::sec(15);
+  c.drain = SimTime::sec(5);
+  c.trace_digest = true;
+  const ExperimentResult batched = run_experiment(c);
+  c.batched_dispatch = false;
+  c.grouped_delivery = false;
+  const ExperimentResult per_event = run_experiment(c);
+  EXPECT_EQ(batched.trace_digest, per_event.trace_digest);
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -15,6 +15,12 @@ CI usage (see .github/workflows/ci.yml):
 
 `cpu_time` is compared rather than `real_time`: shared runners jitter
 wall-clock far more than cycles.
+
+A missing or empty baseline degrades gracefully: the candidate's own gates
+(allocs_per_tx, --ratio-gate, --require) still run, but no slowdown check is
+possible and none is faked.  Trajectory entries are tagged with the
+candidate's build type; non-release entries are loudly marked so a debug run
+can never masquerade as a perf data point.
 """
 from __future__ import annotations
 
@@ -50,9 +56,25 @@ def main() -> int:
                              "out (e.g. the flight-recorder overhead budget: "
                              "BM_RecordedSmallExperiment:"
                              "BM_AuditedSmallExperiment:1.10)")
+    parser.add_argument("--require", metavar="NAME", action="append", default=[],
+                        help="fail unless the candidate contains a benchmark "
+                             "named NAME or NAME/<args> (e.g. BM_FanoutSoA "
+                             "matches BM_FanoutSoA/1000) — guards against a "
+                             "gated benchmark silently vanishing from the "
+                             "suite")
     args = parser.parse_args()
 
-    base = by_name(load(args.baseline))
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        base = by_name(load(args.baseline))
+        if not base:
+            print(f"warning: baseline {args.baseline} has no benchmarks — "
+                  "skipping slowdown comparison", file=sys.stderr)
+    else:
+        print(f"warning: baseline {args.baseline} not found — skipping "
+              "slowdown comparison (candidate gates still apply)",
+              file=sys.stderr)
+        base = {}
     cand_report = load(args.candidate)
     cand = by_name(cand_report)
 
@@ -103,20 +125,36 @@ def main() -> int:
             failures.append(f"ratio gate: {name_a} is {ratio:.3f}x {name_b} "
                             f"(budget {max_ratio:.3f}x)")
 
+    # Presence gates: a required benchmark family must exist in the candidate.
+    for req in args.require:
+        if not any(n == req or n.startswith(req + "/") for n in cand):
+            failures.append(f"--require {req}: no candidate benchmark matches")
+
     width = max((len(n) for n, _ in rows), default=0)
     for name, verdict in sorted(rows):
         print(f"  {name:<{width}}  {verdict}")
 
     if args.append_trajectory:
+        build = cand_report.get("build", {})
+        build_type = build.get("library_build_type", "unknown")
         entry = {
             "git_revision": cand_report.get("git_revision", "unknown"),
             "generated_at": cand_report.get("generated_at", ""),
+            "build_type": build_type,
+            "lto": build.get("lto", False),
             "benchmarks": {
                 name: {"cpu_time": c["cpu_time"], "time_unit": c["time_unit"],
                        **({"counters": c["counters"]} if "counters" in c else {})}
                 for name, c in cand.items()
             },
         }
+        if build_type != "release":
+            # A debug data point on the trajectory poisons every ratio drawn
+            # through it; mark it unmissably rather than silently mixing it in.
+            entry["NOT_A_PERF_DATA_POINT"] = True
+            print(f"WARNING: candidate build_type is {build_type!r}, not "
+                  "'release' — trajectory entry marked NOT_A_PERF_DATA_POINT",
+                  file=sys.stderr)
         with open(args.append_trajectory, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(entry) + "\n")
         print(f"appended to {Path(args.append_trajectory).resolve()}")
@@ -126,7 +164,11 @@ def main() -> int:
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nall {len(rows)} benchmarks within {args.threshold:.0%} of baseline")
+    if base:
+        print(f"\nall {len(rows)} benchmarks within {args.threshold:.0%} of baseline")
+    else:
+        print(f"\nno baseline to compare; {len(cand)} candidate benchmarks "
+              "passed their gates")
     return 0
 
 
