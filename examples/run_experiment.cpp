@@ -5,6 +5,11 @@
 //       --rate 20 --packets 500 --seed 3 --nodes 75 [--ber 1e-5]
 //       [--capture 2.0] [--no-rbt] [--queue-limit 64] [--audit] [--digest]
 //       [--obs] [--obs-dir DIR] [--metrics] [--metrics-dir DIR] [--profile]
+//       [--shards n] [--shard-threads n] [--lookahead-us us]
+//
+// --shards > 1 runs the spatially sharded parallel engine (docs/parallel.md)
+// with one worker thread per shard unless --shard-threads overrides it;
+// --lookahead-us sets the window floor (0 = strict mode, window = tau).
 //
 // --obs-dir attaches the flight recorder and writes the Perfetto trace,
 // journey JSONL, time-series CSV, and run manifest into DIR.  --obs attaches
@@ -33,7 +38,8 @@ namespace {
                "          [--rate pps] [--packets n] [--seed n] [--nodes n]\n"
                "          [--ber p] [--capture ratio] [--no-rbt] [--queue-limit n]\n"
                "          [--audit] [--digest] [--obs] [--obs-dir DIR]\n"
-               "          [--metrics] [--metrics-dir DIR] [--profile]\n",
+               "          [--metrics] [--metrics-dir DIR] [--profile]\n"
+               "          [--shards n] [--shard-threads n] [--lookahead-us us]\n",
                argv0);
   std::exit(2);
 }
@@ -104,6 +110,12 @@ int main(int argc, char** argv) {
       c.metrics.out_dir = next();
     } else if (arg == "--profile") {
       c.profile = true;
+    } else if (arg == "--shards") {
+      c.shards = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--shard-threads") {
+      c.shard_threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--lookahead-us") {
+      c.shard_lookahead_floor = SimTime::us(std::atoll(next()));
     } else {
       usage(argv[0]);
     }
@@ -158,6 +170,16 @@ int main(int argc, char** argv) {
   }
   if (c.trace_digest) std::printf("%-28s %016llx\n", "trace digest",
                                   static_cast<unsigned long long>(r.trace_digest));
+  if (r.shard.shards > 0) {
+    std::printf("%-28s %u shards x %u threads, tau %.1f us, window %.1f us\n",
+                "sharded engine", r.shard.shards, r.shard.threads,
+                r.shard.tau.to_seconds() * 1e6, r.shard.window.to_seconds() * 1e6);
+    std::printf("%-28s %llu windows, %llu messages, %llu mirrors, %llu clamped\n", "",
+                static_cast<unsigned long long>(r.shard.windows),
+                static_cast<unsigned long long>(r.shard.messages),
+                static_cast<unsigned long long>(r.shard.remote_mirrors),
+                static_cast<unsigned long long>(r.shard.clamped));
+  }
   if (c.obs.record) {
     std::printf("%-28s %llu journeys, %llu events, %llu samples\n", "flight recorder",
                 static_cast<unsigned long long>(r.obs.journeys),

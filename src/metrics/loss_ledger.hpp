@@ -64,31 +64,37 @@ struct LedgerSummary {
   }
 };
 
+// The mutators are virtual for exactly one subclass: the sharded engine's
+// per-shard buffer (scenario/sharded_network.*), which records the calls and
+// replays them into a master ledger in deterministic merge order at the end
+// of the run.  The dispatch sits on per-packet (not per-event) paths.
 class LossLedger {
 public:
+  virtual ~LossLedger() = default;
+
   // Number of nodes in the network; every node but the journey's origin is
   // an expected receiver.  Must be set (>= 1) before the first on_generated.
   void set_node_count(std::uint32_t n) { node_count_ = n; }
 
   // The origin generated a packet: open (node_count − 1) reception slots.
-  void on_generated(JourneyId journey, NodeId origin);
+  virtual void on_generated(JourneyId journey, NodeId origin);
 
   // A copy-holder handed the packet to its MAC targeting `receivers`.
-  void on_attempt(JourneyId journey, std::span<const NodeId> receivers);
+  virtual void on_attempt(JourneyId journey, std::span<const NodeId> receivers);
 
   // The MAC resolved one receiver of one invocation.  `reason` names the
   // cause when `mac_success` is false (kNone falls back to kRetryExhausted).
-  void on_attempt_resolved(JourneyId journey, NodeId receiver, bool mac_success,
-                           DropReason reason);
+  virtual void on_attempt_resolved(JourneyId journey, NodeId receiver, bool mac_success,
+                                   DropReason reason);
 
   // The receiver's application delivered the packet (first unique copy).
   // Delivery wins over any concurrent failure record.
-  void on_delivered(JourneyId journey, NodeId receiver);
+  virtual void on_delivered(JourneyId journey, NodeId receiver);
 
   // End-of-run sweep: the request is still sitting in a MAC queue (or in
   // service) when the simulation stops; its unresolved receivers are losses
   // of kind kEndOfRun, not leaks.
-  void sweep_end_of_run(JourneyId journey, std::span<const NodeId> receivers);
+  virtual void sweep_end_of_run(JourneyId journey, std::span<const NodeId> receivers);
 
   // Classify every slot into exactly one terminal outcome.  Idempotent and
   // const — callable mid-run for progress snapshots.

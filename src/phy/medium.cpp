@@ -235,7 +235,125 @@ SimTime Medium::begin_transmission(Radio& tx, FramePtr frame) {
     t.pending += 2 * static_cast<std::uint32_t>(t.groups.size()) + 1;
   }
   tx.set_medium_tx_handle(h);
+  if (tx_observer_ != nullptr) tx_observer_->on_tx_begin(t.frame, origin, now, h);
   return airtime;
+}
+
+bool Medium::handle_live(TxHandle h) const noexcept {
+  if (h == 0) return false;
+  const std::uint32_t slot = slot_index(h);
+  if (slot >= slots_.size()) return false;
+  const Transmission& t = slots_[slot];
+  return t.live && t.generation == static_cast<std::uint32_t>(h);
+}
+
+Medium::TxHandle Medium::begin_remote_transmission(FramePtr frame, Vec2 origin,
+                                                   SimTime start) {
+  const SimTime airtime = params_.frame_airtime(frame->wire_bytes());
+  const SimTime now = scheduler_.now();
+  const double ir = params_.effective_interference_range();
+  const double r2 = params_.range_m * params_.range_m;
+  const double bits = static_cast<double>(frame->wire_bytes()) * 8.0;
+
+  collect_candidates(origin, ir, now, /*exclude=*/nullptr);
+  if (scratch_.empty()) return 0;
+  ++remote_mirrored_;
+
+  const std::uint32_t slot = acquire_slot();
+  Transmission& t = slots_[slot];
+  const TxHandle h = encode(slot, t.generation);
+  t.frame = std::move(frame);
+  t.start = start;
+  t.tx = nullptr;  // transmitter lives in another shard
+  const Frame& f = *t.frame;
+
+  t.receptions.reserve(scratch_.size());
+  for (const Candidate& c : scratch_) {
+    const double dist = std::sqrt(c.dist_sq);
+    const SimTime prop = params_.propagation_delay(dist);
+    if (start + prop + airtime <= now) continue;  // wholly in the past
+    const std::uint64_t sig = next_sig_++;
+    const bool in_range = c.dist_sq <= r2;
+    // A leading edge already behind now() means the receiver missed part of
+    // the signal: it still interferes for the remainder but can't decode.
+    const bool clamped = start + prop < now;
+    if (clamped) ++remote_clamped_;
+    bool ber_pass = true;
+    if (in_range && !clamped && params_.bit_error_rate > 0.0) {
+      ber_pass = rng_.bernoulli(std::pow(1.0 - params_.bit_error_rate, bits));
+      if (!ber_pass) ++counters_.ber_losses;
+    }
+    bool script_pass = true;
+    if (in_range && !clamped && ber_pass && scripted_) {
+      script_pass = script_allows_delivery(f, c.id, start);
+      if (!script_pass) ++counters_.scripted_losses;
+    }
+    const bool deliver_ok = in_range && !clamped && ber_pass && script_pass;
+    t.receptions.push_back(Reception{c.rx, sig, dist, prop, c.id, deliver_ok});
+  }
+  if (t.receptions.empty()) {
+    t.finished = true;
+    maybe_recycle(h);
+    return 0;
+  }
+
+  if (grouped_delivery_ && t.receptions.size() > 1) {
+    order_keys_.clear();
+    for (std::uint32_t i = 0; i < t.receptions.size(); ++i) {
+      order_keys_.emplace_back(t.receptions[i].prop, i);
+    }
+    std::sort(order_keys_.begin(), order_keys_.end());
+    reception_scratch_.clear();
+    reception_scratch_.reserve(t.receptions.size());
+    for (const auto& [prop, idx] : order_keys_) {
+      reception_scratch_.push_back(t.receptions[idx]);
+    }
+    t.receptions.swap(reception_scratch_);
+  }
+  t.groups.clear();
+  const std::uint32_t n = static_cast<std::uint32_t>(t.receptions.size());
+  for (std::uint32_t first = 0; first < n;) {
+    std::uint32_t last = first + 1;
+    if (grouped_delivery_) {
+      while (last < n && t.receptions[last].prop == t.receptions[first].prop) ++last;
+    }
+    t.groups.push_back(DeliveryGroup{t.receptions[first].prop, first, last, kInvalidEvent});
+    first = last;
+  }
+  // No done event: the mirror is logically finished at creation and recycles
+  // once the last scheduled edge fires.  Begin edges clamp to now(); trailing
+  // edges land at the true signal end, which the skip test above guarantees
+  // is still in the future.
+  {
+    Scheduler::BulkInsert bulk{scheduler_};
+    for (std::uint32_t g = 0; g < t.groups.size(); ++g) {
+      bulk.at(std::max(start + t.groups[g].prop, now),
+              [this, h, g] { on_group_begin(h, g); });
+    }
+    for (std::uint32_t g = 0; g < t.groups.size(); ++g) {
+      t.groups[g].end_event = bulk.at(start + t.groups[g].prop + airtime,
+                                      [this, h, g] { on_group_end(h, g); });
+    }
+    t.pending += 2 * static_cast<std::uint32_t>(t.groups.size());
+  }
+  t.finished = true;
+  return h;
+}
+
+void Medium::abort_remote_transmission(TxHandle h, SimTime at) {
+  if (!handle_live(h)) return;  // all receptions already ended and recycled
+  Transmission& t = slot_of(h);
+  if (t.aborted) return;
+  t.aborted = true;
+  const SimTime now = scheduler_.now();
+  for (std::uint32_t g = 0; g < t.groups.size(); ++g) {
+    DeliveryGroup& grp = t.groups[g];
+    if (scheduler_.cancel(grp.end_event)) {
+      grp.end_event = scheduler_.schedule_at(std::max(at + grp.prop, now),
+                                             [this, h, g] { on_group_end(h, g); });
+    }
+  }
+  maybe_recycle(h);
 }
 
 void Medium::on_group_begin(TxHandle h, std::uint32_t group) {
@@ -312,6 +430,7 @@ void Medium::abort_transmission(Radio& tx) {
   }
   t.finished = true;
   tx.set_medium_tx_handle(0);
+  if (tx_observer_ != nullptr) tx_observer_->on_tx_abort(h, scheduler_.now());
   tx.transmit_finished(t.frame, /*aborted=*/true);
   maybe_recycle(h);
 }

@@ -52,6 +52,21 @@ namespace rmacsim {
 
 class Medium {
 public:
+  // {slot+1, generation} packed like the scheduler's EventId; 0 is invalid.
+  using TxHandle = std::uint64_t;
+
+  // Cross-shard seam (scenario/sharded_network.*): every locally originated
+  // transmission begin/abort is reported so mirrors can be scheduled in
+  // neighbouring shards.  The key is the transmission's handle — unique for
+  // the lifetime of the mirror thanks to the slot generation counter.
+  class TxObserver {
+  public:
+    virtual ~TxObserver() = default;
+    virtual void on_tx_begin(const FramePtr& frame, Vec2 origin, SimTime start,
+                             TxHandle key) = 0;
+    virtual void on_tx_abort(TxHandle key, SimTime at) = 0;
+  };
+
   Medium(Scheduler& scheduler, PhyParams params, Rng rng, Tracer* tracer = nullptr);
   virtual ~Medium() = default;
   Medium(const Medium&) = delete;
@@ -75,6 +90,29 @@ public:
   // top; dispatch cost is per transmission, not per event.
   virtual SimTime begin_transmission(Radio& tx, FramePtr frame);
   virtual void abort_transmission(Radio& tx);
+
+  void set_tx_observer(TxObserver* obs) noexcept { tx_observer_ = obs; }
+
+  // --- Cross-shard mirror interface ---------------------------------------
+  // Schedule the local receptions of a transmission that originated in
+  // another shard: leading/trailing edges and decode verdicts exactly as if
+  // a local radio at `origin` had transmitted at `start`, but with no
+  // transmitter-side callbacks (no done event, no tx-start/tx-end trace).
+  // `start` may lie in the past (conservative-window clamping): a reception
+  // whose leading edge would land before now() begins late and is marked
+  // corrupt (partial signal), counted in remote_clamped(); a reception
+  // wholly in the past is skipped.  Candidate positions are evaluated at
+  // now(), which equals the positions at `start` for stationary nodes and is
+  // within one lookahead window otherwise.  Returns 0 when no local radio is
+  // in interference range.
+  TxHandle begin_remote_transmission(FramePtr frame, Vec2 origin, SimTime start);
+  // Truncate a remote mirror's receptions at `at` (+prop per group), like a
+  // local abort.  Tolerates stale handles: a mirror whose receptions all
+  // ended before the abort message crossed the shard boundary has already
+  // been recycled, and truncating it is a no-op.
+  void abort_remote_transmission(TxHandle h, SimTime at);
+  [[nodiscard]] std::uint64_t remote_mirrored() const noexcept { return remote_mirrored_; }
+  [[nodiscard]] std::uint64_t remote_clamped() const noexcept { return remote_clamped_; }
 
   // Equal-propagation receptions share one begin/end event pair (default).
   // Off = one group per reception; the equivalence tests prove both modes
@@ -132,9 +170,6 @@ protected:
   }
 
 private:
-  // {slot+1, generation} packed like the scheduler's EventId; 0 is invalid.
-  using TxHandle = std::uint64_t;
-
   struct Reception {
     Radio* rx;           // nulled if the receiver detaches mid-flight
     std::uint64_t sig;
@@ -184,6 +219,7 @@ private:
   }
 
   [[nodiscard]] Transmission& slot_of(TxHandle h) noexcept;
+  [[nodiscard]] bool handle_live(TxHandle h) const noexcept;
   [[nodiscard]] std::uint32_t acquire_slot();
   void release_ref(TxHandle h) noexcept;
   void maybe_recycle(TxHandle h) noexcept;
@@ -222,6 +258,9 @@ private:
   std::uint64_t next_sig_{1};
   std::uint64_t tx_started_{0};
   Counters counters_{};
+  TxObserver* tx_observer_{nullptr};
+  std::uint64_t remote_mirrored_{0};
+  std::uint64_t remote_clamped_{0};
 };
 
 }  // namespace rmacsim

@@ -72,28 +72,7 @@ void ToneChannel::set_tone(NodeId id, bool on) {
     s.history.push_back(Interval{now, SimTime::max()});
     prune(s);
     soa_.set_flag(id, NodeSoa::kFlagActive, true);
-    if (!edge_subs_.empty() && !s.suppressed) {
-      // Notify in-range edge subscribers after propagation plus the lambda
-      // detection latency.  The SoA sweep's visit order is unspecified, so
-      // collect and sort by NodeId: equal-latency callbacks must fire in a
-      // deterministic, platform-independent order.
-      const Vec2 src_pos = s.mobility->position(now);
-      scratch_.clear();
-      sync_soa(now);
-      soa_.for_each_in_disk(index_, src_pos, params_.range_m, now,
-                            [&](std::uint32_t k, double d2) {
-                              const NodeId nid = soa_.ids()[k];
-                              if (nid != id) scratch_.emplace_back(nid, d2);
-                            });
-      std::sort(scratch_.begin(), scratch_.end());
-      for (const auto& [listener, d2] : scratch_) {
-        const auto sub = edge_subs_.find(listener);
-        if (sub == edge_subs_.end()) continue;
-        const SimTime latency = params_.propagation_delay(std::sqrt(d2)) + params_.cca;
-        // Copy the callback: the subscription may change before delivery.
-        scheduler_.schedule_in(latency, [cb = sub->second, id] { cb(id); });
-      }
-    }
+    if (!edge_subs_.empty() && !s.suppressed) fan_out_edge(id, s, now);
   } else {
     assert(!s.history.empty());
     on_time_total_ += now - s.history.back().on;
@@ -106,6 +85,49 @@ void ToneChannel::set_tone(NodeId id, bool on) {
     r.aux = tone_kind_;
     r.flag = s.suppressed;
     tracer_->emit(std::move(r), [&] { return cat(name_, on ? " on" : " off"); });
+  }
+  if (edge_hook_) edge_hook_(id, on);
+}
+
+void ToneChannel::fan_out_edge(NodeId id, const Source& s, SimTime when) {
+  // Notify in-range edge subscribers after propagation plus the lambda
+  // detection latency.  The SoA sweep's visit order is unspecified, so
+  // collect and sort by NodeId: equal-latency callbacks must fire in a
+  // deterministic, platform-independent order.
+  const SimTime now = scheduler_.now();
+  const Vec2 src_pos = s.mobility->position(now);
+  scratch_.clear();
+  sync_soa(now);
+  soa_.for_each_in_disk(index_, src_pos, params_.range_m, now,
+                        [&](std::uint32_t k, double d2) {
+                          const NodeId nid = soa_.ids()[k];
+                          if (nid != id) scratch_.emplace_back(nid, d2);
+                        });
+  std::sort(scratch_.begin(), scratch_.end());
+  for (const auto& [listener, d2] : scratch_) {
+    const auto sub = edge_subs_.find(listener);
+    if (sub == edge_subs_.end()) continue;
+    const SimTime at = when + params_.propagation_delay(std::sqrt(d2)) + params_.cca;
+    // Copy the callback: the subscription may change before delivery.
+    scheduler_.schedule_at(std::max(at, now), [cb = sub->second, id] { cb(id); });
+  }
+}
+
+void ToneChannel::set_remote_tone(NodeId id, bool on, SimTime when) {
+  auto it = sources_.find(id);
+  assert(it != sources_.end() && "set_remote_tone on unattached phantom");
+  Source& s = it->second;
+  if (s.on == on) return;
+  s.on = on;
+  if (on) {
+    s.history.push_back(Interval{when, SimTime::max()});
+    prune(s);
+    soa_.set_flag(id, NodeSoa::kFlagActive, true);
+    if (!edge_subs_.empty() && !s.suppressed) fan_out_edge(id, s, when);
+  } else {
+    if (s.history.empty()) return;  // raise predates the phantom's attach
+    s.history.back().off = when;
+    prune(s);
   }
 }
 

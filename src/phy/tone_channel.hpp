@@ -45,6 +45,20 @@ public:
   void set_tone(NodeId id, bool on);
   [[nodiscard]] bool my_tone_on(NodeId id) const noexcept;
 
+  // Cross-shard seam (scenario/sharded_network.*): invoked on every local
+  // tone transition (never on set_remote_tone), so the engine can forward
+  // the edge to neighbouring shards as a typed message.
+  using EdgeHook = std::function<void(NodeId source, bool on)>;
+  void set_edge_hook(EdgeHook hook) { edge_hook_ = std::move(hook); }
+
+  // Record a tone edge of a source that lives in another shard (attached
+  // here as a pinned phantom).  `when` is the source shard's emission time
+  // and may precede now() by up to one lookahead window: the history
+  // interval is backdated so sensed_at / detected_in_window keep exact
+  // semantics, while the edge-subscriber fan-out clamps to the future.
+  // Raise/on-time metrics and trace records stay with the source shard.
+  void set_remote_tone(NodeId id, bool on, SimTime when);
+
   // Scripted-PHY fault hook (tests): while suppressed, a source's tone is
   // corrupted on the air — invisible to sensing, window detection, and edge
   // subscribers — although the source itself still believes it is on.
@@ -115,8 +129,14 @@ private:
   std::string name_;
   std::uint32_t tone_kind_;  // kToneKind* derived from name, for trace records
   Tracer* tracer_;
+  // Shared tail of set_tone / set_remote_tone: notify in-range edge
+  // subscribers of `id`'s leading edge emitted at `when` (never earlier
+  // than now for the scheduler).
+  void fan_out_edge(NodeId id, const Source& s, SimTime when);
+
   std::unordered_map<NodeId, Source> sources_;
   std::unordered_map<NodeId, EdgeCallback> edge_subs_;
+  EdgeHook edge_hook_;
   mutable SpatialIndex index_;
   mutable NodeSoa soa_;                             // packed mirror of index_
   std::vector<std::pair<NodeId, double>> scratch_;  // set_tone edge fan-out

@@ -13,7 +13,9 @@
 #include "obs/exporters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/timeseries.hpp"
+#include "scenario/experiment_internal.hpp"
 #include "scenario/metrics_collect.hpp"
+#include "scenario/trace_digest.hpp"
 
 #ifndef RMAC_GIT_REVISION
 #define RMAC_GIT_REVISION "unknown"
@@ -21,44 +23,71 @@
 
 namespace rmacsim {
 
-namespace {
-
-// Order-sensitive FNV-1a over the machine-readable part of the trace
-// stream.  Message strings are excluded, so cosmetic format changes leave
-// golden digests alone while any behavioural change (event order, timing,
-// frame contents) shifts them.
-class TraceDigest {
-public:
-  void feed(const TraceRecord& r) {
-    if (r.event == TraceEvent::kGeneric) return;
-    mix(static_cast<std::uint64_t>(r.at.nanoseconds()));
-    mix(static_cast<std::uint64_t>(r.event));
-    mix(r.node);
-    mix(r.flag ? 1u : 0u);
-    mix(r.aux);
-    if (r.frame != nullptr) {
-      mix(static_cast<std::uint64_t>(r.frame->type));
-      mix(r.frame->transmitter);
-      mix(r.frame->dest);
-      mix(r.frame->seq);
-      mix(r.frame->wire_bytes());
-      mix(static_cast<std::uint64_t>(r.frame->duration.nanoseconds()));
-      for (const NodeId rcv : r.frame->receivers) mix(rcv);
+void sample_tree_stats(std::span<Node* const> nodes, SampleStats& hops,
+                       SampleStats& children) {
+  for (Node* n : nodes) {
+    if (n->tree->connected() && !n->tree->is_root()) {
+      hops.add(static_cast<double>(n->tree->hops_to_root()));
     }
+    const std::size_t c = n->tree->child_count();
+    if (c > 0) children.add(static_cast<double>(c));
   }
-  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+}
 
-private:
-  void mix(std::uint64_t v) noexcept {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (8 * i)) & 0xffu;
-      h_ *= 0x100000001b3ull;
-    }
+void fill_node_metrics(ExperimentResult& r, const ExperimentConfig& config,
+                       std::span<Node* const> nodes) {
+  // Figs. 8, 10, 11, 13 average over non-leaf nodes.  The paper's tree is
+  // stable, so its non-leaf set is clean; under churn our harness can
+  // produce transient forwarders (a node that relayed a handful of packets)
+  // whose full-run control-receive time against a sliver of data time would
+  // skew the averages.  Count as non-leaf only nodes that forwarded a
+  // substantial share of the traffic.
+  const std::uint64_t non_leaf_threshold = std::max<std::uint64_t>(1, config.num_packets / 5);
+  SampleStats drop_ratios;
+  SampleStats retx_ratios;
+  SampleStats txoh_ratios;
+  SampleStats abort_ratios;
+  SampleStats mrts_lengths;
+  for (Node* n : nodes) {
+    const MacStats& s = n->mac->stats();
+    mrts_lengths.add_all(s.mrts_lengths_bytes);
+    if (s.reliable_requests < non_leaf_threshold) continue;  // leaf
+    drop_ratios.add(s.drop_ratio());
+    retx_ratios.add(s.retransmission_ratio());
+    if (s.reliable_data_tx_time > SimTime::zero()) txoh_ratios.add(s.tx_overhead_ratio());
+    if (s.mrts_transmissions > 0) abort_ratios.add(s.mrts_abort_ratio());
   }
-  std::uint64_t h_{0xcbf29ce484222325ull};
-};
+  r.avg_drop_ratio = drop_ratios.mean();
+  r.avg_retx_ratio = retx_ratios.mean();
+  r.avg_txoh_ratio = txoh_ratios.mean();
+  r.mrts_len_avg = mrts_lengths.mean();
+  r.mrts_len_p99 = mrts_lengths.percentile(99.0);
+  r.mrts_len_max = mrts_lengths.max();
+  r.abort_avg = abort_ratios.mean();
+  r.abort_p99 = abort_ratios.percentile(99.0);
+  r.abort_max = abort_ratios.max();
 
-}  // namespace
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_believed = 0;
+  for (Node* n : nodes) {
+    total_requests += n->mac->stats().reliable_requests;
+    total_believed += n->mac->stats().reliable_delivered;
+  }
+  r.mac_believed_success = total_requests == 0 ? 0.0
+                                               : static_cast<double>(total_believed) /
+                                                     static_cast<double>(total_requests);
+}
+
+void sweep_pending_reliable(std::span<Node* const> nodes, LossLedger& ledger) {
+  for (Node* n : nodes) {
+    n->mac->for_each_pending_reliable(
+        [&ledger](const AppPacketPtr& packet, const std::vector<NodeId>& receivers) {
+          if (packet != nullptr && packet->kind == AppPacket::Kind::kData) {
+            ledger.sweep_end_of_run(packet->journey, receivers);
+          }
+        });
+  }
+}
 
 std::string ExperimentConfig::label() const {
   return cat(rmacsim::to_string(protocol), "/", rmacsim::to_string(mobility), "/",
@@ -66,6 +95,10 @@ std::string ExperimentConfig::label() const {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  // shards == 1 is the exact single-threaded code path below — the sharded
+  // engine only ever enters the picture when the config asks for it.
+  if (config.shards > 1) return run_sharded_experiment(config);
+
   NetworkConfig net_cfg;
   net_cfg.num_nodes = config.num_nodes;
   net_cfg.area = config.area;
@@ -133,15 +166,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   // §4.1.1 tree statistics at the end of warm-up.
+  std::vector<Node*> node_ptrs;
+  node_ptrs.reserve(net.nodes().size());
+  for (Node& n : net.nodes()) node_ptrs.push_back(&n);
   SampleStats hops;
   SampleStats children;
-  for (Node& n : net.nodes()) {
-    if (n.tree->connected() && !n.tree->is_root()) {
-      hops.add(static_cast<double>(n.tree->hops_to_root()));
-    }
-    const std::size_t c = n.tree->child_count();
-    if (c > 0) children.add(static_cast<double>(c));
-  }
+  sample_tree_stats(node_ptrs, hops, children);
 
   // The flight recorder and time-series collector attach at the end of
   // warm-up, when the source starts: packet journeys cannot exist earlier
@@ -175,18 +205,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                 std::chrono::steady_clock::now() - run_begin)
                                 .count();
 
-  // End-of-run ledger sweep: reliable work still queued or in service when
-  // the clock stops is kEndOfRun, not a leak.  After this, finalize() may
-  // classify a slot kUnaccounted only if a drop path truly forgot to report.
-  LossLedger& ledger = net.ledger();
-  for (Node& n : net.nodes()) {
-    n.mac->for_each_pending_reliable(
-        [&ledger](const AppPacketPtr& packet, const std::vector<NodeId>& receivers) {
-          if (packet != nullptr && packet->kind == AppPacket::Kind::kData) {
-            ledger.sweep_end_of_run(packet->journey, receivers);
-          }
-        });
-  }
+  // End-of-run ledger sweep: after this, finalize() may classify a slot
+  // kUnaccounted only if a drop path truly forgot to report.
+  sweep_pending_reliable(node_ptrs, net.ledger());
 
   ExperimentResult r;
   r.config = config;
@@ -204,7 +225,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // outcome, none leaked.  The verdict rides on the result (tests and the
   // mutation knob assert on it; a hard assert here would make the
   // prove-the-check-fires test impossible to run).
-  r.ledger = ledger.finalize();
+  r.ledger = net.ledger().finalize();
 
   if (profiler.has_value()) {
     r.profile.wall_s = run_wall_s;
@@ -214,46 +235,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     Profiler::detach();
   }
 
-  // Figs. 8, 10, 11, 13 average over non-leaf nodes.  The paper's tree is
-  // stable, so its non-leaf set is clean; under churn our harness can
-  // produce transient forwarders (a node that relayed a handful of packets)
-  // whose full-run control-receive time against a sliver of data time would
-  // skew the averages.  Count as non-leaf only nodes that forwarded a
-  // substantial share of the traffic.
-  const std::uint64_t non_leaf_threshold = std::max<std::uint64_t>(1, config.num_packets / 5);
-  SampleStats drop_ratios;
-  SampleStats retx_ratios;
-  SampleStats txoh_ratios;
-  SampleStats abort_ratios;
-  SampleStats mrts_lengths;
-  for (Node& n : net.nodes()) {
-    const MacStats& s = n.mac->stats();
-    mrts_lengths.add_all(s.mrts_lengths_bytes);
-    if (s.reliable_requests < non_leaf_threshold) continue;  // leaf
-    drop_ratios.add(s.drop_ratio());
-    retx_ratios.add(s.retransmission_ratio());
-    if (s.reliable_data_tx_time > SimTime::zero()) txoh_ratios.add(s.tx_overhead_ratio());
-    if (s.mrts_transmissions > 0) abort_ratios.add(s.mrts_abort_ratio());
-  }
-  r.avg_drop_ratio = drop_ratios.mean();
-  r.avg_retx_ratio = retx_ratios.mean();
-  r.avg_txoh_ratio = txoh_ratios.mean();
-  r.mrts_len_avg = mrts_lengths.mean();
-  r.mrts_len_p99 = mrts_lengths.percentile(99.0);
-  r.mrts_len_max = mrts_lengths.max();
-  r.abort_avg = abort_ratios.mean();
-  r.abort_p99 = abort_ratios.percentile(99.0);
-  r.abort_max = abort_ratios.max();
-
-  std::uint64_t total_requests = 0;
-  std::uint64_t total_believed = 0;
-  for (Node& n : net.nodes()) {
-    total_requests += n.mac->stats().reliable_requests;
-    total_believed += n.mac->stats().reliable_delivered;
-  }
-  r.mac_believed_success = total_requests == 0 ? 0.0
-                                               : static_cast<double>(total_believed) /
-                                                     static_cast<double>(total_requests);
+  fill_node_metrics(r, config, node_ptrs);
 
   r.tree_hops_avg = hops.mean();
   r.tree_hops_p99 = hops.percentile(99.0);

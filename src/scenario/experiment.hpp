@@ -35,6 +35,19 @@ struct ExperimentConfig {
   bool batched_dispatch{true};
   bool grouped_delivery{true};
 
+  // Spatial sharding (docs/parallel.md).  shards > 1 runs the conservative
+  // parallel engine (run_experiment dispatches to run_sharded_experiment);
+  // shards == 1 executes the exact single-threaded code path, bit for bit.
+  // shard_threads is a request (0 = one worker per shard, clamped to the
+  // shard count); results depend only on the shard count, never on threads.
+  unsigned shards{1};
+  unsigned shard_threads{0};
+  // Window-width floor passed to the engine: windows are max(tau, floor).
+  SimTime shard_lookahead_floor{SimTime::us(200)};
+  // Count cross-shard messages that land outside the legal (prev, barrier]
+  // window (tests); totals ride on ExperimentResult::shard.
+  bool shard_safety_check{false};
+
   // Attach a SimAuditor for the run; violation counters land in
   // ExperimentResult::audit.  Costs trace-sink dispatch on the hot path, so
   // off by default for performance sweeps.
@@ -157,6 +170,20 @@ struct ExperimentResult {
 
   // Populated when config.trace_digest is set.
   std::uint64_t trace_digest{0};
+
+  // Populated when config.shards > 1 (zeros on the serial path).
+  struct ShardSummary {
+    unsigned shards{0};
+    unsigned threads{0};              // effective worker count
+    std::uint64_t windows{0};         // barriers executed
+    std::uint64_t messages{0};        // cross-shard messages exchanged
+    std::uint64_t remote_mirrors{0};  // remote transmissions mirrored
+    std::uint64_t clamped{0};         // receptions clamped to a barrier
+    std::uint64_t safety_violations{0};
+    SimTime tau{SimTime::zero()};     // computed lookahead
+    SimTime window{SimTime::zero()};  // effective window width
+  };
+  ShardSummary shard;
 
   // Populated when config.obs.record is set.
   struct ObsSummary {

@@ -1,0 +1,31 @@
+// Implementation detail shared by the serial (experiment.cpp) and sharded
+// (sharded_experiment.cpp) experiment drivers: the per-node metric math that
+// must be byte-for-byte the same in both, expressed over a node list in
+// global id order so the engine layout cannot change any figure.
+#pragma once
+
+#include <span>
+
+#include "scenario/experiment.hpp"
+#include "scenario/node.hpp"
+
+namespace rmacsim {
+
+// §4.1.1 tree statistics, sampled at the end of warm-up.
+void sample_tree_stats(std::span<Node* const> nodes, SampleStats& hops,
+                       SampleStats& children);
+
+// Figs. 8, 10-13 + mac_believed_success: everything on ExperimentResult that
+// derives from per-node MacStats.  `nodes` must be in global id order.
+void fill_node_metrics(ExperimentResult& r, const ExperimentConfig& config,
+                       std::span<Node* const> nodes);
+
+// End-of-run ledger sweep: reliable work still queued or in service when the
+// clock stops is kEndOfRun, not a leak.
+void sweep_pending_reliable(std::span<Node* const> nodes, LossLedger& ledger);
+
+// The sharded counterpart of run_experiment; run_experiment dispatches here
+// when config.shards > 1.  Callers use run_experiment.
+[[nodiscard]] ExperimentResult run_sharded_experiment(const ExperimentConfig& config);
+
+}  // namespace rmacsim

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <span>
+#include <vector>
 
 #include "phy/frame.hpp"
 #include "phy/frame_pool.hpp"
+#include "scenario/sharded_network.hpp"
 
 namespace rmacsim {
 
@@ -18,42 +21,64 @@ constexpr std::size_t kMrtsHistBins = 32;
 constexpr double kDelayHistHi = 2.0;
 constexpr std::size_t kDelayHistBins = 40;
 
-void collect_tone(MetricsRegistry& reg, const ToneChannel& tone, const char* label) {
-  const MetricLabels l{{"tone", label}};
-  reg.counter("rmacsim_tone_raises_total", l, "busy-tone rising edges")
-      .set(tone.raises());
-  reg.counter("rmacsim_tone_suppressed_raises_total", l,
-              "rising edges raised while scripted-suppressed")
-      .set(tone.suppressed_raises());
-  reg.gauge("rmacsim_tone_on_time_seconds", l, "cumulative tone-on airtime")
-      .set(tone.on_time_total().to_seconds());
-}
+// One simulation world: the monolithic network, or one shard.  The collect
+// pass aggregates across worlds — counters summed, peaks maxed — so both
+// engines publish the same series.
+struct WorldRefs {
+  const Scheduler* sched;
+  const Medium* medium;
+  const ToneChannel* rbt;
+  const ToneChannel* abt;
+};
 
-}  // namespace
-
-void collect_metrics(MetricsRegistry& reg, Network& net) {
+void collect_phy(MetricsRegistry& reg, std::span<const WorldRefs> worlds) {
   // --- scheduler -----------------------------------------------------------
-  const Scheduler& sched = net.scheduler();
-  reg.counter("rmacsim_sched_events_executed_total", {}, "events executed")
-      .set(sched.executed_count());
+  std::uint64_t executed = 0, scheduled = 0, cancelled = 0;
+  std::size_t pending_peak = 0, pool_slots = 0, pool_free = 0;
+  SimTime now = SimTime::zero();
+  for (const WorldRefs& w : worlds) {
+    executed += w.sched->executed_count();
+    scheduled += w.sched->scheduled_count();
+    cancelled += w.sched->cancelled_count();
+    pending_peak = std::max(pending_peak, w.sched->peak_pending());
+    pool_slots += w.sched->pool_slots();
+    pool_free += w.sched->pool_free_slots();
+    now = std::max(now, w.sched->now());
+  }
+  reg.counter("rmacsim_sched_events_executed_total", {}, "events executed").set(executed);
   reg.counter("rmacsim_sched_events_scheduled_total", {}, "events scheduled")
-      .set(sched.scheduled_count());
+      .set(scheduled);
   reg.counter("rmacsim_sched_events_cancelled_total", {}, "events cancelled")
-      .set(sched.cancelled_count());
+      .set(cancelled);
   reg.gauge("rmacsim_sched_pending_peak", {}, "high-water mark of pending events")
-      .set(static_cast<double>(sched.peak_pending()));
+      .set(static_cast<double>(pending_peak));
   reg.gauge("rmacsim_sched_pool_slots", {}, "event slab capacity")
-      .set(static_cast<double>(sched.pool_slots()));
+      .set(static_cast<double>(pool_slots));
   reg.gauge("rmacsim_sched_pool_free_slots", {}, "event slab free slots")
-      .set(static_cast<double>(sched.pool_free_slots()));
+      .set(static_cast<double>(pool_free));
   reg.gauge("rmacsim_sched_sim_time_seconds", {}, "simulated time at snapshot")
-      .set(sched.now().to_seconds());
+      .set(now.to_seconds());
 
   // --- medium --------------------------------------------------------------
-  const Medium& med = net.medium();
-  const Medium::Counters& mc = med.counters();
-  reg.counter("rmacsim_phy_tx_started_total", {}, "transmissions started")
-      .set(med.transmissions_started());
+  Medium::Counters mc;
+  std::uint64_t tx_started = 0, remote_mirrors = 0, remote_clamped = 0;
+  std::size_t med_slots = 0, med_free = 0;
+  for (const WorldRefs& w : worlds) {
+    const Medium::Counters& c = w.medium->counters();
+    tx_started += w.medium->transmissions_started();
+    mc.tx_aborted += c.tx_aborted;
+    mc.ber_losses += c.ber_losses;
+    mc.scripted_losses += c.scripted_losses;
+    mc.rx_delivered += c.rx_delivered;
+    mc.rx_collision += c.rx_collision;
+    mc.rx_corrupt += c.rx_corrupt;
+    mc.rx_half_duplex += c.rx_half_duplex;
+    remote_mirrors += w.medium->remote_mirrored();
+    remote_clamped += w.medium->remote_clamped();
+    med_slots += w.medium->pool_slots();
+    med_free += w.medium->pool_free_slots();
+  }
+  reg.counter("rmacsim_phy_tx_started_total", {}, "transmissions started").set(tx_started);
   reg.counter("rmacsim_phy_tx_aborted_total", {}, "transmissions aborted on air")
       .set(mc.tx_aborted);
   reg.counter("rmacsim_phy_copy_losses_total", {{"cause", "ber"}},
@@ -68,28 +93,60 @@ void collect_metrics(MetricsRegistry& reg, Network& net) {
   reg.counter("rmacsim_phy_rx_total", {{"outcome", "corrupt"}}, "").set(mc.rx_corrupt);
   reg.counter("rmacsim_phy_rx_total", {{"outcome", "half_duplex"}}, "")
       .set(mc.rx_half_duplex);
+  // Remote-mirror counters only exist on the sharded engine; zero-skip keeps
+  // the monolithic snapshot identical to what it always was.
+  if (remote_mirrors != 0) {
+    reg.counter("rmacsim_phy_remote_mirrors_total", {},
+                "cross-shard transmissions mirrored into a destination shard")
+        .set(remote_mirrors);
+  }
+  if (remote_clamped != 0) {
+    reg.counter("rmacsim_phy_remote_clamped_total", {},
+                "mirrored receptions clamped to a window barrier")
+        .set(remote_clamped);
+  }
   reg.gauge("rmacsim_phy_pool_slots", {}, "transmission slab capacity")
-      .set(static_cast<double>(med.pool_slots()));
+      .set(static_cast<double>(med_slots));
   reg.gauge("rmacsim_phy_pool_free_slots", {}, "transmission slab free slots")
-      .set(static_cast<double>(med.pool_free_slots()));
+      .set(static_cast<double>(med_free));
   reg.gauge("rmacsim_frame_pool_free_blocks", {}, "frame slab free blocks")
       .set(static_cast<double>(frame_pool::free_blocks()));
   reg.gauge("rmacsim_frame_pool_outstanding_blocks", {}, "frame slab live blocks")
       .set(static_cast<double>(frame_pool::outstanding_blocks()));
 
   // --- busy-tone channels --------------------------------------------------
-  collect_tone(reg, net.rbt(), "RBT");
-  collect_tone(reg, net.abt(), "ABT");
+  std::uint64_t raises[2] = {0, 0}, suppressed[2] = {0, 0};
+  SimTime on_time[2] = {SimTime::zero(), SimTime::zero()};
+  for (const WorldRefs& w : worlds) {
+    const ToneChannel* tones[2] = {w.rbt, w.abt};
+    for (int t = 0; t < 2; ++t) {
+      raises[t] += tones[t]->raises();
+      suppressed[t] += tones[t]->suppressed_raises();
+      on_time[t] = on_time[t] + tones[t]->on_time_total();
+    }
+  }
+  const char* tone_labels[2] = {"RBT", "ABT"};
+  for (int t = 0; t < 2; ++t) {
+    const MetricLabels l{{"tone", tone_labels[t]}};
+    reg.counter("rmacsim_tone_raises_total", l, "busy-tone rising edges").set(raises[t]);
+    reg.counter("rmacsim_tone_suppressed_raises_total", l,
+                "rising edges raised while scripted-suppressed")
+        .set(suppressed[t]);
+    reg.gauge("rmacsim_tone_on_time_seconds", l, "cumulative tone-on airtime")
+        .set(on_time[t].to_seconds());
+  }
+}
 
+void collect_nodes(MetricsRegistry& reg, Protocol protocol, std::span<Node* const> nodes) {
   // --- MAC (summed over nodes, labeled by protocol) ------------------------
-  const MetricLabels proto{{"protocol", to_string(net.config().protocol)}};
+  const MetricLabels proto{{"protocol", to_string(protocol)}};
   MacStats sum;
   std::size_t queue_peak = 0;
   StreamingHistogram& mrts_hist = reg.histogram(
       "rmacsim_mac_mrts_length_bytes", 0.0, kMrtsHistHi, kMrtsHistBins, proto,
       "MRTS wire lengths (receiver-list growth, Fig. 12)");
-  for (const Node& n : net.nodes()) {
-    const MacStats& s = n.mac->stats();
+  for (const Node* n : nodes) {
+    const MacStats& s = n->mac->stats();
     sum.reliable_requests += s.reliable_requests;
     sum.reliable_delivered += s.reliable_delivered;
     sum.reliable_dropped += s.reliable_dropped;
@@ -166,14 +223,14 @@ void collect_metrics(MetricsRegistry& reg, Network& net) {
   // --- tree + app ----------------------------------------------------------
   std::uint64_t hellos_sent = 0, hellos_heard = 0, parent_changes = 0, evictions = 0;
   std::uint64_t app_generated = 0, app_received = 0, app_forwarded = 0;
-  for (const Node& n : net.nodes()) {
-    hellos_sent += n.tree->hellos_sent();
-    hellos_heard += n.tree->hellos_heard();
-    parent_changes += n.tree->parent_changes();
-    evictions += n.tree->child_evictions();
-    app_generated += n.app->generated();
-    app_received += n.app->received_unique();
-    app_forwarded += n.app->forwarded();
+  for (const Node* n : nodes) {
+    hellos_sent += n->tree->hellos_sent();
+    hellos_heard += n->tree->hellos_heard();
+    parent_changes += n->tree->parent_changes();
+    evictions += n->tree->child_evictions();
+    app_generated += n->app->generated();
+    app_received += n->app->received_unique();
+    app_forwarded += n->app->forwarded();
   }
   reg.counter("rmacsim_tree_hellos_sent_total", {}, "BLESS hellos broadcast")
       .set(hellos_sent);
@@ -190,18 +247,70 @@ void collect_metrics(MetricsRegistry& reg, Network& net) {
       .set(app_received);
   reg.counter("rmacsim_app_forwarded_total", {}, "reliable forward invocations")
       .set(app_forwarded);
+}
 
-  const DeliveryStats& d = net.delivery();
+void collect_delivery(MetricsRegistry& reg,
+                      std::span<const DeliveryStats* const> parts) {
+  std::uint64_t expected = 0, delivered = 0;
+  for (const DeliveryStats* d : parts) {
+    expected += d->expected_receptions();
+    delivered += d->delivered_receptions();
+  }
   reg.counter("rmacsim_app_expected_receptions_total", {},
               "reception slots opened (generated x group size)")
-      .set(d.expected_receptions());
+      .set(expected);
   reg.counter("rmacsim_app_delivered_receptions_total", {},
               "reception slots that delivered")
-      .set(d.delivered_receptions());
+      .set(delivered);
   StreamingHistogram& delays = reg.histogram(
       "rmacsim_app_e2e_delay_seconds", 0.0, kDelayHistHi, kDelayHistBins, {},
       "end-to-end delay of delivered receptions (Fig. 9)");
-  for (const double s : d.delays_seconds()) delays.add(s);
+  for (const DeliveryStats* d : parts) {
+    for (const double s : d->delays_seconds()) delays.add(s);
+  }
+}
+
+}  // namespace
+
+void collect_metrics(MetricsRegistry& reg, Network& net) {
+  const WorldRefs world{&net.scheduler(), &net.medium(), &net.rbt(), &net.abt()};
+  collect_phy(reg, {&world, 1});
+  std::vector<Node*> nodes;
+  nodes.reserve(net.nodes().size());
+  for (Node& n : net.nodes()) nodes.push_back(&n);
+  collect_nodes(reg, net.config().protocol, nodes);
+  const DeliveryStats* delivery = &net.delivery();
+  collect_delivery(reg, {&delivery, 1});
+}
+
+void collect_metrics(MetricsRegistry& reg, ShardedNetwork& net) {
+  std::vector<WorldRefs> worlds;
+  std::vector<const DeliveryStats*> delivery;
+  for (std::size_t s = 0; s < net.shard_count(); ++s) {
+    ShardedNetwork::Shard& sh = net.shard(s);
+    worlds.push_back(WorldRefs{&sh.scheduler, sh.medium.get(), sh.rbt.get(), sh.abt.get()});
+    delivery.push_back(&sh.delivery);
+  }
+  collect_phy(reg, worlds);
+  std::vector<Node*> nodes;
+  nodes.reserve(net.config().num_nodes);
+  for (NodeId id = 0; id < net.config().num_nodes; ++id) nodes.push_back(&net.node(id));
+  collect_nodes(reg, net.config().protocol, nodes);
+  collect_delivery(reg, delivery);
+
+  // Sharded-engine series.
+  reg.gauge("rmacsim_shard_count", {}, "spatial shards")
+      .set(static_cast<double>(net.shard_count()));
+  reg.gauge("rmacsim_shard_threads", {}, "effective worker threads")
+      .set(static_cast<double>(net.threads_used()));
+  reg.counter("rmacsim_shard_windows_total", {}, "window barriers executed")
+      .set(net.windows_run());
+  reg.counter("rmacsim_shard_messages_total", {}, "cross-shard messages exchanged")
+      .set(net.messages_exchanged());
+  reg.gauge("rmacsim_shard_tau_seconds", {}, "computed lookahead")
+      .set(net.tau().to_seconds());
+  reg.gauge("rmacsim_shard_window_seconds", {}, "effective window width")
+      .set(net.window().to_seconds());
 }
 
 void collect_ledger(MetricsRegistry& reg, const LedgerSummary& ledger) {

@@ -40,18 +40,109 @@ bool Network::placement_connected(const std::vector<Vec2>& pts, double range_m) 
   return reached == pts.size();
 }
 
-std::vector<Vec2> Network::draw_placement(Rng& rng) const {
-  std::vector<Vec2> pts(config_.num_nodes);
-  for (unsigned attempt = 0; attempt < config_.placement_attempts; ++attempt) {
+std::vector<Vec2> draw_network_placement(const NetworkConfig& config, Rng& rng) {
+  std::vector<Vec2> pts(config.num_nodes);
+  for (unsigned attempt = 0; attempt < config.placement_attempts; ++attempt) {
     for (auto& p : pts) {
-      p = Vec2{rng.uniform(0.0, config_.area.width), rng.uniform(0.0, config_.area.height)};
+      p = Vec2{rng.uniform(0.0, config.area.width), rng.uniform(0.0, config.area.height)};
     }
-    if (!config_.ensure_connected || placement_connected(pts, config_.phy.range_m)) {
+    if (!config.ensure_connected || Network::placement_connected(pts, config.phy.range_m)) {
       return pts;
     }
   }
   throw std::runtime_error("could not draw a connected placement; "
                            "lower density demands or disable ensure_connected");
+}
+
+Node build_node_stack(const NetworkConfig& config, NodeId i, Vec2 pos, Rng node_rng,
+                      const NodeBuildEnv& env) {
+  Node n;
+  n.id = i;
+
+  switch (config.mobility) {
+    case MobilityScenario::kStationary:
+      n.mobility = std::make_unique<StationaryMobility>(pos);
+      break;
+    case MobilityScenario::kSpeed1:
+      n.mobility = std::make_unique<RandomWaypointMobility>(
+          pos, RandomWaypointParams{config.area, 0.0, 4.0, SimTime::sec(10)},
+          node_rng.fork(Rng::hash_label("rwp")));
+      break;
+    case MobilityScenario::kSpeed2:
+      n.mobility = std::make_unique<RandomWaypointMobility>(
+          pos, RandomWaypointParams{config.area, 0.0, 8.0, SimTime::sec(5)},
+          node_rng.fork(Rng::hash_label("rwp")));
+      break;
+  }
+
+  n.radio = std::make_unique<Radio>(env.medium, i, *n.mobility);
+  env.rbt.attach(i, *n.mobility);
+  env.abt.attach(i, *n.mobility);
+
+  Rng mac_rng = node_rng.fork(Rng::hash_label("mac"));
+  n.dispatch = std::make_unique<MacDispatch>();
+  switch (config.protocol) {
+    case Protocol::kRmac: {
+      RmacProtocol::Params p;
+      p.mac = config.mac;
+      p.rbt_protection = config.rbt_protection;
+      auto mac = std::make_unique<RmacProtocol>(env.scheduler, *n.radio, env.rbt, env.abt,
+                                                mac_rng, p, env.tracer);
+      n.dispatch->bind(*mac);
+      n.mac = std::move(mac);
+      break;
+    }
+    case Protocol::kBmmm: {
+      auto mac = std::make_unique<BmmmProtocol>(env.scheduler, *n.radio, mac_rng, config.mac,
+                                                env.tracer);
+      n.dispatch->bind(*mac);
+      n.mac = std::move(mac);
+      break;
+    }
+    case Protocol::kDcf: {
+      auto mac = std::make_unique<DcfProtocol>(env.scheduler, *n.radio, mac_rng, config.mac,
+                                               env.tracer);
+      n.dispatch->bind(*mac);
+      n.mac = std::move(mac);
+      break;
+    }
+    case Protocol::kBmw: {
+      auto mac = std::make_unique<BmwProtocol>(env.scheduler, *n.radio, mac_rng, config.mac,
+                                               env.tracer);
+      n.dispatch->bind(*mac);
+      n.mac = std::move(mac);
+      break;
+    }
+    case Protocol::kMx: {
+      // MX reuses the two tone channels as its CTS/NAK tones.
+      auto mac = std::make_unique<MxProtocol>(env.scheduler, *n.radio, env.rbt, env.abt,
+                                              mac_rng, config.mac, env.tracer);
+      n.dispatch->bind(*mac);
+      n.mac = std::move(mac);
+      break;
+    }
+    case Protocol::kLamm: {
+      auto mac = std::make_unique<LammProtocol>(env.scheduler, *n.radio, mac_rng, config.mac,
+                                                env.tracer);
+      n.dispatch->bind(*mac);
+      n.mac = std::move(mac);
+      break;
+    }
+  }
+  // The protocol constructor registered itself as the radio listener;
+  // repoint the radio at the devirtualized front door.  The protocol
+  // destructor still clears the registration at teardown, so the dispatch
+  // (destroyed after `mac`) never dangles.
+  n.radio->set_listener(n.dispatch.get());
+
+  n.tree = std::make_unique<BlessTree>(env.scheduler, *n.mac, config.root, config.bless,
+                                       node_rng.fork(Rng::hash_label("bless")));
+
+  MulticastAppParams app = config.app;
+  app.receivers_per_packet = config.num_nodes - 1;
+  n.app = std::make_unique<MulticastApp>(env.scheduler, *n.mac, *n.tree, app, env.delivery,
+                                         env.tracer, &env.ledger);
+  return n;
 }
 
 Network::Network(NetworkConfig config) : config_{config} {
@@ -64,98 +155,12 @@ Network::Network(NetworkConfig config) : config_{config} {
   rbt_ = std::make_unique<ToneChannel>(scheduler_, medium_->params(), "RBT", &tracer_);
   abt_ = std::make_unique<ToneChannel>(scheduler_, medium_->params(), "ABT", &tracer_);
 
-  const std::vector<Vec2> placement = draw_placement(placement_rng);
+  const std::vector<Vec2> placement = draw_network_placement(config_, placement_rng);
 
+  const NodeBuildEnv env{scheduler_, *medium_, *rbt_, *abt_, &tracer_, delivery_, ledger_};
   nodes_.reserve(config_.num_nodes);
   for (NodeId i = 0; i < config_.num_nodes; ++i) {
-    Node n;
-    n.id = i;
-    Rng node_rng = master.fork(0x1000 + i);
-
-    switch (config_.mobility) {
-      case MobilityScenario::kStationary:
-        n.mobility = std::make_unique<StationaryMobility>(placement[i]);
-        break;
-      case MobilityScenario::kSpeed1:
-        n.mobility = std::make_unique<RandomWaypointMobility>(
-            placement[i], RandomWaypointParams{config_.area, 0.0, 4.0, SimTime::sec(10)},
-            node_rng.fork(Rng::hash_label("rwp")));
-        break;
-      case MobilityScenario::kSpeed2:
-        n.mobility = std::make_unique<RandomWaypointMobility>(
-            placement[i], RandomWaypointParams{config_.area, 0.0, 8.0, SimTime::sec(5)},
-            node_rng.fork(Rng::hash_label("rwp")));
-        break;
-    }
-
-    n.radio = std::make_unique<Radio>(*medium_, i, *n.mobility);
-    rbt_->attach(i, *n.mobility);
-    abt_->attach(i, *n.mobility);
-
-    Rng mac_rng = node_rng.fork(Rng::hash_label("mac"));
-    n.dispatch = std::make_unique<MacDispatch>();
-    switch (config_.protocol) {
-      case Protocol::kRmac: {
-        RmacProtocol::Params p;
-        p.mac = config_.mac;
-        p.rbt_protection = config_.rbt_protection;
-        auto mac = std::make_unique<RmacProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng,
-                                                  p, &tracer_);
-        n.dispatch->bind(*mac);
-        n.mac = std::move(mac);
-        break;
-      }
-      case Protocol::kBmmm: {
-        auto mac = std::make_unique<BmmmProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                                  &tracer_);
-        n.dispatch->bind(*mac);
-        n.mac = std::move(mac);
-        break;
-      }
-      case Protocol::kDcf: {
-        auto mac = std::make_unique<DcfProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                                 &tracer_);
-        n.dispatch->bind(*mac);
-        n.mac = std::move(mac);
-        break;
-      }
-      case Protocol::kBmw: {
-        auto mac = std::make_unique<BmwProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                                 &tracer_);
-        n.dispatch->bind(*mac);
-        n.mac = std::move(mac);
-        break;
-      }
-      case Protocol::kMx: {
-        // MX reuses the two tone channels as its CTS/NAK tones.
-        auto mac = std::make_unique<MxProtocol>(scheduler_, *n.radio, *rbt_, *abt_, mac_rng,
-                                                config_.mac, &tracer_);
-        n.dispatch->bind(*mac);
-        n.mac = std::move(mac);
-        break;
-      }
-      case Protocol::kLamm: {
-        auto mac = std::make_unique<LammProtocol>(scheduler_, *n.radio, mac_rng, config_.mac,
-                                                  &tracer_);
-        n.dispatch->bind(*mac);
-        n.mac = std::move(mac);
-        break;
-      }
-    }
-    // The protocol constructor registered itself as the radio listener;
-    // repoint the radio at the devirtualized front door.  The protocol
-    // destructor still clears the registration at teardown, so the dispatch
-    // (destroyed after `mac`) never dangles.
-    n.radio->set_listener(n.dispatch.get());
-
-    n.tree = std::make_unique<BlessTree>(scheduler_, *n.mac, config_.root, config_.bless,
-                                         node_rng.fork(Rng::hash_label("bless")));
-
-    MulticastAppParams app = config_.app;
-    app.receivers_per_packet = config_.num_nodes - 1;
-    n.app = std::make_unique<MulticastApp>(scheduler_, *n.mac, *n.tree, app, delivery_,
-                                           &tracer_, &ledger_);
-    nodes_.push_back(std::move(n));
+    nodes_.push_back(build_node_stack(config_, i, placement[i], master.fork(0x1000 + i), env));
   }
 }
 

@@ -38,7 +38,38 @@ struct NetworkConfig {
   // paper's near-1 static delivery ratio presumes a connected graph).
   bool ensure_connected{true};
   unsigned placement_attempts{200};
+  // Spatial-sharding knobs, consumed by the conservative parallel engine
+  // (scenario/sharded_network.*; docs/parallel.md).  Network itself always
+  // builds the single-threaded world and ignores them.
+  unsigned shards{1};
+  unsigned shard_threads{0};  // 0 = one worker thread per shard
+  // Window-width floor: windows are max(tau, floor) wide.  Above tau the
+  // engine clamps late cross-shard arrivals (counted, not exact); 0 keeps
+  // windows at tau for bit-exact boundary physics at the cost of barriers.
+  SimTime shard_lookahead_floor{SimTime::us(200)};
 };
+
+// One node's full protocol stack, built identically whether the node lands
+// in the monolithic Network or in a shard: mobility at `pos`, radio on
+// `env.medium`, the configured MAC wired to `env.rbt`/`env.abt`, BLESS tree,
+// and multicast app.  `node_rng` must be master.fork(0x1000 + i) — forked
+// from the master seed in ascending-id order across the whole network — so
+// per-node RNG streams are independent of the engine layout.
+struct NodeBuildEnv {
+  Scheduler& scheduler;
+  Medium& medium;
+  ToneChannel& rbt;
+  ToneChannel& abt;
+  Tracer* tracer;
+  DeliveryStats& delivery;
+  LossLedger& ledger;
+};
+[[nodiscard]] Node build_node_stack(const NetworkConfig& config, NodeId i, Vec2 pos,
+                                    Rng node_rng, const NodeBuildEnv& env);
+
+// Draw a placement for `config` (resampling for connectivity when asked);
+// throws when no connected placement emerges within placement_attempts.
+[[nodiscard]] std::vector<Vec2> draw_network_placement(const NetworkConfig& config, Rng& rng);
 
 class Network {
 public:
@@ -70,8 +101,6 @@ public:
   [[nodiscard]] static bool placement_connected(const std::vector<Vec2>& pts, double range_m);
 
 private:
-  [[nodiscard]] std::vector<Vec2> draw_placement(Rng& rng) const;
-
   NetworkConfig config_;
   Tracer tracer_;
   Scheduler scheduler_;

@@ -1,6 +1,7 @@
 #include "scenario/parallel_runner.hpp"
 
 #include <atomic>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -18,12 +19,23 @@ std::vector<ExperimentResult> run_experiments(
 
   std::atomic<std::size_t> next{0};
   std::mutex progress_mu;
+  // One slot per experiment (not per worker): after all workers join, the
+  // first failure *in config order* is rethrown, so which worker happened to
+  // pick up a throwing config never changes what the caller sees.
+  std::vector<std::exception_ptr> errors(configs.size());
+  std::atomic<bool> abort{false};
 
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= configs.size()) return;
-      results[i] = run_experiment(configs[i]);
+      if (i >= configs.size() || abort.load(std::memory_order_relaxed)) return;
+      try {
+        results[i] = run_experiment(configs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        continue;
+      }
       if (progress) {
         const std::lock_guard<std::mutex> lock{progress_mu};
         progress(results[i]);
@@ -35,6 +47,9 @@ std::vector<ExperimentResult> run_experiments(
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
   return results;
 }
 

@@ -1,0 +1,201 @@
+// The sharded counterpart of run_experiment (experiment.cpp): same flow —
+// build, warm up, sample tree stats, run traffic, sweep the ledger, fill the
+// result — over a ShardedNetwork.  All result math shared with the serial
+// driver lives in experiment_internal.hpp and runs over nodes in global id
+// order, so the two paths can only differ where the physics itself does.
+//
+// Not supported at shards > 1 (documented in docs/parallel.md):
+//   * config.obs.record — the flight recorder assumes one trace stream;
+//   * config.profile    — the profiler is thread-local; wall_s and
+//                         events_per_sec are still reported.
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "audit/sim_auditor.hpp"
+#include "metrics/export.hpp"
+#include "scenario/experiment_internal.hpp"
+#include "scenario/metrics_collect.hpp"
+#include "scenario/sharded_network.hpp"
+#include "scenario/trace_digest.hpp"
+
+namespace rmacsim {
+
+ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
+  NetworkConfig net_cfg;
+  net_cfg.num_nodes = config.num_nodes;
+  net_cfg.area = config.area;
+  net_cfg.phy = config.phy;
+  net_cfg.mac = config.mac;
+  net_cfg.protocol = config.protocol;
+  net_cfg.mobility = config.mobility;
+  net_cfg.rbt_protection = config.rbt_protection;
+  net_cfg.seed = config.seed;
+  net_cfg.app.rate_pps = config.rate_pps;
+  net_cfg.app.total_packets = config.num_packets;
+  net_cfg.app.payload_bytes = config.payload_bytes;
+  net_cfg.app.strategy = config.strategy;
+  net_cfg.shards = config.shards;
+  net_cfg.shard_threads = config.shard_threads;
+  net_cfg.shard_lookahead_floor = config.shard_lookahead_floor;
+
+  ShardedNetwork net{net_cfg};
+  const std::size_t S = net.shard_count();
+  const NodeId n = config.num_nodes;
+  net.set_safety_check(config.shard_safety_check);
+  for (std::size_t s = 0; s < S; ++s) {
+    net.shard(s).scheduler.set_batch_dispatch(config.batched_dispatch);
+    net.shard(s).medium->set_grouped_delivery(config.grouped_delivery);
+  }
+
+  // One auditor per shard, auditing that shard's nodes only.  Recorded
+  // transmissions are always local (remote mirrors emit no trace records),
+  // so the distance oracle only ever needs local-local pairs; anything else
+  // reports "unknown" and the invariant is skipped — a false negative at the
+  // shard boundary, never a false positive.
+  std::vector<std::unique_ptr<SimAuditor>> auditors;
+  if (config.audit) {
+    for (std::size_t s = 0; s < S; ++s) {
+      SimAuditor::Config ac;
+      ac.mac =
+          config.protocol == Protocol::kRmac ? AuditedMac::kRmac : AuditedMac::kDot11Family;
+      ac.phy = config.phy;
+      ac.rbt_protection = config.rbt_protection;
+      ac.distance = [&net, s, n](NodeId a, NodeId b) -> double {
+        if (a >= n || b >= n || net.shard_of(a) != s || net.shard_of(b) != s) return -1.0;
+        const SimTime now = net.shard(s).scheduler.now();
+        return distance(net.node(a).mobility->position(now),
+                        net.node(b).mobility->position(now));
+      };
+      ac.audited = [&net, s, n](NodeId id) { return id < n && net.shard_of(id) == s; };
+      auditors.push_back(std::make_unique<SimAuditor>(net.shard(s).tracer, std::move(ac)));
+    }
+  }
+
+  // One digest per shard, folded in shard order below.  Per-shard streams
+  // depend only on that shard's scheduler, so the fold is thread-independent
+  // — but it interleaves differently than the serial stream, so sharded
+  // digests are pinned per shard count, not against the serial goldens.
+  std::vector<TraceDigest> digests(S);
+  std::vector<Tracer::SinkId> digest_sinks;
+  if (config.trace_digest) {
+    for (std::size_t s = 0; s < S; ++s) {
+      digest_sinks.push_back(net.shard(s).tracer.add_sink(
+          [&digests, s](const TraceRecord& rec) { digests[s].feed(rec); },
+          Tracer::bit(TraceCategory::kPhy) | Tracer::bit(TraceCategory::kTone),
+          /*needs_message=*/false));
+    }
+  }
+
+  const auto run_begin = std::chrono::steady_clock::now();
+  net.start_routing();
+  net.run_until(config.warmup);
+
+  std::vector<Node*> node_ptrs;
+  node_ptrs.reserve(n);
+  for (NodeId id = 0; id < n; ++id) node_ptrs.push_back(&net.node(id));
+  SampleStats hops;
+  SampleStats children;
+  sample_tree_stats(node_ptrs, hops, children);
+
+  net.start_source();
+  const SimTime gen_span =
+      SimTime::from_seconds(static_cast<double>(config.num_packets) / config.rate_pps);
+  net.run_until(config.warmup + gen_span + config.drain);
+  const double run_wall_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - run_begin)
+                                .count();
+
+  // Sweep each shard's pending reliable work into that shard's buffer (so
+  // the ops carry their shard's time and merge deterministically), then
+  // replay all buffers into the master ledger.
+  for (std::size_t s = 0; s < S; ++s) {
+    std::vector<Node*> local;
+    local.reserve(net.shard(s).nodes.size());
+    for (Node& nd : net.shard(s).nodes) local.push_back(&nd);
+    sweep_pending_reliable(local, net.shard_ledger(s));
+  }
+  net.finalize_ledger();
+
+  ExperimentResult r;
+  r.config = config;
+
+  DeliveryStats delivery;
+  for (std::size_t s = 0; s < S; ++s) delivery.merge_from(net.shard(s).delivery);
+  r.delivery_ratio = delivery.delivery_ratio();
+  r.generated = delivery.generated();
+  r.delivered = delivery.delivered_receptions();
+  r.expected = delivery.expected_receptions();
+  r.avg_delay_s = mean(delivery.delays_seconds());
+  r.p99_delay_s = percentile(delivery.delays_seconds(), 99.0);
+  r.delay_samples_s = delivery.delays_seconds();
+  r.events_executed = net.events_executed();
+  r.ledger = net.ledger().finalize();
+
+  if (config.profile) {
+    r.profile.wall_s = run_wall_s;
+    r.profile.events_per_sec =
+        run_wall_s > 0.0 ? static_cast<double>(r.events_executed) / run_wall_s : 0.0;
+  }
+
+  fill_node_metrics(r, config, node_ptrs);
+
+  r.tree_hops_avg = hops.mean();
+  r.tree_hops_p99 = hops.percentile(99.0);
+  r.tree_children_avg = children.mean();
+  r.tree_children_p99 = children.percentile(99.0);
+
+  for (const auto& a : auditors) {
+    r.audit.total += a->total_violations();
+    for (std::size_t i = 0; i < kNumAuditInvariants; ++i) {
+      const auto inv = static_cast<AuditInvariant>(i);
+      const std::uint64_t c = a->count(inv);
+      if (c == 0) continue;
+      auto it = std::find_if(r.audit.by_invariant.begin(), r.audit.by_invariant.end(),
+                             [inv](const auto& p) { return p.first == to_string(inv); });
+      if (it == r.audit.by_invariant.end()) {
+        r.audit.by_invariant.emplace_back(to_string(inv), c);
+      } else {
+        it->second += c;
+      }
+    }
+    if (a->total_violations() > 0) r.audit.detail += a->summary();
+  }
+
+  if (config.trace_digest) {
+    for (std::size_t s = 0; s < S; ++s) {
+      net.shard(s).tracer.remove_sink(digest_sinks[s]);
+    }
+    TraceDigest combined;
+    for (const TraceDigest& d : digests) combined.feed_value(d.value());
+    r.trace_digest = combined.value();
+  }
+
+  r.shard.shards = static_cast<unsigned>(S);
+  r.shard.threads = net.threads_used();
+  r.shard.windows = net.windows_run();
+  r.shard.messages = net.messages_exchanged();
+  r.shard.remote_mirrors = net.remote_mirrors();
+  r.shard.clamped = net.clamped();
+  r.shard.safety_violations = net.safety_violations();
+  r.shard.tau = net.tau();
+  r.shard.window = net.window();
+
+  if (config.metrics.enabled) {
+    MetricsRegistry reg;
+    collect_metrics(reg, net);
+    collect_ledger(reg, r.ledger);
+    r.metrics.series = reg.series_count();
+    r.metrics.conservation_ok = r.ledger.conservation_ok();
+    if (!config.metrics.out_dir.empty()) {
+      (void)write_metrics_artifacts(reg, r.ledger, nullptr, config.metrics.out_dir,
+                                    config.metrics.prefix, r.metrics.text_path,
+                                    r.metrics.json_path);
+    }
+  }
+  return r;
+}
+
+}  // namespace rmacsim

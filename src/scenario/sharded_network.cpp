@@ -1,0 +1,489 @@
+#include "scenario/sharded_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rmacsim {
+
+namespace {
+
+// Remote nodes appear in a shard's tone channels through this fixed-position
+// proxy: tone audibility needs a position per source, and a cross-thread
+// query against the owning shard's (stateful, lazily advancing) mobility
+// model would race.  Pinned at the t=0 position — exact for stationary
+// scenarios, approximate under mobility.
+class PinnedMobility final : public MobilityModel {
+public:
+  explicit PinnedMobility(Vec2 pos) noexcept : pos_{pos} {}
+  Vec2 position(SimTime) override { return pos_; }
+  [[nodiscard]] double max_speed() const noexcept override { return 0.0; }
+
+private:
+  Vec2 pos_;
+};
+
+[[nodiscard]] double point_bbox_dist_sq(Vec2 p, Vec2 lo, Vec2 hi) noexcept {
+  const double dx = std::max({lo.x - p.x, p.x - hi.x, 0.0});
+  const double dy = std::max({lo.y - p.y, p.y - hi.y, 0.0});
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] double bbox_bbox_dist_sq(Vec2 alo, Vec2 ahi, Vec2 blo, Vec2 bhi) noexcept {
+  const double dx = std::max({blo.x - ahi.x, alo.x - bhi.x, 0.0});
+  const double dy = std::max({blo.y - ahi.y, alo.y - bhi.y, 0.0});
+  return dx * dx + dy * dy;
+}
+
+// Windows are never wider than this even when shards are fully decoupled
+// (tau = infinity): keeps barrier arithmetic far from SimTime overflow while
+// still letting an idle or decoupled world cross any realistic run in one
+// window.
+constexpr SimTime kMaxWindow = SimTime::sec(3600);
+
+}  // namespace
+
+struct ShardedNetwork::Msg {
+  enum class Kind : std::uint8_t { kTxBegin, kTxAbort, kToneOn, kToneOff };
+  Kind kind;
+  std::uint8_t channel{0};  // tone edges: 0 = RBT, 1 = ABT
+  NodeId node{kInvalidNode};  // transmitter / tone source (owned by the src shard)
+  SimTime at;                 // creation time in the source shard
+  std::uint64_t seq{0};       // per-source-shard counter: FIFO tie-break
+  std::uint64_t key{0};       // source-medium tx handle (frame messages)
+  SimTime start{};            // tx start / tone edge time
+  Vec2 origin{};              // transmitter position at start
+  FramePtr frame{};
+};
+
+// Captures a shard Medium's locally originated transmissions for forwarding.
+class ShardedNetwork::ShardTxObserver final : public Medium::TxObserver {
+public:
+  ShardTxObserver(ShardedNetwork& net, std::size_t src) noexcept : net_{net}, src_{src} {}
+  void on_tx_begin(const FramePtr& frame, Vec2 origin, SimTime start,
+                   Medium::TxHandle key) override {
+    net_.route_tx_begin(src_, frame, origin, start, key);
+  }
+  void on_tx_abort(Medium::TxHandle key, SimTime at) override {
+    net_.route_tx_abort(src_, key, at);
+  }
+
+private:
+  ShardedNetwork& net_;
+  std::size_t src_;
+};
+
+// Per-shard ledger: records every mutator call with its simulation time so
+// finalize_ledger() can replay all shards' ops into the master ledger in one
+// deterministic (at, shard, op-index) order.  Worker threads only ever touch
+// their own shard's buffer.
+class ShardedNetwork::ShardLedgerBuffer final : public LossLedger {
+public:
+  explicit ShardLedgerBuffer(Scheduler& scheduler) noexcept : scheduler_{scheduler} {}
+
+  struct Op {
+    enum class Kind : std::uint8_t { kGenerated, kAttempt, kResolved, kDelivered, kSweep };
+    Kind kind;
+    bool ok{false};
+    DropReason reason{DropReason::kNone};
+    NodeId node{kInvalidNode};
+    SimTime at;
+    JourneyId journey;
+    std::vector<NodeId> receivers;
+  };
+
+  void on_generated(JourneyId journey, NodeId origin) override {
+    ops_.push_back(Op{Op::Kind::kGenerated, false, DropReason::kNone, origin,
+                      scheduler_.now(), journey, {}});
+  }
+  void on_attempt(JourneyId journey, std::span<const NodeId> receivers) override {
+    ops_.push_back(Op{Op::Kind::kAttempt, false, DropReason::kNone, kInvalidNode,
+                      scheduler_.now(), journey,
+                      std::vector<NodeId>{receivers.begin(), receivers.end()}});
+  }
+  void on_attempt_resolved(JourneyId journey, NodeId receiver, bool mac_success,
+                           DropReason reason) override {
+    ops_.push_back(
+        Op{Op::Kind::kResolved, mac_success, reason, receiver, scheduler_.now(), journey, {}});
+  }
+  void on_delivered(JourneyId journey, NodeId receiver) override {
+    ops_.push_back(Op{Op::Kind::kDelivered, false, DropReason::kNone, receiver,
+                      scheduler_.now(), journey, {}});
+  }
+  void sweep_end_of_run(JourneyId journey, std::span<const NodeId> receivers) override {
+    ops_.push_back(Op{Op::Kind::kSweep, false, DropReason::kNone, kInvalidNode,
+                      scheduler_.now(), journey,
+                      std::vector<NodeId>{receivers.begin(), receivers.end()}});
+  }
+
+  [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
+
+private:
+  Scheduler& scheduler_;
+  std::vector<Op> ops_;
+};
+
+ShardedNetwork::ShardedNetwork(NetworkConfig config) : config_{config} {
+  const unsigned n = config_.num_nodes;
+  config_.shards = std::clamp(config_.shards, 1u, std::max(1u, n));
+  const std::size_t S = config_.shards;
+  mobile_ = config_.mobility != MobilityScenario::kStationary;
+
+  master_ledger_ = std::make_unique<LossLedger>();
+  master_ledger_->set_node_count(n);
+
+  // Identical master-RNG fork sequence to Network: placement, medium, then
+  // one fork per node in ascending global id — the engine layout must never
+  // leak into any RNG stream.
+  Rng master{config_.seed};
+  Rng placement_rng = master.fork(Rng::hash_label("placement"));
+  Rng medium_rng = master.fork(Rng::hash_label("medium"));
+  const std::vector<Vec2> placement = draw_network_placement(config_, placement_rng);
+  std::vector<Rng> node_rngs;
+  node_rngs.reserve(n);
+  for (NodeId i = 0; i < n; ++i) node_rngs.push_back(master.fork(0x1000 + i));
+
+  partition(placement);
+  compute_lookahead(placement);
+
+  outboxes_.resize(S * S);
+  remote_tx_.resize(S * S);
+  msg_seq_.assign(S, 0);
+
+  for (std::size_t s = 0; s < S; ++s) {
+    auto& sh = *shards_[s];
+    sh.medium = std::make_unique<Medium>(sh.scheduler, config_.phy,
+                                         medium_rng.fork(static_cast<std::uint64_t>(s)),
+                                         &sh.tracer);
+    sh.rbt = std::make_unique<ToneChannel>(sh.scheduler, sh.medium->params(), "RBT",
+                                           &sh.tracer);
+    sh.abt = std::make_unique<ToneChannel>(sh.scheduler, sh.medium->params(), "ABT",
+                                           &sh.tracer);
+    observers_.push_back(std::make_unique<ShardTxObserver>(*this, s));
+    sh.medium->set_tx_observer(observers_.back().get());
+    ledger_buffers_.push_back(std::make_unique<ShardLedgerBuffer>(sh.scheduler));
+    ledger_buffers_.back()->set_node_count(n);
+  }
+
+  for (std::size_t s = 0; s < S; ++s) {
+    auto& sh = *shards_[s];
+    const NodeBuildEnv env{sh.scheduler, *sh.medium,      *sh.rbt, *sh.abt,
+                           &sh.tracer,   sh.delivery,     *ledger_buffers_[s]};
+    sh.nodes.reserve(sh.ids.size());
+    for (const NodeId id : sh.ids) {
+      sh.nodes.push_back(build_node_stack(config_, id, placement[id], node_rngs[id], env));
+    }
+    // Every remote node gets a pinned phantom in this shard's tone channels:
+    // tone audibility is evaluated locally against the phantom's position
+    // and the backdated history that set_remote_tone maintains.
+    for (NodeId id = 0; id < n; ++id) {
+      if (shard_of_[id] == s) continue;
+      phantoms_.push_back(std::make_unique<PinnedMobility>(placement[id]));
+      sh.rbt->attach(id, *phantoms_.back());
+      sh.abt->attach(id, *phantoms_.back());
+    }
+    sh.rbt->set_edge_hook(
+        [this, s](NodeId id, bool on) { route_tone_edge(s, 0, id, on); });
+    sh.abt->set_edge_hook(
+        [this, s](NodeId id, bool on) { route_tone_edge(s, 1, id, on); });
+  }
+}
+
+ShardedNetwork::~ShardedNetwork() = default;
+
+Node& ShardedNetwork::node(NodeId id) noexcept {
+  Shard& sh = *shards_[shard_of_[id]];
+  const auto it = std::lower_bound(sh.ids.begin(), sh.ids.end(), id);
+  assert(it != sh.ids.end() && *it == id);
+  return sh.nodes[static_cast<std::size_t>(it - sh.ids.begin())];
+}
+
+void ShardedNetwork::partition(const std::vector<Vec2>& placement) {
+  const std::size_t n = placement.size();
+  const std::size_t S = config_.shards;
+
+  // Equal-count vertical stripes along the t=0 x coordinate: sort ids by
+  // (x, id) and cut into contiguous runs.  Equal-count (not equal-width)
+  // keeps per-shard work balanced on uneven placements.
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return placement[a].x != placement[b].x ? placement[a].x < placement[b].x : a < b;
+  });
+
+  shard_of_.assign(n, 0);
+  bounds_.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    auto& sh = *shards_[s];
+    const std::size_t begin = n * s / S;
+    const std::size_t end = n * (s + 1) / S;
+    sh.ids.assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                  order.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(sh.ids.begin(), sh.ids.end());
+    Vec2 lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
+    Vec2 hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
+    for (const NodeId id : sh.ids) {
+      shard_of_[id] = static_cast<std::uint32_t>(s);
+      lo.x = std::min(lo.x, placement[id].x);
+      lo.y = std::min(lo.y, placement[id].y);
+      hi.x = std::max(hi.x, placement[id].x);
+      hi.y = std::max(hi.y, placement[id].y);
+    }
+    bounds_[s] = BBox{lo, hi};
+  }
+}
+
+void ShardedNetwork::compute_lookahead(const std::vector<Vec2>& placement) {
+  const std::size_t S = config_.shards;
+  const double ir = config_.phy.effective_interference_range();
+  coupled_.assign(S * S, false);
+
+  double min_d2 = std::numeric_limits<double>::max();
+  for (std::size_t a = 0; a < S; ++a) {
+    for (std::size_t b = a + 1; b < S; ++b) {
+      const double gap2 = bbox_bbox_dist_sq(bounds_[a].lo, bounds_[a].hi, bounds_[b].lo,
+                                            bounds_[b].hi);
+      // Mobility can carry nodes across stripe boundaries, so every pair
+      // stays coupled; stationary pairs decouple when even their bounding
+      // boxes are out of interference range.
+      const bool c = mobile_ || gap2 <= ir * ir;
+      coupled_[a * S + b] = coupled_[b * S + a] = c;
+      if (!c) continue;
+      for (const NodeId i : shards_[a]->ids) {
+        for (const NodeId j : shards_[b]->ids) {
+          const double d2 = distance_sq(placement[i], placement[j]);
+          if (d2 < min_d2) min_d2 = d2;
+        }
+      }
+    }
+  }
+
+  tau_ = min_d2 == std::numeric_limits<double>::max()
+             ? kMaxWindow
+             : config_.phy.propagation_delay(std::sqrt(min_d2));
+  window_ = std::max(tau_, config_.shard_lookahead_floor);
+  window_ = std::clamp(window_, SimTime::ns(1), kMaxWindow);
+}
+
+void ShardedNetwork::route_tx_begin(std::size_t src, const FramePtr& frame, Vec2 origin,
+                                    SimTime start, std::uint64_t key) {
+  const std::size_t S = config_.shards;
+  const double ir = config_.phy.effective_interference_range();
+  for (std::size_t d = 0; d < S; ++d) {
+    if (d == src || !coupled_[src * S + d]) continue;
+    if (!mobile_ &&
+        point_bbox_dist_sq(origin, bounds_[d].lo, bounds_[d].hi) > ir * ir) {
+      continue;
+    }
+    outboxes_[src * S + d].push_back(Msg{Msg::Kind::kTxBegin, 0, frame->transmitter, start,
+                                         msg_seq_[src]++, key, start, origin, frame});
+  }
+}
+
+void ShardedNetwork::route_tx_abort(std::size_t src, std::uint64_t key, SimTime at) {
+  const std::size_t S = config_.shards;
+  for (std::size_t d = 0; d < S; ++d) {
+    if (d == src || !coupled_[src * S + d]) continue;
+    // No origin filter: the matching begin either reached d (mirror to
+    // truncate) or it didn't (the abort no-ops on the missing key).
+    outboxes_[src * S + d].push_back(Msg{Msg::Kind::kTxAbort, 0,
+                                         shards_[src]->ids.front(), at, msg_seq_[src]++, key,
+                                         at, Vec2{}, nullptr});
+  }
+}
+
+void ShardedNetwork::route_tone_edge(std::size_t src, std::uint8_t channel, NodeId id,
+                                     bool on) {
+  const std::size_t S = config_.shards;
+  Shard& sh = *shards_[src];
+  const SimTime now = sh.scheduler.now();
+  const Vec2 pos = node(id).mobility->position(now);
+  const double range = config_.phy.range_m;
+  for (std::size_t d = 0; d < S; ++d) {
+    if (d == src || !coupled_[src * S + d]) continue;
+    if (!mobile_ &&
+        point_bbox_dist_sq(pos, bounds_[d].lo, bounds_[d].hi) > range * range) {
+      continue;
+    }
+    outboxes_[src * S + d].push_back(Msg{on ? Msg::Kind::kToneOn : Msg::Kind::kToneOff,
+                                         channel, id, now, msg_seq_[src]++, 0, now, pos,
+                                         nullptr});
+  }
+}
+
+void ShardedNetwork::apply_msg(std::size_t src, std::size_t dest, const Msg& m) {
+  Shard& sh = *shards_[dest];
+  const std::size_t S = config_.shards;
+  switch (m.kind) {
+    case Msg::Kind::kTxBegin: {
+      const Medium::TxHandle h =
+          sh.medium->begin_remote_transmission(m.frame, m.origin, m.start);
+      if (h != 0) {
+        const SimTime expire = m.start + config_.phy.frame_airtime(m.frame->wire_bytes()) +
+                               config_.phy.max_propagation;
+        remote_tx_[dest * S + src].insert_or_assign(m.key, RemoteTx{h, expire});
+      }
+      break;
+    }
+    case Msg::Kind::kTxAbort: {
+      auto& map = remote_tx_[dest * S + src];
+      const auto it = map.find(m.key);
+      if (it != map.end()) {
+        sh.medium->abort_remote_transmission(it->second.handle, m.at);
+        map.erase(it);
+      }
+      break;
+    }
+    case Msg::Kind::kToneOn:
+    case Msg::Kind::kToneOff: {
+      ToneChannel& tc = m.channel == 0 ? *sh.rbt : *sh.abt;
+      tc.set_remote_tone(m.node, m.kind == Msg::Kind::kToneOn, m.start);
+      break;
+    }
+  }
+}
+
+void ShardedNetwork::drain_and_apply() {
+  const std::size_t S = config_.shards;
+  for (std::size_t dest = 0; dest < S; ++dest) {
+    inbox_.clear();
+    for (std::size_t src = 0; src < S; ++src) {
+      if (src == dest) continue;
+      auto& ob = outboxes_[src * S + dest];
+      inbox_.insert(inbox_.end(), std::make_move_iterator(ob.begin()),
+                    std::make_move_iterator(ob.end()));
+      ob.clear();
+    }
+    if (!inbox_.empty()) {
+      // The deterministic merge rule: (at, NodeId, seq).  A node lives in
+      // exactly one shard and each source stream is FIFO, so this is a total
+      // order independent of thread scheduling.
+      std::sort(inbox_.begin(), inbox_.end(), [](const Msg& a, const Msg& b) {
+        if (a.at != b.at) return a.at < b.at;
+        if (a.node != b.node) return a.node < b.node;
+        return a.seq < b.seq;
+      });
+      for (const Msg& m : inbox_) {
+        if (safety_check_ && (m.at > clock_ || m.at < prev_clock_)) ++violations_;
+        apply_msg(shard_of_[m.node], dest, m);
+      }
+      messages_ += inbox_.size();
+      inbox_.clear();
+    }
+    // Mirrors whose receptions all ended can't be aborted any more; drop
+    // their keys so the maps track only in-flight transmissions.
+    for (std::size_t src = 0; src < S; ++src) {
+      auto& map = remote_tx_[dest * S + src];
+      if (map.empty()) continue;
+      std::erase_if(map, [&](const auto& kv) { return kv.second.expire < clock_; });
+    }
+  }
+}
+
+SimTime ShardedNetwork::plan_next_barrier() {
+  drain_and_apply();
+  if (clock_ >= until_) return SimTime::max();
+  SimTime earliest = SimTime::max();
+  for (const auto& sh : shards_) {
+    earliest = std::min(earliest, sh->scheduler.next_event_time());
+  }
+  // One lookahead window past the barrier — or, when the air is idle
+  // everywhere beyond that, jump straight to the next pending event: the
+  // proof in docs/parallel.md covers both (any event run in (clock, next]
+  // has cross-shard effects at >= next when the window is within tau).
+  SimTime next = clock_ + window_;
+  if (earliest > next) next = earliest;
+  if (next > until_) next = until_;
+  prev_clock_ = clock_;
+  clock_ = next;
+  ++windows_;
+  return next;
+}
+
+void ShardedNetwork::run_until(SimTime until) {
+  assert(until >= clock_);
+  until_ = until;
+  WindowExecutor exec(
+      shards_.size(), config_.shard_threads, [this] { return plan_next_barrier(); },
+      [this](std::size_t s, SimTime t) { shards_[s]->scheduler.run_until(t); });
+  threads_used_ = exec.threads();
+  exec.run();
+}
+
+void ShardedNetwork::start_routing() {
+  for (const auto& sh : shards_) {
+    for (Node& nd : sh->nodes) nd.tree->start();
+  }
+}
+
+void ShardedNetwork::start_source() { node(config_.root).app->start_source(); }
+
+void ShardedNetwork::finalize_ledger() {
+  // Replay every shard's buffered ops in (at, shard, op-index) order: per
+  // shard the buffer is already time-ordered, so a stable merge by time with
+  // shard index as tie-break is a total, thread-independent order.
+  struct Key {
+    SimTime at;
+    std::uint32_t shard;
+    std::uint32_t idx;
+  };
+  std::vector<Key> keys;
+  for (std::uint32_t s = 0; s < ledger_buffers_.size(); ++s) {
+    const auto& ops = ledger_buffers_[s]->ops();
+    for (std::uint32_t i = 0; i < ops.size(); ++i) keys.push_back(Key{ops[i].at, s, i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.idx < b.idx;
+  });
+  using Op = ShardLedgerBuffer::Op;
+  for (const Key& k : keys) {
+    const Op& op = ledger_buffers_[k.shard]->ops()[k.idx];
+    switch (op.kind) {
+      case Op::Kind::kGenerated:
+        master_ledger_->on_generated(op.journey, op.node);
+        break;
+      case Op::Kind::kAttempt:
+        master_ledger_->on_attempt(op.journey, op.receivers);
+        break;
+      case Op::Kind::kResolved:
+        master_ledger_->on_attempt_resolved(op.journey, op.node, op.ok, op.reason);
+        break;
+      case Op::Kind::kDelivered:
+        master_ledger_->on_delivered(op.journey, op.node);
+        break;
+      case Op::Kind::kSweep:
+        master_ledger_->sweep_end_of_run(op.journey, op.receivers);
+        break;
+    }
+  }
+}
+
+LossLedger& ShardedNetwork::ledger() noexcept { return *master_ledger_; }
+
+LossLedger& ShardedNetwork::shard_ledger(std::size_t s) noexcept {
+  return *ledger_buffers_[s];
+}
+
+std::uint64_t ShardedNetwork::remote_mirrors() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->medium->remote_mirrored();
+  return n;
+}
+
+std::uint64_t ShardedNetwork::clamped() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->medium->remote_clamped();
+  return n;
+}
+
+std::uint64_t ShardedNetwork::events_executed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->scheduler.executed_count();
+  return n;
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,143 @@
+// Spatially sharded network: the conservative (tau-lookahead) parallel
+// counterpart of Network (docs/parallel.md).
+//
+// The world is split into vertical stripes of equal node count along the
+// t=0 x-coordinate.  Each shard owns a full simulation stack — Scheduler,
+// Medium, RBT/ABT tone channels, Tracer, DeliveryStats, and a buffering
+// LossLedger — holding only its own nodes.  Cross-shard physics travels as
+// typed messages (frame begin/abort, tone edges) captured by the Medium /
+// ToneChannel seams during a window and applied into the destination shard
+// at the next barrier, in (at, NodeId, seq) order, so results depend only on
+// the shard count — never on thread count or scheduling.
+//
+// Lookahead: tau is the propagation delay of the closest cross-shard node
+// pair at t=0, so any event committed at time t in one shard can influence
+// another no earlier than t + tau.  Windows are max(tau, lookahead_floor)
+// wide; with the floor at or below tau every cross-shard effect lands
+// naturally inside the destination's next window (bit-exact boundary
+// physics), above it late arrivals are clamped to the barrier and counted.
+// Between event clusters the barrier jumps to the earliest pending event
+// across shards, so idle air costs no synchronization.
+//
+// Remote nodes appear in each shard's tone channels as pinned phantoms at
+// their t=0 position; under mobility the phantom position and the build-time
+// tau go stale, which degrades accuracy (more clamping), never determinism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "scenario/network_builder.hpp"
+#include "sim/window_exec.hpp"
+
+namespace rmacsim {
+
+class ShardedNetwork {
+public:
+  explicit ShardedNetwork(NetworkConfig config);
+  ~ShardedNetwork();
+  ShardedNetwork(const ShardedNetwork&) = delete;
+  ShardedNetwork& operator=(const ShardedNetwork&) = delete;
+
+  struct Shard {
+    Tracer tracer;
+    Scheduler scheduler;
+    std::unique_ptr<Medium> medium;
+    std::unique_ptr<ToneChannel> rbt;
+    std::unique_ptr<ToneChannel> abt;
+    DeliveryStats delivery;
+    std::vector<NodeId> ids;  // member ids, ascending
+    std::vector<Node> nodes;  // parallel to ids
+  };
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] Shard& shard(std::size_t s) noexcept { return *shards_[s]; }
+  [[nodiscard]] std::size_t shard_of(NodeId id) const noexcept { return shard_of_[id]; }
+  [[nodiscard]] Node& node(NodeId id) noexcept;
+
+  // Advance every shard to `until` in lookahead windows, using the
+  // configured worker-thread count.  Callable repeatedly (warmup, then the
+  // measured span); pending cross-shard messages survive between calls.
+  void run_until(SimTime until);
+
+  void start_routing();
+  void start_source();
+
+  // Replay every shard's buffered ledger ops into the master ledger in
+  // deterministic merge order.  Call once, after the final run_until and the
+  // per-MAC end-of-run sweeps.
+  void finalize_ledger();
+  [[nodiscard]] LossLedger& ledger() noexcept;
+  // The end-of-run sweep target for shard `s` (routes into its buffer).
+  [[nodiscard]] LossLedger& shard_ledger(std::size_t s) noexcept;
+
+  // Count structural safety violations while applying messages (tests).
+  void set_safety_check(bool on) noexcept { safety_check_ = on; }
+
+  // Engine diagnostics.
+  [[nodiscard]] SimTime tau() const noexcept { return tau_; }
+  [[nodiscard]] SimTime window() const noexcept { return window_; }
+  [[nodiscard]] std::uint64_t windows_run() const noexcept { return windows_; }
+  [[nodiscard]] std::uint64_t messages_exchanged() const noexcept { return messages_; }
+  [[nodiscard]] std::uint64_t remote_mirrors() const noexcept;
+  [[nodiscard]] std::uint64_t clamped() const noexcept;
+  [[nodiscard]] std::uint64_t safety_violations() const noexcept { return violations_; }
+  [[nodiscard]] unsigned threads_used() const noexcept { return threads_used_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept;
+
+private:
+  struct Msg;
+  class ShardTxObserver;
+  class ShardLedgerBuffer;
+  struct BBox {
+    Vec2 lo;
+    Vec2 hi;
+  };
+
+  void partition(const std::vector<Vec2>& placement);
+  void compute_lookahead(const std::vector<Vec2>& placement);
+  void route_tx_begin(std::size_t src, const FramePtr& frame, Vec2 origin, SimTime start,
+                      std::uint64_t key);
+  void route_tx_abort(std::size_t src, std::uint64_t key, SimTime at);
+  void route_tone_edge(std::size_t src, std::uint8_t channel, NodeId id, bool on);
+  void drain_and_apply();
+  void apply_msg(std::size_t src, std::size_t dest, const Msg& m);
+  [[nodiscard]] SimTime plan_next_barrier();
+
+  NetworkConfig config_;
+  bool mobile_{false};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::uint32_t> shard_of_;            // by global NodeId
+  std::vector<std::unique_ptr<MobilityModel>> phantoms_;  // pinned remote proxies
+  std::vector<std::unique_ptr<ShardTxObserver>> observers_;
+  std::vector<std::unique_ptr<ShardLedgerBuffer>> ledger_buffers_;
+  std::unique_ptr<LossLedger> master_ledger_;
+  // outboxes_[src * S + dest]: messages generated in src bound for dest.
+  std::vector<std::vector<Msg>> outboxes_;
+  std::vector<Msg> inbox_;  // reused merge scratch
+  // remote_tx_[dest * S + src]: source tx key -> {dest medium handle, expire}.
+  struct RemoteTx {
+    std::uint64_t handle;
+    SimTime expire;
+  };
+  std::vector<std::unordered_map<std::uint64_t, RemoteTx>> remote_tx_;
+  std::vector<bool> coupled_;           // S x S adjacency by bounding-box distance
+  std::vector<BBox> bounds_;            // per-shard t=0 bounding boxes
+  std::vector<std::uint64_t> msg_seq_;  // per-src monotone message counter
+
+  SimTime tau_{SimTime::zero()};
+  SimTime window_{SimTime::zero()};
+  SimTime clock_{SimTime::zero()};       // last barrier all shards reached
+  SimTime prev_clock_{SimTime::zero()};  // the barrier before that
+  SimTime until_{SimTime::zero()};
+  std::uint64_t windows_{0};
+  std::uint64_t messages_{0};
+  std::uint64_t violations_{0};
+  bool safety_check_{false};
+  unsigned threads_used_{1};
+};
+
+}  // namespace rmacsim

@@ -1,0 +1,51 @@
+// Order-sensitive FNV-1a over the machine-readable part of a trace stream.
+// Message strings are excluded, so cosmetic format changes leave golden
+// digests alone while any behavioural change (event order, timing, frame
+// contents) shifts them.  Shared by the serial experiment driver (one digest
+// per run) and the sharded driver (one per shard, folded in shard order).
+#pragma once
+
+#include <cstdint>
+
+#include "phy/frame.hpp"
+#include "sim/trace.hpp"
+
+namespace rmacsim {
+
+class TraceDigest {
+public:
+  void feed(const TraceRecord& r) {
+    if (r.event == TraceEvent::kGeneric) return;
+    mix(static_cast<std::uint64_t>(r.at.nanoseconds()));
+    mix(static_cast<std::uint64_t>(r.event));
+    mix(r.node);
+    mix(r.flag ? 1u : 0u);
+    mix(r.aux);
+    if (r.frame != nullptr) {
+      mix(static_cast<std::uint64_t>(r.frame->type));
+      mix(r.frame->transmitter);
+      mix(r.frame->dest);
+      mix(r.frame->seq);
+      mix(r.frame->wire_bytes());
+      mix(static_cast<std::uint64_t>(r.frame->duration.nanoseconds()));
+      for (const NodeId rcv : r.frame->receivers) mix(rcv);
+    }
+  }
+
+  // Fold a raw value — the sharded driver combines per-shard digests with
+  // this, in shard order.
+  void feed_value(std::uint64_t v) noexcept { mix(v); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+private:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t h_{0xcbf29ce484222325ull};
+};
+
+}  // namespace rmacsim

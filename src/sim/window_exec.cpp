@@ -1,0 +1,95 @@
+#include "sim/window_exec.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace rmacsim {
+
+WindowExecutor::WindowExecutor(std::size_t shards, unsigned threads, PlanFn plan,
+                               AdvanceFn advance)
+    : shards_{shards},
+      threads_{static_cast<unsigned>(std::clamp<std::size_t>(
+          threads == 0 ? shards : threads, 1, shards))},
+      plan_{std::move(plan)},
+      advance_{std::move(advance)} {}
+
+void WindowExecutor::run() {
+  if (threads_ == 1) {
+    run_serial();
+  } else {
+    run_parallel();
+  }
+}
+
+void WindowExecutor::run_serial() {
+  for (;;) {
+    const SimTime barrier = plan_();
+    if (barrier == SimTime::max()) return;
+    ++windows_;
+    for (std::size_t s = 0; s < shards_; ++s) advance_(s, barrier);
+  }
+}
+
+void WindowExecutor::run_parallel() {
+  // One slot per shard: a worker never writes another worker's slots, and
+  // the window barrier orders every write against the main thread's reads.
+  std::vector<std::exception_ptr> errors(shards_);
+  SimTime barrier_time = SimTime::zero();
+  bool stop = false;
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(threads_) + 1);
+
+  const auto worker = [&](unsigned w) {
+    for (;;) {
+      sync.arrive_and_wait();  // A: barrier_time / stop published by main
+      if (stop) return;
+      for (std::size_t s = w; s < shards_; s += threads_) {
+        if (errors[s] != nullptr) continue;
+        try {
+          advance_(s, barrier_time);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      }
+      sync.arrive_and_wait();  // B: all shards parked at the barrier
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads_);
+  for (unsigned w = 0; w < threads_; ++w) pool.emplace_back(worker, w);
+
+  for (;;) {
+    SimTime next = SimTime::max();
+    const bool failed =
+        std::any_of(errors.begin(), errors.end(),
+                    [](const std::exception_ptr& e) { return e != nullptr; });
+    std::exception_ptr plan_error;
+    if (!failed) {
+      try {
+        next = plan_();
+      } catch (...) {
+        plan_error = std::current_exception();
+      }
+    }
+    if (failed || plan_error != nullptr || next == SimTime::max()) {
+      stop = true;
+      sync.arrive_and_wait();  // A: release workers into their exit path
+      for (std::thread& t : pool) t.join();
+      if (plan_error != nullptr) std::rethrow_exception(plan_error);
+      for (const std::exception_ptr& e : errors) {
+        if (e != nullptr) std::rethrow_exception(e);
+      }
+      return;
+    }
+    barrier_time = next;
+    ++windows_;
+    sync.arrive_and_wait();  // A: workers pick up barrier_time
+    sync.arrive_and_wait();  // B: window complete
+  }
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,57 @@
+// Conservative window-barrier executor for spatially sharded simulations.
+//
+// The engine alternates two phases:
+//
+//   plan    (serial)   — exchange cross-shard messages accumulated during
+//                        the previous window and pick the next barrier time;
+//   advance (parallel) — every shard runs its own Scheduler to the barrier.
+//
+// The caller owns all sharding semantics (message routing, merge order,
+// lookahead); this class owns only the thread pool and the barrier protocol,
+// so it can be tested in isolation and reused by any shard-shaped workload.
+//
+// Determinism: shards — not threads — are the unit of work.  Worker w always
+// owns shards {w, w+T, w+2T, ...} and shards never share mutable state, so
+// the thread count can only change wall-clock time, never results.
+//
+// Exceptions: a throw from advance() stops the run after the current window;
+// the first failure in shard-index order is rethrown from run() after all
+// workers joined (same contract as scenario/parallel_runner).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace rmacsim {
+
+class WindowExecutor {
+public:
+  // `plan` returns the next barrier time, or SimTime::max() to stop.
+  // `advance(shard, until)` advances one shard; called concurrently for
+  // distinct shards, never concurrently for the same shard.
+  using PlanFn = std::function<SimTime()>;
+  using AdvanceFn = std::function<void(std::size_t shard, SimTime until)>;
+
+  // `threads` is a request: 0 means one thread per shard; the effective
+  // count is clamped to [1, shards].  threads() reports the resolution.
+  WindowExecutor(std::size_t shards, unsigned threads, PlanFn plan, AdvanceFn advance);
+
+  void run();
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+
+private:
+  void run_serial();
+  void run_parallel();
+
+  std::size_t shards_;
+  unsigned threads_;
+  PlanFn plan_;
+  AdvanceFn advance_;
+  std::uint64_t windows_{0};
+};
+
+}  // namespace rmacsim

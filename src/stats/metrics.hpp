@@ -164,6 +164,16 @@ public:
   }
   [[nodiscard]] const std::vector<double>& delays_seconds() const noexcept { return delays_s_; }
 
+  // Fold another accumulator in (sharded engine: per-shard parts combined in
+  // shard order, so the pooled sample order is deterministic — shard-major,
+  // delivery-time order within a shard).
+  void merge_from(const DeliveryStats& o) {
+    generated_ += o.generated_;
+    delivered_receptions_ += o.delivered_receptions_;
+    expected_receptions_ += o.expected_receptions_;
+    delays_s_.insert(delays_s_.end(), o.delays_s_.begin(), o.delays_s_.end());
+  }
+
 private:
   std::uint64_t generated_{0};
   std::uint64_t delivered_receptions_{0};

@@ -8,6 +8,10 @@
 //                        (default 1; the nightly job passes the date)
 //   RMAC_FUZZ_OUT        file receiving one line per failing seed
 //                        (default fuzz_failures.txt, written only on failure)
+//   RMAC_FUZZ_SHARDS     run every scenario on the sharded engine with this
+//                        many spatial shards (default 1 = monolithic engine;
+//                        shards > 1 forces stationary mobility because that
+//                        is the regime where sharded physics is exact)
 //
 // Reproduce any reported seed locally with the same binary:
 //   RMAC_FUZZ_ITERS=1 RMAC_FUZZ_BASE_SEED=<seed> ./audit_fuzz
@@ -25,7 +29,7 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
 }
 
-rmacsim::ExperimentConfig scenario_for(std::uint64_t seed) {
+rmacsim::ExperimentConfig scenario_for(std::uint64_t seed, unsigned shards) {
   using namespace rmacsim;
   // Same knob-derivation idea as random_scenario_test, widened to every
   // protocol: topology, mobility, load, and channel quality all vary.
@@ -44,6 +48,11 @@ rmacsim::ExperimentConfig scenario_for(std::uint64_t seed) {
   c.drain = SimTime::sec(6);
   c.phy.bit_error_rate = knobs.bernoulli(0.3) ? 1e-5 : 0.0;
   c.audit = true;
+  if (shards > 1) {
+    c.shards = shards;
+    c.shard_safety_check = true;
+    c.mobility = MobilityScenario::kStationary;
+  }
   return c;
 }
 
@@ -52,21 +61,25 @@ rmacsim::ExperimentConfig scenario_for(std::uint64_t seed) {
 int main() {
   const std::uint64_t iters = env_u64("RMAC_FUZZ_ITERS", 25);
   const std::uint64_t base = env_u64("RMAC_FUZZ_BASE_SEED", 1);
+  const unsigned shards = static_cast<unsigned>(env_u64("RMAC_FUZZ_SHARDS", 1));
   const char* out_env = std::getenv("RMAC_FUZZ_OUT");
   const std::string out_path = out_env == nullptr ? "fuzz_failures.txt" : out_env;
 
   std::uint64_t failures = 0;
   for (std::uint64_t i = 0; i < iters; ++i) {
     const std::uint64_t seed = base + i;
-    const rmacsim::ExperimentConfig c = scenario_for(seed);
+    const rmacsim::ExperimentConfig c = scenario_for(seed, shards);
     const rmacsim::ExperimentResult r = rmacsim::run_experiment(c);
-    if (r.audit.total == 0) {
+    const bool conserved = r.ledger.conservation_ok() && r.ledger.leaks() == 0;
+    if (r.audit.total == 0 && r.shard.safety_violations == 0 && conserved) {
       std::printf("ok   %s\n", c.label().c_str());
       continue;
     }
     ++failures;
-    std::printf("FAIL %s: %llu violation(s)\n%s\n", c.label().c_str(),
-                static_cast<unsigned long long>(r.audit.total), r.audit.detail.c_str());
+    std::printf("FAIL %s: %llu violation(s), %llu shard safety, conserved=%d\n%s\n",
+                c.label().c_str(), static_cast<unsigned long long>(r.audit.total),
+                static_cast<unsigned long long>(r.shard.safety_violations),
+                conserved ? 1 : 0, r.audit.detail.c_str());
     std::ofstream out{out_path, std::ios::app};
     out << "seed=" << seed << " " << c.label() << "\n" << r.audit.detail << "\n";
   }

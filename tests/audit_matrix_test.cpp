@@ -61,5 +61,38 @@ TEST(AuditMatrix, PaperScenarioAuditsCleanForEveryProtocolAndSeed) {
   }
 }
 
+TEST(AuditMatrix, ShardedPaperScenarioAuditsCleanForEveryProtocol) {
+  // The same acceptance bar for the spatially sharded engine: one auditor
+  // per shard (remote mirrors emit no trace records, so every recorded
+  // transmission is local and the per-shard distance oracle is exact for
+  // everything the auditor checks).  Stationary only — that is the regime
+  // where the engine's physics is exact rather than clamped-approximate.
+  std::vector<ExperimentConfig> configs;
+  for (const Protocol proto : {Protocol::kRmac, Protocol::kBmmm, Protocol::kDcf,
+                               Protocol::kBmw, Protocol::kMx, Protocol::kLamm}) {
+    for (const std::uint64_t seed : {1u, 3u}) {
+      ExperimentConfig c = paper_config(proto, seed);
+      c.shards = 2;
+      c.shard_safety_check = true;
+      configs.push_back(c);
+    }
+  }
+  const std::vector<ExperimentResult> results = run_experiments(configs, 4);
+  ASSERT_EQ(results.size(), configs.size());
+  for (const ExperimentResult& r : results) {
+    SCOPED_TRACE(test::seed_trace(r.config.seed));
+    EXPECT_EQ(r.audit.total, 0u) << r.config.label() << " audit violations:\n"
+                                 << r.audit.detail;
+    EXPECT_GT(r.delivered, 0u) << r.config.label() << ": run produced no traffic to audit";
+    EXPECT_EQ(r.shard.safety_violations, 0u) << r.config.label();
+    EXPECT_EQ(r.ledger.leaks(), 0u) << r.config.label();
+    EXPECT_TRUE(r.ledger.conservation_ok())
+        << r.config.label() << ": " << r.ledger.expected << " expected != "
+        << r.ledger.delivered << " delivered + " << r.ledger.total_dropped() << " dropped";
+    EXPECT_EQ(r.ledger.expected, r.expected) << r.config.label();
+    EXPECT_EQ(r.ledger.delivered, r.delivered) << r.config.label();
+  }
+}
+
 }  // namespace
 }  // namespace rmacsim

@@ -80,5 +80,91 @@ TEST(Determinism, DifferentSeedsActuallyDiffer) {
   EXPECT_NE(a.events_executed, b.events_executed);
 }
 
+// --- sharded engine matrix --------------------------------------------------
+//
+// The conservative parallel engine's contract (docs/parallel.md): for a fixed
+// shard count, results — every figure, the trace digest, and the ledger
+// totals — are a pure function of the config.  Thread count and repetition
+// must be invisible.  Different shard counts are DIFFERENT discretizations
+// of the same physics (windowed cross-shard delivery), so digests are pinned
+// per shard count, not across counts; shards=1 runs the monolithic path and
+// is covered by the golden-trace suite.
+
+constexpr Protocol kAllProtocols[] = {Protocol::kRmac, Protocol::kBmmm, Protocol::kDcf,
+                                      Protocol::kBmw,  Protocol::kMx,   Protocol::kLamm};
+
+ExperimentConfig sharded_config(Protocol p, unsigned shards, unsigned threads) {
+  ExperimentConfig c = small_config(p, MobilityScenario::kStationary);
+  c.shards = shards;
+  c.shard_threads = threads;
+  c.trace_digest = true;
+  c.shard_safety_check = true;
+  return c;
+}
+
+void expect_identical_sharded(const ExperimentResult& a, const ExperimentResult& b) {
+  expect_identical(a, b);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.ledger.expected, b.ledger.expected);
+  EXPECT_EQ(a.ledger.delivered, b.ledger.delivered);
+  EXPECT_EQ(a.ledger.total_dropped(), b.ledger.total_dropped());
+  EXPECT_EQ(a.shard.windows, b.shard.windows);
+  EXPECT_EQ(a.shard.messages, b.shard.messages);
+  EXPECT_EQ(a.shard.clamped, b.shard.clamped);
+}
+
+TEST(Determinism, ShardMatrixIsThreadAndRepeatInvariantForEveryProtocol) {
+  for (const Protocol p : kAllProtocols) {
+    for (const unsigned shards : {2u, 4u}) {
+      const ExperimentResult ref = run_experiment(sharded_config(p, shards, 1));
+      SCOPED_TRACE(ref.config.label() + "/" + std::to_string(shards) + "shards");
+      ASSERT_GT(ref.events_executed, 0u);
+      ASSERT_EQ(ref.shard.shards, shards);
+      EXPECT_EQ(ref.shard.safety_violations, 0u);
+      EXPECT_TRUE(ref.ledger.conservation_ok())
+          << ref.ledger.expected << " expected != " << ref.ledger.delivered
+          << " delivered + " << ref.ledger.total_dropped() << " dropped";
+      for (const unsigned threads : {1u, 2u, 4u}) {
+        const ExperimentResult r = run_experiment(sharded_config(p, shards, threads));
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expect_identical_sharded(ref, r);
+        EXPECT_EQ(r.shard.safety_violations, 0u);
+        EXPECT_TRUE(r.ledger.conservation_ok());
+      }
+    }
+  }
+}
+
+TEST(Determinism, ShardedMatchesSerialLedgerAndDeliveryTotalsAtOneShard) {
+  // shards=1 must be the exact monolithic code path: the dispatch happens
+  // before any sharded machinery is built.
+  for (const Protocol p : {Protocol::kRmac, Protocol::kDcf}) {
+    ExperimentConfig serial = small_config(p, MobilityScenario::kStationary);
+    serial.trace_digest = true;
+    ExperimentConfig one = serial;
+    one.shards = 1;
+    one.shard_threads = 4;  // must be ignored entirely at shards == 1
+    const ExperimentResult a = run_experiment(serial);
+    const ExperimentResult b = run_experiment(one);
+    expect_identical(a, b);
+    EXPECT_EQ(a.trace_digest, b.trace_digest);
+    EXPECT_EQ(b.shard.shards, 0u);  // serial path: summary never filled
+  }
+}
+
+TEST(Determinism, ShardedMobileRunsAreRepeatInvariant) {
+  // Mobility couples every shard pair (no bounding-box filter, stale
+  // phantoms), which stresses the full message fan-out; repeat- and
+  // thread-invariance must survive it.
+  ExperimentConfig c = small_config(Protocol::kRmac, MobilityScenario::kSpeed2);
+  c.shards = 2;
+  c.shard_threads = 2;
+  c.trace_digest = true;
+  const ExperimentResult a = run_experiment(c);
+  const ExperimentResult b = run_experiment(c);
+  ASSERT_GT(a.events_executed, 0u);
+  expect_identical_sharded(a, b);
+}
+
 }  // namespace
 }  // namespace rmacsim

@@ -1,0 +1,78 @@
+// run_experiments must propagate worker exceptions: a failure inside any
+// experiment has to fail the whole batch — deterministically, regardless of
+// which worker thread picked the poisoned config up — instead of being
+// swallowed with a default-constructed result left in the output vector
+// (which is what std::thread does by default: an escaped exception calls
+// std::terminate, and a caught-and-dropped one silently fabricates data).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/parallel_runner.hpp"
+
+namespace rmacsim {
+namespace {
+
+ExperimentConfig tiny_config(std::uint64_t seed) {
+  ExperimentConfig c;
+  c.num_nodes = 8;
+  c.area = Rect{180.0, 180.0};
+  c.protocol = Protocol::kDcf;
+  c.num_packets = 2;
+  c.rate_pps = 20.0;
+  c.warmup = SimTime::sec(2);
+  c.drain = SimTime::sec(1);
+  c.seed = seed;
+  return c;
+}
+
+// A config whose Network constructor reliably throws: 24 nodes scattered
+// over 50 km with 75 m radio range can never draw a connected placement, so
+// the builder exhausts its attempts and raises std::runtime_error.
+ExperimentConfig poisoned_config() {
+  ExperimentConfig c = tiny_config(5);
+  c.num_nodes = 24;
+  c.area = Rect{50000.0, 50000.0};
+  return c;
+}
+
+TEST(ParallelRunner, WorkerExceptionFailsTheBatch) {
+  const std::vector<ExperimentConfig> configs{tiny_config(1), poisoned_config(),
+                                              tiny_config(2)};
+  try {
+    (void)run_experiments(configs, 3);
+    FAIL() << "a throwing experiment must fail the batch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("connected placement"), std::string::npos)
+        << "unexpected error surfaced: " << e.what();
+  }
+}
+
+TEST(ParallelRunner, FailureIsDeterministicAcrossRepeatsAndThreadCounts) {
+  // Errors are recorded per config index and the first one *in config order*
+  // is rethrown after all workers join — so the surfaced failure cannot
+  // depend on scheduling.  Two poisoned configs: index 1 must always win.
+  std::vector<ExperimentConfig> configs{tiny_config(1), poisoned_config(),
+                                        tiny_config(2), poisoned_config()};
+  configs[3].num_nodes = 30;  // distinguishable second failure
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      EXPECT_THROW((void)run_experiments(configs, threads), std::runtime_error)
+          << "threads=" << threads << " repeat=" << repeat;
+    }
+  }
+}
+
+TEST(ParallelRunner, CleanBatchStillReturnsEveryResult) {
+  const std::vector<ExperimentConfig> configs{tiny_config(1), tiny_config(2),
+                                              tiny_config(3)};
+  const std::vector<ExperimentResult> results = run_experiments(configs, 2);
+  ASSERT_EQ(results.size(), configs.size());
+  for (const ExperimentResult& r : results) EXPECT_GT(r.events_executed, 0u);
+}
+
+}  // namespace
+}  // namespace rmacsim

@@ -14,7 +14,11 @@ CI usage (see .github/workflows/ci.yml):
         --append-trajectory bench_trajectory.jsonl
 
 `cpu_time` is compared rather than `real_time`: shared runners jitter
-wall-clock far more than cycles.
+wall-clock far more than cycles.  The exception is benchmarks registered
+with UseRealTime (their JSON names end in `/real_time`): those measure work
+spread across internal worker threads — the sharded-engine scaling sweep —
+where main-thread cpu_time is just barrier waiting, so wall time is the only
+meaningful quantity and is used for both slowdown and ratio gates.
 
 A missing or empty baseline degrades gracefully: the candidate's own gates
 (allocs_per_tx, --ratio-gate, --require) still run, but no slowdown check is
@@ -37,6 +41,12 @@ def load(path: str) -> dict:
 
 def by_name(report: dict) -> dict[str, dict]:
     return {b["name"]: b for b in report.get("benchmarks", [])}
+
+
+def time_of(entry: dict) -> float:
+    """The comparable time for one benchmark entry (see module docstring)."""
+    field = "real_time" if entry["name"].endswith("/real_time") else "cpu_time"
+    return entry[field]
 
 
 def main() -> int:
@@ -85,12 +95,12 @@ def main() -> int:
         if c is None:
             failures.append(f"{name}: present in baseline but missing from candidate")
             continue
-        ratio = c["cpu_time"] / b["cpu_time"] if b["cpu_time"] > 0 else float("inf")
+        ratio = time_of(c) / time_of(b) if time_of(b) > 0 else float("inf")
         verdict = f"{ratio:6.2f}x"
         if ratio > 1.0 + args.threshold:
             verdict += f"  SLOWDOWN > {args.threshold:.0%}"
-            failures.append(f"{name}: {ratio:.2f}x baseline cpu_time "
-                            f"({b['cpu_time']:.0f} -> {c['cpu_time']:.0f} {b['time_unit']})")
+            failures.append(f"{name}: {ratio:.2f}x baseline "
+                            f"({time_of(b):.0f} -> {time_of(c):.0f} {b['time_unit']})")
         rows.append((name, verdict))
     for name in sorted(set(cand) - set(base)):
         rows.append((name, "   new (no baseline)"))
@@ -114,10 +124,10 @@ def main() -> int:
             missing = name_a if a is None else name_b
             failures.append(f"ratio gate {gate}: {missing} missing from candidate")
             continue
-        if b["cpu_time"] <= 0:
-            failures.append(f"ratio gate {gate}: {name_b} cpu_time is zero")
+        if time_of(b) <= 0:
+            failures.append(f"ratio gate {gate}: {name_b} time is zero")
             continue
-        ratio = a["cpu_time"] / b["cpu_time"]
+        ratio = time_of(a) / time_of(b)
         verdict = "OK" if ratio <= max_ratio else "FAILED"
         print(f"  ratio {name_a} / {name_b} = {ratio:.3f} "
               f"(max {max_ratio:.3f})  {verdict}")
