@@ -6,10 +6,14 @@
 //       [--capture 2.0] [--no-rbt] [--queue-limit 64] [--audit] [--digest]
 //       [--obs] [--obs-dir DIR] [--metrics] [--metrics-dir DIR] [--profile]
 //       [--shards n] [--shard-threads n] [--lookahead-us us]
+//       [--shard-partition stripes|grid|rcb] [--shard-grid RxC] [--shard-pin]
 //
 // --shards > 1 runs the spatially sharded parallel engine (docs/parallel.md)
 // with one worker thread per shard unless --shard-threads overrides it;
 // --lookahead-us sets the window floor (0 = strict mode, window = tau).
+// --shard-partition picks the spatial partitioner; --shard-grid fixes the
+// grid shape (implies --shard-partition grid and --shards R*C); --shard-pin
+// pins worker threads to CPUs (benchmarks on otherwise-idle hosts).
 //
 // --obs-dir attaches the flight recorder and writes the Perfetto trace,
 // journey JSONL, time-series CSV, and run manifest into DIR.  --obs attaches
@@ -39,7 +43,9 @@ namespace {
                "          [--ber p] [--capture ratio] [--no-rbt] [--queue-limit n]\n"
                "          [--audit] [--digest] [--obs] [--obs-dir DIR]\n"
                "          [--metrics] [--metrics-dir DIR] [--profile]\n"
-               "          [--shards n] [--shard-threads n] [--lookahead-us us]\n",
+               "          [--shards n] [--shard-threads n] [--lookahead-us us]\n"
+               "          [--shard-partition stripes|grid|rcb] [--shard-grid RxC]\n"
+               "          [--shard-pin]\n",
                argv0);
   std::exit(2);
 }
@@ -59,6 +65,38 @@ MobilityScenario parse_mobility(const std::string& s, const char* argv0) {
   if (s == "speed1") return MobilityScenario::kSpeed1;
   if (s == "speed2") return MobilityScenario::kSpeed2;
   usage(argv0);
+}
+
+ShardPartition parse_partition(const std::string& s) {
+  if (s == "stripes") return ShardPartition::kStripes;
+  if (s == "grid") return ShardPartition::kGrid;
+  if (s == "rcb") return ShardPartition::kRcb;
+  std::fprintf(stderr,
+               "error: unknown --shard-partition '%s' (valid values: stripes, grid, rcb)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+// Parse "RxC" (e.g. "2x4", also accepting 'X'); both factors must be >= 1.
+void parse_grid(const std::string& s, unsigned& rows, unsigned& cols) {
+  const std::size_t x = s.find_first_of("xX");
+  char* end = nullptr;
+  long r = 0;
+  long c = 0;
+  if (x != std::string::npos && x > 0 && x + 1 < s.size()) {
+    r = std::strtol(s.c_str(), &end, 10);
+    const bool r_ok = end == s.c_str() + x;
+    c = std::strtol(s.c_str() + x + 1, &end, 10);
+    if (r_ok && *end == '\0' && r >= 1 && c >= 1) {
+      rows = static_cast<unsigned>(r);
+      cols = static_cast<unsigned>(c);
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "error: bad --shard-grid '%s' (expected RxC with R,C >= 1, e.g. 2x4)\n",
+               s.c_str());
+  std::exit(2);
 }
 
 }  // namespace
@@ -116,6 +154,14 @@ int main(int argc, char** argv) {
       c.shard_threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--lookahead-us") {
       c.shard_lookahead_floor = SimTime::us(std::atoll(next()));
+    } else if (arg == "--shard-partition") {
+      c.shard_partition = parse_partition(next());
+    } else if (arg == "--shard-grid") {
+      parse_grid(next(), c.shard_grid_rows, c.shard_grid_cols);
+      c.shard_partition = ShardPartition::kGrid;
+      c.shards = c.shard_grid_rows * c.shard_grid_cols;
+    } else if (arg == "--shard-pin") {
+      c.shard_pin_workers = true;
     } else {
       usage(argv[0]);
     }
@@ -179,6 +225,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.shard.messages),
                 static_cast<unsigned long long>(r.shard.remote_mirrors),
                 static_cast<unsigned long long>(r.shard.clamped));
+    if (r.shard.grid_rows > 0) {
+      std::printf("%-28s %s %ux%u, nodes/shard [", "partition",
+                  to_string(r.shard.partition), r.shard.grid_rows, r.shard.grid_cols);
+    } else {
+      std::printf("%-28s %s, nodes/shard [", "partition", to_string(r.shard.partition));
+    }
+    for (std::size_t s = 0; s < r.shard.node_counts.size(); ++s) {
+      std::printf("%s%u", s == 0 ? "" : " ", r.shard.node_counts[s]);
+    }
+    std::printf("]\n");
   }
   if (c.obs.record) {
     std::printf("%-28s %llu journeys, %llu events, %llu samples\n", "flight recorder",
@@ -189,7 +245,9 @@ int main(int argc, char** argv) {
       std::printf("%-28s %.1f ms\n", "artifact export", r.obs.export_ms);
       std::printf("%-28s %s\n", "", r.obs.trace_json.c_str());
       std::printf("%-28s %s\n", "", r.obs.journeys_jsonl.c_str());
-      std::printf("%-28s %s\n", "", r.obs.timeseries_csv.c_str());
+      if (!r.obs.timeseries_csv.empty()) {
+        std::printf("%-28s %s\n", "", r.obs.timeseries_csv.c_str());
+      }
       std::printf("%-28s %s\n", "", r.obs.manifest_json.c_str());
     }
   }

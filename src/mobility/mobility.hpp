@@ -5,6 +5,7 @@
 // a stationary 75-node run schedules zero mobility events.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -14,16 +15,36 @@
 
 namespace rmacsim {
 
+// One breakpoint of a piecewise-linear trajectory (see sample_trajectory).
+struct TrajectoryPoint {
+  SimTime at;
+  Vec2 pos;
+};
+
 class MobilityModel {
 public:
   virtual ~MobilityModel() = default;
 
-  // Position at simulation time t. t must be monotonically reachable
-  // (models may advance internal waypoint legs lazily).
+  // Position at simulation time t.  Models keep a short history window so
+  // slightly backdated queries (bounded by the caller, e.g. one sharding
+  // window) answer exactly; far-past queries clamp to the oldest known state.
   [[nodiscard]] virtual Vec2 position(SimTime t) = 0;
 
   // Highest speed this model can produce (m/s); 0 for stationary.
   [[nodiscard]] virtual double max_speed() const noexcept = 0;
+
+  // Append the model's *unclamped* piecewise-linear breakpoints covering
+  // [from, to] to `out`.  Every emitted segment carries the model's own
+  // endpoints (never truncated at `from`/`to`), so a consumer interpolating
+  //   a.pos + (b.pos - a.pos) * ((t - a.at) / (b.at - a.at))
+  // reproduces position(t) bit for bit — the contract the sharded engine's
+  // phantom proxies (TrajectoryMobility) rely on for exact boundary physics.
+  // Models with lazily drawn motion advance their internal state up to `to`;
+  // repeated calls over the same span re-emit identical breakpoints.
+  virtual void sample_trajectory(SimTime from, SimTime to, std::vector<TrajectoryPoint>& out) {
+    out.push_back(TrajectoryPoint{from, position(from)});
+    if (to > from) out.push_back(TrajectoryPoint{to, position(to)});
+  }
 };
 
 class StationaryMobility final : public MobilityModel {
@@ -31,9 +52,39 @@ public:
   explicit StationaryMobility(Vec2 p) noexcept : p_{p} {}
   [[nodiscard]] Vec2 position(SimTime) override { return p_; }
   [[nodiscard]] double max_speed() const noexcept override { return 0.0; }
+  void sample_trajectory(SimTime from, SimTime, std::vector<TrajectoryPoint>& out) override {
+    out.push_back(TrajectoryPoint{from, p_});
+  }
 
 private:
   Vec2 p_;
+};
+
+// Replays another model's sampled breakpoints — the sharded engine's phantom
+// proxy for remote nodes.  Interpolation uses the exact floating-point
+// expression shape of the source models (RandomWaypoint/Scripted), so given
+// the owner's breakpoints the phantom's positions are bit-identical to the
+// owner's own position(t) over the covered span; outside it the trajectory
+// clamps to its first/last breakpoint.
+class TrajectoryMobility final : public MobilityModel {
+public:
+  TrajectoryMobility(Vec2 initial, double max_speed_mps)
+      : max_speed_{max_speed_mps} {
+    pts_.push_back(TrajectoryPoint{SimTime::zero(), initial});
+  }
+
+  [[nodiscard]] Vec2 position(SimTime t) override;
+  [[nodiscard]] double max_speed() const noexcept override { return max_speed_; }
+
+  // Replace the covered span (reuses capacity; called once per barrier).
+  void set_trajectory(const std::vector<TrajectoryPoint>& pts) {
+    if (pts.empty()) return;
+    pts_.assign(pts.begin(), pts.end());
+  }
+
+private:
+  std::vector<TrajectoryPoint> pts_;
+  double max_speed_;
 };
 
 // Random waypoint (Bettstetter's categorization, as cited by the paper):
@@ -62,6 +113,7 @@ public:
 
   [[nodiscard]] Vec2 position(SimTime t) override;
   [[nodiscard]] double max_speed() const noexcept override { return max_speed_; }
+  void sample_trajectory(SimTime from, SimTime to, std::vector<TrajectoryPoint>& out) override;
 
 private:
   std::vector<Waypoint> waypoints_;
@@ -74,19 +126,31 @@ public:
 
   [[nodiscard]] Vec2 position(SimTime t) override;
   [[nodiscard]] double max_speed() const noexcept override { return params_.max_speed_mps; }
+  void sample_trajectory(SimTime from, SimTime to, std::vector<TrajectoryPoint>& out) override;
 
 private:
+  // One drawn leg: travel from `from` to `to` during [start, arrive], then
+  // pause until `end`.
+  struct Leg {
+    Vec2 from;
+    Vec2 to;
+    SimTime start;
+    SimTime arrive;
+    SimTime end;
+  };
+
   void advance_leg();  // roll the next (destination, speed, pause) leg
+  [[nodiscard]] static Vec2 leg_position(const Leg& leg, SimTime t) noexcept;
 
   RandomWaypointParams params_;
   Rng rng_;
-  // Current leg: travel from `from_` to `to_` during [leg_start_, arrive_],
-  // then pause until leg_end_.
-  Vec2 from_;
-  Vec2 to_;
-  SimTime leg_start_{SimTime::zero()};
-  SimTime arrive_{SimTime::zero()};
-  SimTime leg_end_{SimTime::zero()};
+  // Ring of the most recent legs, newest last; back() is the current leg.
+  // The history depth bounds how far back position(t) stays exact — the
+  // sharded engine samples trajectories at most one window ahead and legs
+  // last seconds, so a handful of legs is ample slack.
+  static constexpr std::size_t kLegHistory = 8;
+  std::array<Leg, kLegHistory> legs_{};
+  std::size_t leg_count_{0};  // legs drawn so far (ring holds min(count, depth))
 };
 
 }  // namespace rmacsim

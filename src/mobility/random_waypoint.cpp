@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -37,33 +38,91 @@ Vec2 ScriptedMobility::position(SimTime t) {
   return waypoints_.back().pos;
 }
 
+void ScriptedMobility::sample_trajectory(SimTime, SimTime, std::vector<TrajectoryPoint>& out) {
+  // Scripted lists are short test fixtures: emit the whole script.  Replay
+  // through TrajectoryMobility picks the segment *after* an exact waypoint
+  // instant while position() picks the one before; both evaluate to the same
+  // waypoint up to one interpolation rounding step.
+  for (const Waypoint& w : waypoints_) out.push_back(TrajectoryPoint{w.at, w.pos});
+}
+
+Vec2 TrajectoryMobility::position(SimTime t) {
+  if (t <= pts_.front().at) return pts_.front().pos;
+  if (t >= pts_.back().at) return pts_.back().pos;
+  const auto it = std::upper_bound(pts_.begin(), pts_.end(), t,
+                                   [](SimTime v, const TrajectoryPoint& p) { return v < p.at; });
+  // The clamps above guarantee an interior segment with b.at > t >= a.at.
+  const TrajectoryPoint& b = *it;
+  const TrajectoryPoint& a = *(it - 1);
+  const double f = (t - a.at).to_seconds() / (b.at - a.at).to_seconds();
+  return a.pos + (b.pos - a.pos) * f;
+}
+
 RandomWaypointMobility::RandomWaypointMobility(Vec2 start, RandomWaypointParams params, Rng rng)
-    : params_{params}, rng_{rng}, from_{start}, to_{start} {
+    : params_{params}, rng_{rng} {
   assert(params_.max_speed_mps >= params_.min_speed_mps);
   assert(params_.max_speed_mps > 0.0);
+  // Degenerate seed leg parked at the start position; advance_leg() chains
+  // the first drawn leg off it at t = 0.
+  legs_[0] = Leg{start, start, SimTime::zero(), SimTime::zero(), SimTime::zero()};
+  leg_count_ = 1;
   advance_leg();
 }
 
 void RandomWaypointMobility::advance_leg() {
-  from_ = to_;
-  leg_start_ = leg_end_;
-  to_ = Vec2{rng_.uniform(0.0, params_.area.width), rng_.uniform(0.0, params_.area.height)};
+  const Leg& cur = legs_[(leg_count_ - 1) % kLegHistory];
+  Leg next;
+  next.from = cur.to;
+  next.start = cur.end;
+  next.to = Vec2{rng_.uniform(0.0, params_.area.width), rng_.uniform(0.0, params_.area.height)};
   // MIN-SPEED may be 0 in the paper's scenarios; a literal 0 m/s leg would
   // never arrive, so clamp to a small positive floor (standard RWP fix).
   const double floor_mps = 0.01;
   double speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
   if (speed < floor_mps) speed = floor_mps;
-  const double d = distance(from_, to_);
-  arrive_ = leg_start_ + SimTime::from_seconds(d / speed);
-  leg_end_ = arrive_ + params_.pause;
+  const double d = distance(next.from, next.to);
+  next.arrive = next.start + SimTime::from_seconds(d / speed);
+  next.end = next.arrive + params_.pause;
+  legs_[leg_count_ % kLegHistory] = next;
+  ++leg_count_;
+}
+
+Vec2 RandomWaypointMobility::leg_position(const Leg& leg, SimTime t) noexcept {
+  if (t >= leg.arrive) return leg.to;  // pausing at destination
+  if (t <= leg.start) return leg.from;
+  const double f = (t - leg.start).to_seconds() / (leg.arrive - leg.start).to_seconds();
+  return leg.from + (leg.to - leg.from) * f;
 }
 
 Vec2 RandomWaypointMobility::position(SimTime t) {
-  while (t >= leg_end_) advance_leg();
-  if (t >= arrive_) return to_;  // pausing at destination
-  if (t <= leg_start_) return from_;
-  const double f = (t - leg_start_).to_seconds() / (arrive_ - leg_start_).to_seconds();
-  return from_ + (to_ - from_) * f;
+  while (t >= legs_[(leg_count_ - 1) % kLegHistory].end) advance_leg();
+  // Newest leg whose span contains t; queries past the ring's retention
+  // clamp to the oldest held leg (callers bound backdating to well under
+  // one leg, see kLegHistory).
+  const std::size_t held = std::min(leg_count_, kLegHistory);
+  for (std::size_t i = 0;; ++i) {
+    const Leg& leg = legs_[(leg_count_ - 1 - i) % kLegHistory];
+    if (t >= leg.start || i + 1 == held) return leg_position(leg, t);
+  }
+}
+
+void RandomWaypointMobility::sample_trajectory(SimTime from, SimTime to,
+                                               std::vector<TrajectoryPoint>& out) {
+  while (to >= legs_[(leg_count_ - 1) % kLegHistory].end) advance_leg();
+  const std::size_t held = std::min(leg_count_, kLegHistory);
+  const auto push = [&out](SimTime at, Vec2 pos) {
+    if (!out.empty() && out.back().at == at) return;  // shared leg boundary
+    out.push_back(TrajectoryPoint{at, pos});
+  };
+  for (std::size_t i = held; i-- > 0;) {  // oldest held leg first
+    const Leg& leg = legs_[(leg_count_ - 1 - i) % kLegHistory];
+    if (leg.end < from || leg.start > to) continue;
+    push(leg.start, leg.from);
+    push(leg.arrive, leg.to);
+    push(leg.end, leg.to);
+  }
+  // Span wholly before the ring's retention: clamp like position() does.
+  if (out.empty()) out.push_back(TrajectoryPoint{from, position(from)});
 }
 
 }  // namespace rmacsim

@@ -128,11 +128,13 @@ private:
   void refresh(SimTime t);
   void rebuild(SimTime t);
   // Worst-case distance any entry can have drifted from its cached bucket.
-  // A model may report an infinite max speed (teleports); refresh() then
-  // rebuilds on every time advance, and the dt <= 0 guard keeps the query
-  // math finite (inf * 0 would be NaN).
+  // |dt|: backdated queries (the sharded engine mirrors remote transmissions
+  // at their true past start time) drift just like forward ones.  A model may
+  // report an infinite max speed (teleports); refresh() then rebuilds on
+  // every time advance, and the dt == 0 guard keeps the query math finite
+  // (inf * 0 would be NaN).
   [[nodiscard]] double drift_slack(SimTime t) const noexcept {
-    const double dt = (t - built_at_).to_seconds();
+    const double dt = std::abs((t - built_at_).to_seconds());
     if (dt <= 0.0 || max_speed_mps_ <= 0.0) return 0.0;
     return max_speed_mps_ * dt;
   }

@@ -52,13 +52,18 @@ std::vector<std::string> rmac_state_names() {
 
 bool write_chrome_trace(const std::string& path, const FlightRecorder& recorder,
                         const TimeSeriesCollector* timeseries) {
+  return write_chrome_trace(path, recorder.journeys(), timeseries);
+}
+
+bool write_chrome_trace(const std::string& path, const std::vector<Journey>& journeys,
+                        const TimeSeriesCollector* timeseries) {
   Buf b;
   b.lit("{\"traceEvents\":[\n");
   bool first = true;
 
   // Track names: collect every node that appears in any journey.
   std::vector<NodeId> nodes;
-  for (const Journey& j : recorder.journeys()) {
+  for (const Journey& j : journeys) {
     for (const JourneyEvent& e : j.events) nodes.push_back(e.node);
   }
   std::sort(nodes.begin(), nodes.end());
@@ -103,7 +108,7 @@ bool write_chrome_trace(const std::string& path, const FlightRecorder& recorder,
     b.ch('}');
   };
 
-  for (const Journey& j : recorder.journeys()) {
+  for (const Journey& j : journeys) {
     const std::string jarg = "{\"journey\":\"" + std::to_string(j.origin) + "/" +
                              std::to_string(j.seq) + "\"}";
     // Pair tx-start with the next tx-end/abort from the same node, and
@@ -191,8 +196,12 @@ bool write_chrome_trace(const std::string& path, const FlightRecorder& recorder,
 }
 
 bool write_journeys_jsonl(const std::string& path, const FlightRecorder& recorder) {
+  return write_journeys_jsonl(path, recorder.journeys());
+}
+
+bool write_journeys_jsonl(const std::string& path, const std::vector<Journey>& journeys) {
   Buf b;
-  for (const Journey& j : recorder.journeys()) {
+  for (const Journey& j : journeys) {
     b.lit("{\"journey\":");
     b.u64(j.id);
     b.lit(",\"origin\":");

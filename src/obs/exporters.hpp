@@ -28,8 +28,16 @@ namespace rmacsim {
 
 [[nodiscard]] bool write_chrome_trace(const std::string& path, const FlightRecorder& recorder,
                                       const TimeSeriesCollector* timeseries = nullptr);
+// Journey-list overload: export an already-merged set (merge_journeys) —
+// the sharded path, where one FlightRecorder per shard sees only a slice of
+// each packet's story.
+[[nodiscard]] bool write_chrome_trace(const std::string& path,
+                                      const std::vector<Journey>& journeys,
+                                      const TimeSeriesCollector* timeseries = nullptr);
 
 [[nodiscard]] bool write_journeys_jsonl(const std::string& path, const FlightRecorder& recorder);
+[[nodiscard]] bool write_journeys_jsonl(const std::string& path,
+                                        const std::vector<Journey>& journeys);
 
 // `state_names[i]` labels state_counts[i] columns; pass RMAC's state names
 // for RMAC runs (see rmac_state_names()).

@@ -1,8 +1,43 @@
 #include "obs/flight_recorder.hpp"
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
 
 namespace rmacsim {
+
+std::vector<Journey> merge_journeys(const std::vector<const FlightRecorder*>& recorders) {
+  std::vector<Journey> merged;
+  std::unordered_map<JourneyId, std::size_t> index;
+  for (const FlightRecorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    for (const Journey& j : rec->journeys()) {
+      const auto [it, fresh] = index.emplace(j.id, merged.size());
+      if (fresh) {
+        merged.push_back(j);
+        continue;
+      }
+      Journey& m = merged[it->second];
+      m.first_seen = std::min(m.first_seen, j.first_seen);
+      m.deliveries += j.deliveries;
+      m.events.insert(m.events.end(), j.events.begin(), j.events.end());
+    }
+  }
+  const auto event_key = [](const JourneyEvent& e) {
+    return std::make_tuple(e.at, e.node, static_cast<int>(e.kind), e.slot, e.attempt);
+  };
+  for (Journey& m : merged) {
+    std::stable_sort(m.events.begin(), m.events.end(),
+                     [&](const JourneyEvent& a, const JourneyEvent& b) {
+                       return event_key(a) < event_key(b);
+                     });
+  }
+  std::stable_sort(merged.begin(), merged.end(), [](const Journey& a, const Journey& b) {
+    return std::make_tuple(a.first_seen, a.origin, a.seq, a.id) <
+           std::make_tuple(b.first_seen, b.origin, b.seq, b.id);
+  });
+  return merged;
+}
 
 const char* to_string(JourneyEventKind k) noexcept {
   switch (k) {

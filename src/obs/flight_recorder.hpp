@@ -116,4 +116,13 @@ private:
   std::uint64_t total_events_{0};
 };
 
+// JourneyId-keyed merge of several recorders' journeys (the sharded engine
+// runs one FlightRecorder per shard, so one packet's story is split across
+// the shards its frames touched): events are concatenated and sorted by
+// (at, node, kind), deliveries summed, first_seen taken as the minimum.
+// Output order is (first_seen, origin, seq) — deterministic for a given
+// partition, independent of recorder order or thread count.
+[[nodiscard]] std::vector<Journey> merge_journeys(
+    const std::vector<const FlightRecorder*>& recorders);
+
 }  // namespace rmacsim

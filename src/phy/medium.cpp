@@ -255,7 +255,11 @@ Medium::TxHandle Medium::begin_remote_transmission(FramePtr frame, Vec2 origin,
   const double r2 = params_.range_m * params_.range_m;
   const double bits = static_cast<double>(frame->wire_bytes()) * 8.0;
 
-  collect_candidates(origin, ir, now, /*exclude=*/nullptr);
+  // Candidates are swept at the transmission's true `start`, not now(): the
+  // mirror may be up to one lookahead window old and receivers move in the
+  // meantime.  Evaluating geometry at emission time makes the remote path
+  // agree bit for bit with what the serial engine computed at `start`.
+  collect_candidates(origin, ir, start, /*exclude=*/nullptr);
   if (scratch_.empty()) return 0;
   ++remote_mirrored_;
 

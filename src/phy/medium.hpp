@@ -102,9 +102,9 @@ public:
   // whose leading edge would land before now() begins late and is marked
   // corrupt (partial signal), counted in remote_clamped(); a reception
   // wholly in the past is skipped.  Candidate positions are evaluated at
-  // now(), which equals the positions at `start` for stationary nodes and is
-  // within one lookahead window otherwise.  Returns 0 when no local radio is
-  // in interference range.
+  // `start` — the emission instant — so mobile receivers see exactly the
+  // geometry the serial engine would have computed.  Returns 0 when no local
+  // radio is in interference range.
   TxHandle begin_remote_transmission(FramePtr frame, Vec2 origin, SimTime start);
   // Truncate a remote mirror's receptions at `at` (+prop per group), like a
   // local abort.  Tolerates stale handles: a mirror whose receptions all

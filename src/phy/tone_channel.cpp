@@ -91,14 +91,19 @@ void ToneChannel::set_tone(NodeId id, bool on) {
 
 void ToneChannel::fan_out_edge(NodeId id, const Source& s, SimTime when) {
   // Notify in-range edge subscribers after propagation plus the lambda
-  // detection latency.  The SoA sweep's visit order is unspecified, so
-  // collect and sort by NodeId: equal-latency callbacks must fire in a
-  // deterministic, platform-independent order.
+  // detection latency.  Geometry is evaluated at `when` — the instant the
+  // tone actually flipped — not now(): a remote edge replayed by the sharded
+  // engine may be up to one window old, and using the emission-time positions
+  // keeps the receiving shard's fan-out identical to the serial engine's
+  // (local edges have when == now, so the serial path is unchanged).  The SoA
+  // sweep's visit order is unspecified, so collect and sort by NodeId:
+  // equal-latency callbacks must fire in a deterministic,
+  // platform-independent order.
   const SimTime now = scheduler_.now();
-  const Vec2 src_pos = s.mobility->position(now);
+  const Vec2 src_pos = s.mobility->position(when);
   scratch_.clear();
-  sync_soa(now);
-  soa_.for_each_in_disk(index_, src_pos, params_.range_m, now,
+  sync_soa(when);
+  soa_.for_each_in_disk(index_, src_pos, params_.range_m, when,
                         [&](std::uint32_t k, double d2) {
                           const NodeId nid = soa_.ids()[k];
                           if (nid != id) scratch_.emplace_back(nid, d2);

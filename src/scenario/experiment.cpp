@@ -253,6 +253,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (digest_sink.has_value()) {
     net.tracer().remove_sink(*digest_sink);
     r.trace_digest = digest.value();
+    r.trace_digest_xsum = digest.xsum();
   }
 
   if (recorder.has_value()) {

@@ -47,6 +47,14 @@ struct ExperimentConfig {
   // Count cross-shard messages that land outside the legal (prev, barrier]
   // window (tests); totals ride on ExperimentResult::shard.
   bool shard_safety_check{false};
+  // Spatial partitioner (stripes / R×C grid / recursive coordinate
+  // bisection) and the grid shape (0 = derive near-square).
+  ShardPartition shard_partition{ShardPartition::kStripes};
+  unsigned shard_grid_rows{0};
+  unsigned shard_grid_cols{0};
+  // Pin worker threads to CPUs (best-effort; benchmarks only — test runners
+  // oversubscribe the host).
+  bool shard_pin_workers{false};
 
   // Attach a SimAuditor for the run; violation counters land in
   // ExperimentResult::audit.  Costs trace-sink dispatch on the hot path, so
@@ -170,6 +178,10 @@ struct ExperimentResult {
 
   // Populated when config.trace_digest is set.
   std::uint64_t trace_digest{0};
+  // Order-independent companion digest (sum of per-record hashes): equal
+  // between a sharded run and the serial engine whenever the two streams
+  // carry the same multiset of records — the mobile-exactness test hook.
+  std::uint64_t trace_digest_xsum{0};
 
   // Populated when config.shards > 1 (zeros on the serial path).
   struct ShardSummary {
@@ -182,6 +194,10 @@ struct ExperimentResult {
     std::uint64_t safety_violations{0};
     SimTime tau{SimTime::zero()};     // computed lookahead
     SimTime window{SimTime::zero()};  // effective window width
+    ShardPartition partition{ShardPartition::kStripes};
+    unsigned grid_rows{0};            // resolved grid shape (0 for RCB)
+    unsigned grid_cols{0};
+    std::vector<std::uint32_t> node_counts;  // per-shard populations
   };
   ShardSummary shard;
 

@@ -303,6 +303,13 @@ void collect_metrics(MetricsRegistry& reg, ShardedNetwork& net) {
       .set(static_cast<double>(net.shard_count()));
   reg.gauge("rmacsim_shard_threads", {}, "effective worker threads")
       .set(static_cast<double>(net.threads_used()));
+  const MetricLabels part{{"partition", to_string(net.config().shard_partition)}};
+  for (std::size_t s = 0; s < net.shard_count(); ++s) {
+    MetricLabels l = part;
+    l.emplace_back("shard", std::to_string(s));
+    reg.gauge("rmacsim_shard_nodes", std::move(l), "nodes owned by this shard")
+        .set(static_cast<double>(net.shard(s).ids.size()));
+  }
   reg.counter("rmacsim_shard_windows_total", {}, "window barriers executed")
       .set(net.windows_run());
   reg.counter("rmacsim_shard_messages_total", {}, "cross-shard messages exchanged")

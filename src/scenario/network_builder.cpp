@@ -20,6 +20,15 @@ const char* to_string(MobilityScenario m) noexcept {
   return "?";
 }
 
+const char* to_string(ShardPartition p) noexcept {
+  switch (p) {
+    case ShardPartition::kStripes: return "stripes";
+    case ShardPartition::kGrid: return "grid";
+    case ShardPartition::kRcb: return "rcb";
+  }
+  return "?";
+}
+
 bool Network::placement_connected(const std::vector<Vec2>& pts, double range_m) {
   if (pts.empty()) return true;
   const double r2 = range_m * range_m;

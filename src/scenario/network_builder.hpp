@@ -22,6 +22,20 @@ enum class MobilityScenario : std::uint8_t {
 
 [[nodiscard]] const char* to_string(MobilityScenario m) noexcept;
 
+// How the sharded engine cuts the area into shards (docs/parallel.md):
+//   kStripes — equal-count vertical stripes (the original 1-D cut);
+//   kGrid    — R×C rectangular grid, equal-count columns then equal-count
+//              rows within each column;
+//   kRcb     — recursive coordinate bisection weighted by node population,
+//              balanced shards on non-uniform topologies.
+enum class ShardPartition : std::uint8_t {
+  kStripes,
+  kGrid,
+  kRcb,
+};
+
+[[nodiscard]] const char* to_string(ShardPartition p) noexcept;
+
 struct NetworkConfig {
   unsigned num_nodes{75};
   Rect area{500.0, 300.0};
@@ -47,6 +61,14 @@ struct NetworkConfig {
   // engine clamps late cross-shard arrivals (counted, not exact); 0 keeps
   // windows at tau for bit-exact boundary physics at the cost of barriers.
   SimTime shard_lookahead_floor{SimTime::us(200)};
+  ShardPartition shard_partition{ShardPartition::kStripes};
+  // Grid shape for kGrid; 0 rows/cols derives a near-square R×C = shards
+  // factorization (R ≤ C, widest area axis gets the larger count).
+  unsigned shard_grid_rows{0};
+  unsigned shard_grid_cols{0};
+  // Pin worker threads to CPUs (best-effort, Linux).  Off by default: test
+  // runners oversubscribe the host and pinning would serialize them.
+  bool shard_pin_workers{false};
 };
 
 // One node's full protocol stack, built identically whether the node lands

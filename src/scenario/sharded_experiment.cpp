@@ -4,24 +4,70 @@
 // driver lives in experiment_internal.hpp and runs over nodes in global id
 // order, so the two paths can only differ where the physics itself does.
 //
-// Not supported at shards > 1 (documented in docs/parallel.md):
-//   * config.obs.record — the flight recorder assumes one trace stream;
-//   * config.profile    — the profiler is thread-local; wall_s and
-//                         events_per_sec are still reported.
+// Observability is shard-clean (docs/parallel.md):
+//   * config.obs.record — one FlightRecorder per shard (each sees only the
+//     slice of a packet's story its shard executed); at export the per-shard
+//     journeys are merged by JourneyId (obs/flight_recorder.hpp) and written
+//     through the journey-list exporter overloads.  The time-series CSV is
+//     the one artifact not produced at shards > 1: window-aligned sampling
+//     across shard clocks is not well-defined mid-window.
+//   * config.profile — the profiler is thread-local, so the driver attaches
+//     one Profiler on the driving thread and (at threads > 1) one per worker
+//     through the ShardedNetwork worker hook, then merges the per-thread
+//     reports by section name into ExperimentResult::profile.report.
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "audit/sim_auditor.hpp"
 #include "metrics/export.hpp"
+#include "metrics/profiler.hpp"
+#include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
 #include "scenario/experiment_internal.hpp"
 #include "scenario/metrics_collect.hpp"
 #include "scenario/sharded_network.hpp"
 #include "scenario/trace_digest.hpp"
+#include "sim/strfmt.hpp"
+
+#ifndef RMAC_GIT_REVISION
+#define RMAC_GIT_REVISION "unknown"
+#endif
 
 namespace rmacsim {
+
+namespace {
+
+// Fold per-thread profiler reports into one: sections merged by name
+// (calls/total/self summed), re-sorted by self time like Profiler::report().
+Profiler::Report merge_profiler_reports(const std::vector<Profiler::Report>& reports) {
+  Profiler::Report out;
+  for (const Profiler::Report& r : reports) {
+    out.accounted_s += r.accounted_s;
+    for (const Profiler::SectionStats& s : r.sections) {
+      auto it = std::find_if(out.sections.begin(), out.sections.end(),
+                             [&s](const Profiler::SectionStats& o) { return o.name == s.name; });
+      if (it == out.sections.end()) {
+        out.sections.push_back(s);
+      } else {
+        it->calls += s.calls;
+        it->total_ns += s.total_ns;
+        it->self_ns += s.self_ns;
+      }
+    }
+  }
+  std::sort(out.sections.begin(), out.sections.end(),
+            [](const Profiler::SectionStats& a, const Profiler::SectionStats& b) {
+              return a.self_ns != b.self_ns ? a.self_ns > b.self_ns : a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace
 
 ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
   NetworkConfig net_cfg;
@@ -40,6 +86,15 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
   net_cfg.shards = config.shards;
   net_cfg.shard_threads = config.shard_threads;
   net_cfg.shard_lookahead_floor = config.shard_lookahead_floor;
+  net_cfg.shard_partition = config.shard_partition;
+  net_cfg.shard_grid_rows = config.shard_grid_rows;
+  net_cfg.shard_grid_cols = config.shard_grid_cols;
+  net_cfg.shard_pin_workers = config.shard_pin_workers;
+
+  // Per-worker profilers must outlive the network: pool threads park holding
+  // a thread-local pointer to their profiler and only drop it when the pool
+  // joins inside ~ShardedNetwork.
+  std::vector<Profiler> worker_profilers;
 
   ShardedNetwork net{net_cfg};
   const std::size_t S = net.shard_count();
@@ -78,6 +133,8 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
   // depend only on that shard's scheduler, so the fold is thread-independent
   // — but it interleaves differently than the serial stream, so sharded
   // digests are pinned per shard count, not against the serial goldens.
+  // The order-independent xsum companion IS serial-comparable (same record
+  // multiset => same sum), which is what the mobile exactness tests check.
   std::vector<TraceDigest> digests(S);
   std::vector<Tracer::SinkId> digest_sinks;
   if (config.trace_digest) {
@@ -89,9 +146,29 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
     }
   }
 
+  // Profiler: one on the driving thread (plan phase; all phases when the
+  // executor runs serial), plus one per worker attached through the
+  // per-window hook when a pool will actually spawn.
+  std::optional<Profiler> profiler;
+  if (config.profile) {
+    const unsigned tw = net_cfg.shard_threads == 0
+                            ? static_cast<unsigned>(S)
+                            : std::min(net_cfg.shard_threads, static_cast<unsigned>(S));
+    if (tw > 1) {
+      worker_profilers.resize(tw);
+      net.set_worker_hook(
+          [&worker_profilers](unsigned w) { worker_profilers[w].attach(); });
+    }
+    profiler.emplace();
+    profiler->attach();
+  }
+
   const auto run_begin = std::chrono::steady_clock::now();
   net.start_routing();
-  net.run_until(config.warmup);
+  {
+    RMAC_PROF_SCOPE("sim.run");
+    net.run_until(config.warmup);
+  }
 
   std::vector<Node*> node_ptrs;
   node_ptrs.reserve(n);
@@ -100,10 +177,25 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
   SampleStats children;
   sample_tree_stats(node_ptrs, hops, children);
 
+  // Flight recorders attach at the end of warm-up like the serial driver:
+  // one per shard, each subscribed to its shard's tracer only, so recording
+  // adds no cross-shard coupling and no locks to the hot path.
+  std::vector<std::unique_ptr<FlightRecorder>> recorders;
+  if (config.obs.record) {
+    FlightRecorder::Config rc;
+    rc.track_hellos = config.obs.track_hellos;
+    for (std::size_t s = 0; s < S; ++s) {
+      recorders.push_back(std::make_unique<FlightRecorder>(net.shard(s).tracer, rc));
+    }
+  }
+
   net.start_source();
   const SimTime gen_span =
       SimTime::from_seconds(static_cast<double>(config.num_packets) / config.rate_pps);
-  net.run_until(config.warmup + gen_span + config.drain);
+  {
+    RMAC_PROF_SCOPE("sim.run");
+    net.run_until(config.warmup + gen_span + config.drain);
+  }
   const double run_wall_s = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - run_begin)
                                 .count();
@@ -134,10 +226,16 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
   r.events_executed = net.events_executed();
   r.ledger = net.ledger().finalize();
 
-  if (config.profile) {
+  if (profiler.has_value()) {
     r.profile.wall_s = run_wall_s;
     r.profile.events_per_sec =
         run_wall_s > 0.0 ? static_cast<double>(r.events_executed) / run_wall_s : 0.0;
+    std::vector<Profiler::Report> reports;
+    reports.push_back(profiler->report());
+    for (const Profiler& p : worker_profilers) reports.push_back(p.report());
+    r.profile.report = merge_profiler_reports(reports);
+    r.profile.report.wall_s = run_wall_s;
+    Profiler::detach();
   }
 
   fill_node_metrics(r, config, node_ptrs);
@@ -169,8 +267,12 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
       net.shard(s).tracer.remove_sink(digest_sinks[s]);
     }
     TraceDigest combined;
-    for (const TraceDigest& d : digests) combined.feed_value(d.value());
+    for (const TraceDigest& d : digests) {
+      combined.feed_value(d.value());
+      combined.add_xsum(d.xsum());
+    }
     r.trace_digest = combined.value();
+    r.trace_digest_xsum = combined.xsum();
   }
 
   r.shard.shards = static_cast<unsigned>(S);
@@ -182,6 +284,81 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
   r.shard.safety_violations = net.safety_violations();
   r.shard.tau = net.tau();
   r.shard.window = net.window();
+  r.shard.partition = net_cfg.shard_partition;
+  r.shard.grid_rows = net.grid_rows();
+  r.shard.grid_cols = net.grid_cols();
+  r.shard.node_counts.reserve(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    r.shard.node_counts.push_back(static_cast<std::uint32_t>(net.shard(s).ids.size()));
+  }
+
+  if (!recorders.empty()) {
+    std::vector<const FlightRecorder*> rec_ptrs;
+    rec_ptrs.reserve(S);
+    for (const auto& rec : recorders) rec_ptrs.push_back(rec.get());
+    const std::vector<Journey> merged = merge_journeys(rec_ptrs);
+    std::uint64_t journey_events = 0;
+    std::uint64_t journeys_dropped = 0;
+    for (const auto& rec : recorders) {
+      journey_events += rec->total_events();
+      journeys_dropped += rec->dropped_journeys();
+    }
+    r.obs.journeys = merged.size();
+    r.obs.journey_events = journey_events;
+    r.obs.samples = 0;  // no time series at shards > 1 (header comment)
+
+    if (!config.obs.out_dir.empty()) {
+      const auto export_begin = std::chrono::steady_clock::now();
+      std::error_code ec;
+      std::filesystem::create_directories(config.obs.out_dir, ec);
+      const std::string base = (std::filesystem::path(config.obs.out_dir) /
+                                config.obs.prefix).string();
+      r.obs.trace_json = base + "_trace.json";
+      r.obs.journeys_jsonl = base + "_journeys.jsonl";
+      r.obs.manifest_json = base + "_manifest.json";
+      (void)write_chrome_trace(r.obs.trace_json, merged, nullptr);
+      (void)write_journeys_jsonl(r.obs.journeys_jsonl, merged);
+
+      std::string counts_json = "[";
+      for (std::size_t s = 0; s < S; ++s) {
+        if (s != 0) counts_json += ',';
+        counts_json += std::to_string(r.shard.node_counts[s]);
+      }
+      counts_json += ']';
+
+      std::vector<ManifestField> m;
+      m.push_back({"label", config.label(), false});
+      m.push_back({"protocol", std::string(rmacsim::to_string(config.protocol)), false});
+      m.push_back({"mobility", std::string(rmacsim::to_string(config.mobility)), false});
+      m.push_back({"seed", std::to_string(config.seed), true});
+      m.push_back({"num_nodes", std::to_string(config.num_nodes), true});
+      m.push_back({"rate_pps", cat(config.rate_pps), true});
+      m.push_back({"num_packets", std::to_string(config.num_packets), true});
+      m.push_back({"payload_bytes", std::to_string(config.payload_bytes), true});
+      m.push_back({"git_revision", RMAC_GIT_REVISION, false});
+      m.push_back({"shards", std::to_string(r.shard.shards), true});
+      m.push_back({"shard_threads", std::to_string(r.shard.threads), true});
+      m.push_back({"shard_partition",
+                   std::string(rmacsim::to_string(r.shard.partition)), false});
+      if (r.shard.grid_rows > 0) {
+        m.push_back({"shard_grid", cat(r.shard.grid_rows, "x", r.shard.grid_cols), false});
+      }
+      m.push_back({"shard_node_counts", counts_json, true});
+      if (config.trace_digest) {
+        m.push_back({"trace_digest", std::to_string(r.trace_digest), true});
+        m.push_back({"trace_digest_xsum", std::to_string(r.trace_digest_xsum), true});
+      }
+      m.push_back({"journeys", std::to_string(r.obs.journeys), true});
+      m.push_back({"journey_events", std::to_string(r.obs.journey_events), true});
+      m.push_back({"journeys_dropped", std::to_string(journeys_dropped), true});
+      m.push_back({"trace_json", r.obs.trace_json, false});
+      m.push_back({"journeys_jsonl", r.obs.journeys_jsonl, false});
+      (void)write_run_manifest(r.obs.manifest_json, m);
+      r.obs.export_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - export_begin)
+                            .count();
+    }
+  }
 
   if (config.metrics.enabled) {
     MetricsRegistry reg;
@@ -190,9 +367,10 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
     r.metrics.series = reg.series_count();
     r.metrics.conservation_ok = r.ledger.conservation_ok();
     if (!config.metrics.out_dir.empty()) {
-      (void)write_metrics_artifacts(reg, r.ledger, nullptr, config.metrics.out_dir,
-                                    config.metrics.prefix, r.metrics.text_path,
-                                    r.metrics.json_path);
+      (void)write_metrics_artifacts(reg, r.ledger,
+                                    profiler.has_value() ? &r.profile.report : nullptr,
+                                    config.metrics.out_dir, config.metrics.prefix,
+                                    r.metrics.text_path, r.metrics.json_path);
     }
   }
   return r;

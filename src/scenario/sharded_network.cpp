@@ -4,16 +4,17 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 namespace rmacsim {
 
 namespace {
 
-// Remote nodes appear in a shard's tone channels through this fixed-position
-// proxy: tone audibility needs a position per source, and a cross-thread
-// query against the owning shard's (stateful, lazily advancing) mobility
-// model would race.  Pinned at the t=0 position — exact for stationary
-// scenarios, approximate under mobility.
+// Stationary remote nodes appear in a shard's tone channels through this
+// fixed-position proxy: tone audibility needs a position per source, and a
+// cross-thread query against the owning shard's mobility model would race.
+// Mobile remotes use TrajectoryMobility instead (exact replay of the owner's
+// sampled breakpoints, refreshed each barrier).
 class PinnedMobility final : public MobilityModel {
 public:
   explicit PinnedMobility(Vec2 pos) noexcept : pos_{pos} {}
@@ -41,6 +42,47 @@ private:
 // still letting an idle or decoupled world cross any realistic run in one
 // window.
 constexpr SimTime kMaxWindow = SimTime::sec(3600);
+
+// Exact min squared distance between two point sets, pruned for the common
+// case where only a thin boundary band matters.  U-bound: take the a-point
+// nearest b's bounding box and pair it against all of b (O(|a|+|b|)); any
+// closer pair must then have both endpoints within sqrt(U) of the opposite
+// box, so the quadratic pass runs over two thin slivers.  At 100k nodes and
+// 8 shards this turns ~1.5e8 pair tests into a few thousand.
+double min_cross_pair_dist_sq(const std::vector<Vec2>& pos, const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b, Vec2 alo, Vec2 ahi, Vec2 blo,
+                              Vec2 bhi, std::vector<NodeId>& sliver_a,
+                              std::vector<NodeId>& sliver_b) {
+  assert(!a.empty() && !b.empty());
+  double best_pb = std::numeric_limits<double>::max();
+  NodeId istar = a.front();
+  for (const NodeId i : a) {
+    const double d = point_bbox_dist_sq(pos[i], blo, bhi);
+    if (d < best_pb) {
+      best_pb = d;
+      istar = i;
+    }
+  }
+  double u2 = std::numeric_limits<double>::max();
+  for (const NodeId j : b) u2 = std::min(u2, distance_sq(pos[istar], pos[j]));
+
+  sliver_a.clear();
+  sliver_b.clear();
+  for (const NodeId i : a) {
+    if (point_bbox_dist_sq(pos[i], blo, bhi) <= u2) sliver_a.push_back(i);
+  }
+  for (const NodeId j : b) {
+    if (point_bbox_dist_sq(pos[j], alo, ahi) <= u2) sliver_b.push_back(j);
+  }
+  double m2 = u2;
+  for (const NodeId i : sliver_a) {
+    for (const NodeId j : sliver_b) {
+      const double d2 = distance_sq(pos[i], pos[j]);
+      if (d2 < m2) m2 = d2;
+    }
+  }
+  return m2;
+}
 
 }  // namespace
 
@@ -174,15 +216,49 @@ ShardedNetwork::ShardedNetwork(NetworkConfig config) : config_{config} {
     for (const NodeId id : sh.ids) {
       sh.nodes.push_back(build_node_stack(config_, id, placement[id], node_rngs[id], env));
     }
-    // Every remote node gets a pinned phantom in this shard's tone channels:
-    // tone audibility is evaluated locally against the phantom's position
-    // and the backdated history that set_remote_tone maintains.
+  }
+
+  vmax_ = 0.0;
+  for (const auto& sh : shards_) {
+    for (const Node& nd : sh->nodes) vmax_ = std::max(vmax_, nd.mobility->max_speed());
+  }
+
+  // Phantom proxies: one shared model per remote-visible node, attached to
+  // every shard whose tone channels can hear it.  Stationary scenarios only
+  // attach nodes within tone range of the shard's bounding box — exactly the
+  // set route_tone_edge can route there — so a 100k-node grid pays for thin
+  // boundary bands, not n-1 phantoms per shard.  Mobile scenarios attach
+  // everything (any node can wander into range).
+  if (S > 1) {
+    phantoms_.resize(n);
+    mobile_phantom_of_.assign(n, nullptr);
+    const double range2 = config_.phy.range_m * config_.phy.range_m;
     for (NodeId id = 0; id < n; ++id) {
-      if (shard_of_[id] == s) continue;
-      phantoms_.push_back(std::make_unique<PinnedMobility>(placement[id]));
-      sh.rbt->attach(id, *phantoms_.back());
-      sh.abt->attach(id, *phantoms_.back());
+      const std::size_t owner = shard_of_[id];
+      for (std::size_t s = 0; s < S; ++s) {
+        if (s == owner) continue;
+        if (!mobile_ &&
+            point_bbox_dist_sq(placement[id], bounds_[s].lo, bounds_[s].hi) > range2) {
+          continue;
+        }
+        if (phantoms_[id] == nullptr) {
+          if (mobile_) {
+            auto ph = std::make_unique<TrajectoryMobility>(placement[id],
+                                                           node(id).mobility->max_speed());
+            mobile_phantom_of_[id] = ph.get();
+            phantoms_[id] = std::move(ph);
+          } else {
+            phantoms_[id] = std::make_unique<PinnedMobility>(placement[id]);
+          }
+        }
+        shards_[s]->rbt->attach(id, *phantoms_[id]);
+        shards_[s]->abt->attach(id, *phantoms_[id]);
+      }
     }
+  }
+
+  for (std::size_t s = 0; s < S; ++s) {
+    auto& sh = *shards_[s];
     sh.rbt->set_edge_hook(
         [this, s](NodeId id, bool on) { route_tone_edge(s, 0, id, on); });
     sh.abt->set_edge_hook(
@@ -203,25 +279,51 @@ void ShardedNetwork::partition(const std::vector<Vec2>& placement) {
   const std::size_t n = placement.size();
   const std::size_t S = config_.shards;
 
-  // Equal-count vertical stripes along the t=0 x coordinate: sort ids by
-  // (x, id) and cut into contiguous runs.  Equal-count (not equal-width)
-  // keeps per-shard work balanced on uneven placements.
-  std::vector<NodeId> order(n);
-  for (NodeId i = 0; i < n; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return placement[a].x != placement[b].x ? placement[a].x < placement[b].x : a < b;
-  });
+  std::vector<std::vector<NodeId>> members(S);
+  switch (config_.shard_partition) {
+    case ShardPartition::kStripes:
+      // The original 1-D cut: a 1×S grid of equal-count vertical stripes.
+      partition_grid(placement, 1, static_cast<unsigned>(S), members);
+      break;
+    case ShardPartition::kGrid: {
+      unsigned rows = config_.shard_grid_rows;
+      unsigned cols = config_.shard_grid_cols;
+      if (rows == 0 || cols == 0 ||
+          static_cast<std::size_t>(rows) * cols != S) {
+        // Derive a near-square factorization; the wider area axis gets the
+        // larger count so cells stay close to square.
+        unsigned small = 1;
+        for (unsigned f = 1; static_cast<std::size_t>(f) * f <= S; ++f) {
+          if (S % f == 0) small = f;
+        }
+        const unsigned large = static_cast<unsigned>(S) / small;
+        if (config_.area.width >= config_.area.height) {
+          rows = small;
+          cols = large;
+        } else {
+          rows = large;
+          cols = small;
+        }
+      }
+      partition_grid(placement, rows, cols, members);
+      break;
+    }
+    case ShardPartition::kRcb: {
+      std::vector<NodeId> order(n);
+      std::iota(order.begin(), order.end(), NodeId{0});
+      partition_rcb(placement, order, 0, n, 0, S, members);
+      break;
+    }
+  }
 
   shard_of_.assign(n, 0);
   bounds_.resize(S);
   for (std::size_t s = 0; s < S; ++s) {
     shards_.push_back(std::make_unique<Shard>());
     auto& sh = *shards_[s];
-    const std::size_t begin = n * s / S;
-    const std::size_t end = n * (s + 1) / S;
-    sh.ids.assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
-                  order.begin() + static_cast<std::ptrdiff_t>(end));
+    sh.ids = std::move(members[s]);
     std::sort(sh.ids.begin(), sh.ids.end());
+    assert(!sh.ids.empty() && "every shard must own at least one node");
     Vec2 lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
     Vec2 hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
     for (const NodeId id : sh.ids) {
@@ -235,28 +337,104 @@ void ShardedNetwork::partition(const std::vector<Vec2>& placement) {
   }
 }
 
+void ShardedNetwork::partition_grid(const std::vector<Vec2>& placement, unsigned rows,
+                                    unsigned cols,
+                                    std::vector<std::vector<NodeId>>& members) {
+  const std::size_t n = placement.size();
+  grid_rows_ = rows;
+  grid_cols_ = cols;
+
+  // Equal-count columns along (x, id), then equal-count rows along (y, id)
+  // within each column.  Equal-count (not equal-width) keeps per-shard work
+  // balanced on uneven placements; shard index is col * rows + row.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return placement[a].x != placement[b].x ? placement[a].x < placement[b].x : a < b;
+  });
+
+  for (unsigned c = 0; c < cols; ++c) {
+    const std::size_t cb = n * c / cols;
+    const std::size_t ce = n * (c + 1) / cols;
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(cb),
+              order.begin() + static_cast<std::ptrdiff_t>(ce), [&](NodeId a, NodeId b) {
+                return placement[a].y != placement[b].y ? placement[a].y < placement[b].y
+                                                        : a < b;
+              });
+    const std::size_t cn = ce - cb;
+    for (unsigned r = 0; r < rows; ++r) {
+      const std::size_t rb = cb + cn * r / rows;
+      const std::size_t re = cb + cn * (r + 1) / rows;
+      auto& m = members[static_cast<std::size_t>(c) * rows + r];
+      m.assign(order.begin() + static_cast<std::ptrdiff_t>(rb),
+               order.begin() + static_cast<std::ptrdiff_t>(re));
+    }
+  }
+}
+
+void ShardedNetwork::partition_rcb(const std::vector<Vec2>& placement,
+                                   std::vector<NodeId>& order, std::size_t begin,
+                                   std::size_t end, std::size_t shard0, std::size_t scount,
+                                   std::vector<std::vector<NodeId>>& members) {
+  if (scount == 1) {
+    members[shard0].assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                           order.begin() + static_cast<std::ptrdiff_t>(end));
+    return;
+  }
+  // Bisect along the wider extent of this subset's bounding box.  The split
+  // is the weighted median with unit node weights — i.e. an equal-count cut
+  // proportional to the shard split — which is where a per-node traffic
+  // weight would slot in later.
+  Vec2 lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
+  Vec2 hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
+  for (std::size_t k = begin; k < end; ++k) {
+    const Vec2 p = placement[order[k]];
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  const bool by_x = (hi.x - lo.x) >= (hi.y - lo.y);
+  std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+            order.begin() + static_cast<std::ptrdiff_t>(end), [&](NodeId a, NodeId b) {
+              const double ca = by_x ? placement[a].x : placement[a].y;
+              const double cb = by_x ? placement[b].x : placement[b].y;
+              return ca != cb ? ca < cb : a < b;
+            });
+  const std::size_t sl = scount / 2;
+  const std::size_t sr = scount - sl;
+  const std::size_t cnt = end - begin;
+  std::size_t cut = cnt * sl / scount;
+  // Every leaf must end with at least one node (cnt >= scount by induction).
+  cut = std::clamp(cut, sl, cnt - sr);
+  partition_rcb(placement, order, begin, begin + cut, shard0, sl, members);
+  partition_rcb(placement, order, begin + cut, end, shard0 + sl, sr, members);
+}
+
 void ShardedNetwork::compute_lookahead(const std::vector<Vec2>& placement) {
   const std::size_t S = config_.shards;
   const double ir = config_.phy.effective_interference_range();
   coupled_.assign(S * S, false);
+  tau_pair_.assign(S * S, SimTime::max());
 
   double min_d2 = std::numeric_limits<double>::max();
   for (std::size_t a = 0; a < S; ++a) {
     for (std::size_t b = a + 1; b < S; ++b) {
       const double gap2 = bbox_bbox_dist_sq(bounds_[a].lo, bounds_[a].hi, bounds_[b].lo,
                                             bounds_[b].hi);
-      // Mobility can carry nodes across stripe boundaries, so every pair
+      // Mobility can carry nodes across partition boundaries, so every pair
       // stays coupled; stationary pairs decouple when even their bounding
-      // boxes are out of interference range.
+      // boxes are out of interference range.  Corner-adjacent grid shards
+      // couple through the diagonal bbox gap like any other pair.
       const bool c = mobile_ || gap2 <= ir * ir;
       coupled_[a * S + b] = coupled_[b * S + a] = c;
       if (!c) continue;
-      for (const NodeId i : shards_[a]->ids) {
-        for (const NodeId j : shards_[b]->ids) {
-          const double d2 = distance_sq(placement[i], placement[j]);
-          if (d2 < min_d2) min_d2 = d2;
-        }
-      }
+      const double d2 = min_cross_pair_dist_sq(placement, shards_[a]->ids, shards_[b]->ids,
+                                               bounds_[a].lo, bounds_[a].hi, bounds_[b].lo,
+                                               bounds_[b].hi, prune_a_, prune_b_);
+      tau_pair_[a * S + b] = tau_pair_[b * S + a] =
+          config_.phy.propagation_delay(std::sqrt(d2));
+      if (d2 < min_d2) min_d2 = d2;
     }
   }
 
@@ -265,6 +443,73 @@ void ShardedNetwork::compute_lookahead(const std::vector<Vec2>& placement) {
              : config_.phy.propagation_delay(std::sqrt(min_d2));
   window_ = std::max(tau_, config_.shard_lookahead_floor);
   window_ = std::clamp(window_, SimTime::ns(1), kMaxWindow);
+}
+
+void ShardedNetwork::recompute_window() {
+  const std::size_t S = shards_.size();
+  if (S < 2) return;
+  // Exact closest cross-shard pair at the committed barrier, with per-shard
+  // bounding boxes rebuilt from live positions for the sliver pruning.
+  pos_scratch_.resize(config_.num_nodes);
+  dyn_bounds_.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    auto& sh = *shards_[s];
+    Vec2 lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
+    Vec2 hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
+    for (std::size_t k = 0; k < sh.ids.size(); ++k) {
+      const Vec2 p = sh.nodes[k].mobility->position(clock_);
+      pos_scratch_[sh.ids[k]] = p;
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+    dyn_bounds_[s] = BBox{lo, hi};
+  }
+
+  double min_d2 = std::numeric_limits<double>::max();
+  for (std::size_t a = 0; a < S; ++a) {
+    for (std::size_t b = a + 1; b < S; ++b) {
+      const double d2 = min_cross_pair_dist_sq(
+          pos_scratch_, shards_[a]->ids, shards_[b]->ids, dyn_bounds_[a].lo,
+          dyn_bounds_[a].hi, dyn_bounds_[b].lo, dyn_bounds_[b].hi, prune_a_, prune_b_);
+      if (d2 < min_d2) min_d2 = d2;
+    }
+  }
+
+  // Conservative window under motion: during a window of width W the closest
+  // pair can close by at most 2*v_max*W, so W is safe when
+  // W <= prop(d_min - 2*v_max*W).  Starting from prop(d_min) >= W*, one
+  // application of the (decreasing) map already lands at or below the fixed
+  // point; the loop exits the moment the iterate is self-consistent.
+  const double d = std::sqrt(min_d2);
+  SimTime w = config_.phy.propagation_delay(d);
+  for (int i = 0; i < 4; ++i) {
+    const double reach = d - 2.0 * vmax_ * w.to_seconds();
+    const SimTime w2 =
+        reach <= 0.0 ? SimTime::zero() : config_.phy.propagation_delay(reach);
+    if (w2 >= w) break;
+    w = w2;
+  }
+  tau_ = w;
+  window_ = std::max(w, config_.shard_lookahead_floor);
+  window_ = std::clamp(window_, SimTime::ns(1), kMaxWindow);
+}
+
+void ShardedNetwork::refresh_phantoms(SimTime from, SimTime to) {
+  if (mobile_phantom_of_.empty()) return;
+  // Serial plan phase: sample each owner's trajectory once over the coming
+  // window (the models emit whole, unclamped legs, so interpolation inside
+  // the span is bit-exact) and hand the breakpoints to the shared phantom.
+  // Must run *after* drain_and_apply — backdated applies from the previous
+  // window still read the previous span.
+  for (NodeId id = 0; id < config_.num_nodes; ++id) {
+    TrajectoryMobility* ph = mobile_phantom_of_[id];
+    if (ph == nullptr) continue;
+    traj_scratch_.clear();
+    node(id).mobility->sample_trajectory(from, to, traj_scratch_);
+    ph->set_trajectory(traj_scratch_);
+  }
 }
 
 void ShardedNetwork::route_tx_begin(std::size_t src, const FramePtr& frame, Vec2 origin,
@@ -385,6 +630,7 @@ void ShardedNetwork::drain_and_apply() {
 SimTime ShardedNetwork::plan_next_barrier() {
   drain_and_apply();
   if (clock_ >= until_) return SimTime::max();
+  if (mobile_) recompute_window();
   SimTime earliest = SimTime::max();
   for (const auto& sh : shards_) {
     earliest = std::min(earliest, sh->scheduler.next_event_time());
@@ -399,17 +645,27 @@ SimTime ShardedNetwork::plan_next_barrier() {
   prev_clock_ = clock_;
   clock_ = next;
   ++windows_;
+  if (mobile_) refresh_phantoms(prev_clock_, clock_);
   return next;
 }
 
 void ShardedNetwork::run_until(SimTime until) {
   assert(until >= clock_);
   until_ = until;
-  WindowExecutor exec(
-      shards_.size(), config_.shard_threads, [this] { return plan_next_barrier(); },
-      [this](std::size_t s, SimTime t) { shards_[s]->scheduler.run_until(t); });
-  threads_used_ = exec.threads();
-  exec.run();
+  if (exec_ == nullptr) {
+    exec_ = std::make_unique<WindowExecutor>(
+        shards_.size(), config_.shard_threads, [this] { return plan_next_barrier(); },
+        [this](std::size_t s, SimTime t) { shards_[s]->scheduler.run_until(t); },
+        config_.shard_pin_workers);
+    if (worker_hook_) exec_->set_worker_hook(worker_hook_);
+    threads_used_ = exec_->threads();
+  }
+  exec_->run();
+}
+
+void ShardedNetwork::set_worker_hook(std::function<void(unsigned)> hook) {
+  worker_hook_ = std::move(hook);
+  if (exec_ != nullptr) exec_->set_worker_hook(worker_hook_);
 }
 
 void ShardedNetwork::start_routing() {
@@ -419,6 +675,16 @@ void ShardedNetwork::start_routing() {
 }
 
 void ShardedNetwork::start_source() { node(config_.root).app->start_source(); }
+
+SimTime ShardedNetwork::tau_between(std::size_t a, std::size_t b) const noexcept {
+  const std::size_t S = shards_.size();
+  return a < S && b < S && a != b ? tau_pair_[a * S + b] : SimTime::max();
+}
+
+bool ShardedNetwork::pair_coupled(std::size_t a, std::size_t b) const noexcept {
+  const std::size_t S = shards_.size();
+  return a < S && b < S && a != b && coupled_[a * S + b];
+}
 
 void ShardedNetwork::finalize_ledger() {
   // Replay every shard's buffered ops in (at, shard, op-index) order: per

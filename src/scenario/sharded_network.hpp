@@ -1,34 +1,45 @@
 // Spatially sharded network: the conservative (tau-lookahead) parallel
 // counterpart of Network (docs/parallel.md).
 //
-// The world is split into vertical stripes of equal node count along the
-// t=0 x-coordinate.  Each shard owns a full simulation stack — Scheduler,
-// Medium, RBT/ABT tone channels, Tracer, DeliveryStats, and a buffering
-// LossLedger — holding only its own nodes.  Cross-shard physics travels as
-// typed messages (frame begin/abort, tone edges) captured by the Medium /
-// ToneChannel seams during a window and applied into the destination shard
-// at the next barrier, in (at, NodeId, seq) order, so results depend only on
-// the shard count — never on thread count or scheduling.
+// The world is split by a pluggable spatial partitioner — equal-count
+// vertical stripes, an R×C grid (equal-count columns, then equal-count rows
+// within each column), or recursive coordinate bisection weighted by node
+// population — over the t=0 placement.  Each shard owns a full simulation
+// stack — Scheduler, Medium, RBT/ABT tone channels, Tracer, DeliveryStats,
+// and a buffering LossLedger — holding only its own nodes.  Cross-shard
+// physics travels as typed messages (frame begin/abort, tone edges) captured
+// by the Medium / ToneChannel seams during a window and applied into the
+// destination shard at the next barrier, in (at, NodeId, seq) order, so
+// results depend only on the partition — never on thread count, worker
+// placement, or scheduling.
 //
-// Lookahead: tau is the propagation delay of the closest cross-shard node
-// pair at t=0, so any event committed at time t in one shard can influence
-// another no earlier than t + tau.  Windows are max(tau, lookahead_floor)
-// wide; with the floor at or below tau every cross-shard effect lands
-// naturally inside the destination's next window (bit-exact boundary
-// physics), above it late arrivals are clamped to the barrier and counted.
-// Between event clusters the barrier jumps to the earliest pending event
-// across shards, so idle air costs no synchronization.
+// Lookahead: tau is computed per coupled shard pair (corner-adjacent shards
+// included — coupling is by bounding-box distance, which covers diagonal
+// faces) from the actual closest cross-pair node distance; the window is the
+// minimum over coupled pairs, widened to max(tau, lookahead_floor).  With
+// the floor at or below tau every cross-shard effect lands naturally inside
+// the destination's next window (bit-exact boundary physics); above it late
+// arrivals are clamped to the barrier and counted.  Between event clusters
+// the barrier jumps to the earliest pending event across shards, so idle air
+// costs no synchronization.
 //
-// Remote nodes appear in each shard's tone channels as pinned phantoms at
-// their t=0 position; under mobility the phantom position and the build-time
-// tau go stale, which degrades accuracy (more clamping), never determinism.
+// Mobility is exact: remote nodes appear in each shard's tone channels as
+// trajectory phantoms (TrajectoryMobility) that replay the owner's sampled
+// breakpoints bit for bit, refreshed each barrier during the serial plan
+// phase, and the per-window lookahead is recomputed from the current closest
+// cross-shard pair shrunk by the worst-case closing speed (a two-step fixed
+// point of W = prop(d_min - 2*v_max*W)).  Remote transmissions and tone
+// edges evaluate geometry at their true emission time, so sharded digests
+// equal the serial engine's even while nodes move.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "mobility/mobility.hpp"
 #include "scenario/network_builder.hpp"
 #include "sim/window_exec.hpp"
 
@@ -60,7 +71,8 @@ public:
 
   // Advance every shard to `until` in lookahead windows, using the
   // configured worker-thread count.  Callable repeatedly (warmup, then the
-  // measured span); pending cross-shard messages survive between calls.
+  // measured span); pending cross-shard messages and the persistent worker
+  // pool survive between calls.
   void run_until(SimTime until);
 
   void start_routing();
@@ -77,9 +89,19 @@ public:
   // Count structural safety violations while applying messages (tests).
   void set_safety_check(bool on) noexcept { safety_check_ = on; }
 
+  // Per-window worker setup seam (profiler attachment).  Install before the
+  // first run_until.
+  void set_worker_hook(std::function<void(unsigned)> hook);
+
   // Engine diagnostics.
   [[nodiscard]] SimTime tau() const noexcept { return tau_; }
   [[nodiscard]] SimTime window() const noexcept { return window_; }
+  // Lookahead of one coupled shard pair (SimTime::max() when decoupled).
+  [[nodiscard]] SimTime tau_between(std::size_t a, std::size_t b) const noexcept;
+  [[nodiscard]] bool pair_coupled(std::size_t a, std::size_t b) const noexcept;
+  // Resolved grid shape (rows=1, cols=shards for stripes; 0x0 for RCB).
+  [[nodiscard]] unsigned grid_rows() const noexcept { return grid_rows_; }
+  [[nodiscard]] unsigned grid_cols() const noexcept { return grid_cols_; }
   [[nodiscard]] std::uint64_t windows_run() const noexcept { return windows_; }
   [[nodiscard]] std::uint64_t messages_exchanged() const noexcept { return messages_; }
   [[nodiscard]] std::uint64_t remote_mirrors() const noexcept;
@@ -98,7 +120,14 @@ private:
   };
 
   void partition(const std::vector<Vec2>& placement);
+  void partition_grid(const std::vector<Vec2>& placement, unsigned rows, unsigned cols,
+                      std::vector<std::vector<NodeId>>& members);
+  void partition_rcb(const std::vector<Vec2>& placement, std::vector<NodeId>& order,
+                     std::size_t begin, std::size_t end, std::size_t shard0,
+                     std::size_t scount, std::vector<std::vector<NodeId>>& members);
   void compute_lookahead(const std::vector<Vec2>& placement);
+  void recompute_window();  // mobile: exact lookahead at the current barrier
+  void refresh_phantoms(SimTime from, SimTime to);
   void route_tx_begin(std::size_t src, const FramePtr& frame, Vec2 origin, SimTime start,
                       std::uint64_t key);
   void route_tx_abort(std::size_t src, std::uint64_t key, SimTime at);
@@ -110,8 +139,13 @@ private:
   NetworkConfig config_;
   bool mobile_{false};
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::uint32_t> shard_of_;            // by global NodeId
-  std::vector<std::unique_ptr<MobilityModel>> phantoms_;  // pinned remote proxies
+  std::vector<std::uint32_t> shard_of_;  // by global NodeId
+  // One proxy per remote-visible node, shared by every consumer shard:
+  // stationary nodes pin at t=0, mobile nodes replay the owner's trajectory
+  // (position() is read-only, so concurrent shard queries are safe; the
+  // serial plan phase owns all mutation).
+  std::vector<std::unique_ptr<MobilityModel>> phantoms_;
+  std::vector<TrajectoryMobility*> mobile_phantom_of_;  // by id; null if unused
   std::vector<std::unique_ptr<ShardTxObserver>> observers_;
   std::vector<std::unique_ptr<ShardLedgerBuffer>> ledger_buffers_;
   std::unique_ptr<LossLedger> master_ledger_;
@@ -125,8 +159,12 @@ private:
   };
   std::vector<std::unordered_map<std::uint64_t, RemoteTx>> remote_tx_;
   std::vector<bool> coupled_;           // S x S adjacency by bounding-box distance
+  std::vector<SimTime> tau_pair_;       // S x S per-pair lookahead (t=0)
   std::vector<BBox> bounds_;            // per-shard t=0 bounding boxes
   std::vector<std::uint64_t> msg_seq_;  // per-src monotone message counter
+  unsigned grid_rows_{0};
+  unsigned grid_cols_{0};
+  double vmax_{0.0};  // highest node speed anywhere (mobile lookahead)
 
   SimTime tau_{SimTime::zero()};
   SimTime window_{SimTime::zero()};
@@ -138,6 +176,19 @@ private:
   std::uint64_t violations_{0};
   bool safety_check_{false};
   unsigned threads_used_{1};
+
+  // Plan-phase scratch (serial; reused across barriers).
+  std::vector<Vec2> pos_scratch_;
+  std::vector<BBox> dyn_bounds_;
+  std::vector<NodeId> prune_a_;
+  std::vector<NodeId> prune_b_;
+  std::vector<TrajectoryPoint> traj_scratch_;
+
+  std::function<void(unsigned)> worker_hook_;
+  // Persistent pool; lazily built on the first run_until so the configured
+  // hook and pinning flags apply.  Declared last: its destructor joins the
+  // workers before any shard state they touch is torn down.
+  std::unique_ptr<WindowExecutor> exec_;
 };
 
 }  // namespace rmacsim

@@ -1,20 +1,50 @@
 #include "sim/window_exec.hpp"
 
 #include <algorithm>
-#include <barrier>
-#include <exception>
-#include <thread>
-#include <vector>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace rmacsim {
 
+namespace {
+
+void pin_to_cpu(unsigned worker) {
+#ifdef __linux__
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(worker % ncpu, &set);
+  // Best-effort: containers and cgroup cpusets may reject the mask, and an
+  // unpinned worker is merely slower, never wrong.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker;
+#endif
+}
+
+}  // namespace
+
 WindowExecutor::WindowExecutor(std::size_t shards, unsigned threads, PlanFn plan,
-                               AdvanceFn advance)
+                               AdvanceFn advance, bool pin_workers)
     : shards_{shards},
       threads_{static_cast<unsigned>(std::clamp<std::size_t>(
           threads == 0 ? shards : threads, 1, shards))},
       plan_{std::move(plan)},
-      advance_{std::move(advance)} {}
+      advance_{std::move(advance)},
+      pin_{pin_workers},
+      errors_(shards) {}
+
+WindowExecutor::~WindowExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
 
 void WindowExecutor::run() {
   if (threads_ == 1) {
@@ -29,44 +59,65 @@ void WindowExecutor::run_serial() {
     const SimTime barrier = plan_();
     if (barrier == SimTime::max()) return;
     ++windows_;
+    if (hook_) hook_(0);
     for (std::size_t s = 0; s < shards_; ++s) advance_(s, barrier);
   }
 }
 
-void WindowExecutor::run_parallel() {
-  // One slot per shard: a worker never writes another worker's slots, and
-  // the window barrier orders every write against the main thread's reads.
-  std::vector<std::exception_ptr> errors(shards_);
-  SimTime barrier_time = SimTime::zero();
-  bool stop = false;
+void WindowExecutor::start_pool() {
+  if (!pool_.empty()) return;
+  pool_.reserve(threads_);
+  for (unsigned w = 0; w < threads_; ++w) {
+    pool_.emplace_back([this, w] { worker_main(w); });
+  }
+}
 
-  std::barrier sync(static_cast<std::ptrdiff_t>(threads_) + 1);
-
-  const auto worker = [&](unsigned w) {
-    for (;;) {
-      sync.arrive_and_wait();  // A: barrier_time / stop published by main
-      if (stop) return;
-      for (std::size_t s = w; s < shards_; s += threads_) {
-        if (errors[s] != nullptr) continue;
-        try {
-          advance_(s, barrier_time);
-        } catch (...) {
-          errors[s] = std::current_exception();
-        }
-      }
-      sync.arrive_and_wait();  // B: all shards parked at the barrier
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads_);
-  for (unsigned w = 0; w < threads_; ++w) pool.emplace_back(worker, w);
-
+void WindowExecutor::worker_main(unsigned w) {
+  if (pin_) pin_to_cpu(w);
+  std::uint64_t seen = 0;
   for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    // barrier_time_ was published under mu_ before the generation bump and
+    // stays frozen until every worker arrives, so this unlocked read is
+    // ordered by the wait above.
+    const SimTime until = barrier_time_;
+    if (hook_) hook_(w);
+    for (std::size_t s = w; s < shards_; s += threads_) {
+      if (errors_[s] != nullptr) continue;
+      try {
+        advance_(s, until);
+      } catch (...) {
+        errors_[s] = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++arrived_ == threads_) cv_done_.notify_one();
+    }
+  }
+}
+
+void WindowExecutor::dispatch_window(SimTime barrier) {
+  std::unique_lock<std::mutex> lk(mu_);
+  barrier_time_ = barrier;
+  arrived_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [&] { return arrived_ == threads_; });
+}
+
+void WindowExecutor::run_parallel() {
+  start_pool();
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  for (;;) {
+    const bool failed = std::any_of(errors_.begin(), errors_.end(),
+                                    [](const std::exception_ptr& e) { return e != nullptr; });
     SimTime next = SimTime::max();
-    const bool failed =
-        std::any_of(errors.begin(), errors.end(),
-                    [](const std::exception_ptr& e) { return e != nullptr; });
     std::exception_ptr plan_error;
     if (!failed) {
       try {
@@ -76,19 +127,15 @@ void WindowExecutor::run_parallel() {
       }
     }
     if (failed || plan_error != nullptr || next == SimTime::max()) {
-      stop = true;
-      sync.arrive_and_wait();  // A: release workers into their exit path
-      for (std::thread& t : pool) t.join();
+      // The pool stays parked for the next run; only report this one.
       if (plan_error != nullptr) std::rethrow_exception(plan_error);
-      for (const std::exception_ptr& e : errors) {
+      for (const std::exception_ptr& e : errors_) {
         if (e != nullptr) std::rethrow_exception(e);
       }
       return;
     }
-    barrier_time = next;
     ++windows_;
-    sync.arrive_and_wait();  // A: workers pick up barrier_time
-    sync.arrive_and_wait();  // B: window complete
+    dispatch_window(next);
   }
 }
 

@@ -8,10 +8,13 @@
 //                        (default 1; the nightly job passes the date)
 //   RMAC_FUZZ_OUT        file receiving one line per failing seed
 //                        (default fuzz_failures.txt, written only on failure)
-//   RMAC_FUZZ_SHARDS     run every scenario on the sharded engine with this
-//                        many spatial shards (default 1 = monolithic engine;
-//                        shards > 1 forces stationary mobility because that
-//                        is the regime where sharded physics is exact)
+//   RMAC_FUZZ_SHARDS     run every scenario on the sharded engine.  A plain
+//                        integer N means N vertical stripes; "RxC" (e.g.
+//                        "2x2") means an R-row C-column grid partition.
+//                        Default 1 = monolithic engine.  Mobility is NOT
+//                        forced off: cross-shard trajectory publication makes
+//                        sharded physics exact for mobile scenarios too, and
+//                        the fuzzer is where that claim gets hammered.
 //
 // Reproduce any reported seed locally with the same binary:
 //   RMAC_FUZZ_ITERS=1 RMAC_FUZZ_BASE_SEED=<seed> ./audit_fuzz
@@ -29,7 +32,32 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
 }
 
-rmacsim::ExperimentConfig scenario_for(std::uint64_t seed, unsigned shards) {
+// RMAC_FUZZ_SHARDS spec: plain "N" = N stripes, "RxC" = R-by-C grid.
+struct ShardSpec {
+  unsigned shards = 1;
+  unsigned rows = 0, cols = 0;  // nonzero only for a grid spec
+};
+
+ShardSpec env_shards() {
+  ShardSpec s;
+  const char* v = std::getenv("RMAC_FUZZ_SHARDS");
+  if (v == nullptr) return s;
+  char* end = nullptr;
+  const unsigned long first = std::strtoul(v, &end, 10);
+  if (end == v || first == 0) return s;
+  if (*end == 'x' || *end == 'X') {
+    const unsigned long second = std::strtoul(end + 1, nullptr, 10);
+    if (second == 0) return s;
+    s.rows = static_cast<unsigned>(first);
+    s.cols = static_cast<unsigned>(second);
+    s.shards = s.rows * s.cols;
+  } else {
+    s.shards = static_cast<unsigned>(first);
+  }
+  return s;
+}
+
+rmacsim::ExperimentConfig scenario_for(std::uint64_t seed, const ShardSpec& shards) {
   using namespace rmacsim;
   // Same knob-derivation idea as random_scenario_test, widened to every
   // protocol: topology, mobility, load, and channel quality all vary.
@@ -48,10 +76,14 @@ rmacsim::ExperimentConfig scenario_for(std::uint64_t seed, unsigned shards) {
   c.drain = SimTime::sec(6);
   c.phy.bit_error_rate = knobs.bernoulli(0.3) ? 1e-5 : 0.0;
   c.audit = true;
-  if (shards > 1) {
-    c.shards = shards;
+  if (shards.shards > 1) {
+    c.shards = shards.shards;
     c.shard_safety_check = true;
-    c.mobility = MobilityScenario::kStationary;
+    if (shards.rows > 0) {
+      c.shard_partition = ShardPartition::kGrid;
+      c.shard_grid_rows = shards.rows;
+      c.shard_grid_cols = shards.cols;
+    }
   }
   return c;
 }
@@ -61,7 +93,7 @@ rmacsim::ExperimentConfig scenario_for(std::uint64_t seed, unsigned shards) {
 int main() {
   const std::uint64_t iters = env_u64("RMAC_FUZZ_ITERS", 25);
   const std::uint64_t base = env_u64("RMAC_FUZZ_BASE_SEED", 1);
-  const unsigned shards = static_cast<unsigned>(env_u64("RMAC_FUZZ_SHARDS", 1));
+  const ShardSpec shards = env_shards();
   const char* out_env = std::getenv("RMAC_FUZZ_OUT");
   const std::string out_path = out_env == nullptr ? "fuzz_failures.txt" : out_env;
 

@@ -105,6 +105,7 @@ ExperimentConfig sharded_config(Protocol p, unsigned shards, unsigned threads) {
 void expect_identical_sharded(const ExperimentResult& a, const ExperimentResult& b) {
   expect_identical(a, b);
   EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.trace_digest_xsum, b.trace_digest_xsum);
   EXPECT_EQ(a.ledger.expected, b.ledger.expected);
   EXPECT_EQ(a.ledger.delivered, b.ledger.delivered);
   EXPECT_EQ(a.ledger.total_dropped(), b.ledger.total_dropped());
@@ -153,17 +154,91 @@ TEST(Determinism, ShardedMatchesSerialLedgerAndDeliveryTotalsAtOneShard) {
 }
 
 TEST(Determinism, ShardedMobileRunsAreRepeatInvariant) {
-  // Mobility couples every shard pair (no bounding-box filter, stale
-  // phantoms), which stresses the full message fan-out; repeat- and
-  // thread-invariance must survive it.
-  ExperimentConfig c = small_config(Protocol::kRmac, MobilityScenario::kSpeed2);
-  c.shards = 2;
-  c.shard_threads = 2;
-  c.trace_digest = true;
-  const ExperimentResult a = run_experiment(c);
-  const ExperimentResult b = run_experiment(c);
-  ASSERT_GT(a.events_executed, 0u);
-  expect_identical_sharded(a, b);
+  // Mobility couples every shard pair (trajectory phantoms, per-barrier
+  // window recomputation), which stresses the full message fan-out; repeat-
+  // and thread-invariance must survive it under every partitioner.
+  struct Case {
+    ShardPartition part;
+    unsigned rows, cols, shards;
+  };
+  const Case cases[] = {
+      {ShardPartition::kStripes, 0, 0, 2},
+      {ShardPartition::kGrid, 2, 2, 4},
+      {ShardPartition::kRcb, 0, 0, 4},
+  };
+  for (const Case& cs : cases) {
+    ExperimentConfig c = small_config(Protocol::kRmac, MobilityScenario::kSpeed2);
+    c.shards = cs.shards;
+    c.shard_threads = 2;
+    c.shard_partition = cs.part;
+    c.shard_grid_rows = cs.rows;
+    c.shard_grid_cols = cs.cols;
+    c.trace_digest = true;
+    SCOPED_TRACE(std::string(to_string(cs.part)) + "/" + std::to_string(cs.shards) +
+                 "shards");
+    const ExperimentResult a = run_experiment(c);
+    const ExperimentResult b = run_experiment(c);
+    ASSERT_GT(a.events_executed, 0u);
+    expect_identical_sharded(a, b);
+  }
+}
+
+TEST(Determinism, GridAndRcbPartitionsAreThreadAndRepeatInvariant) {
+  // The 2-D partitioners obey the same contract as stripes: for a fixed
+  // partition, every figure, digest, and ledger total is a pure function of
+  // the config — worker count invisible.  Also pins the partition metadata
+  // the result carries: resolved grid shape and non-empty per-shard
+  // populations summing to the node count.
+  struct Case {
+    ShardPartition part;
+    unsigned rows, cols, shards;
+  };
+  const Case cases[] = {
+      {ShardPartition::kGrid, 2, 2, 4},
+      {ShardPartition::kGrid, 4, 2, 8},
+      {ShardPartition::kRcb, 0, 0, 4},
+      {ShardPartition::kRcb, 0, 0, 8},
+  };
+  for (const Protocol p : {Protocol::kRmac, Protocol::kDcf}) {
+    for (const Case& cs : cases) {
+      ExperimentConfig cfg = sharded_config(p, cs.shards, 1);
+      cfg.shard_partition = cs.part;
+      cfg.shard_grid_rows = cs.rows;
+      cfg.shard_grid_cols = cs.cols;
+      const ExperimentResult ref = run_experiment(cfg);
+      SCOPED_TRACE(ref.config.label() + "/" + to_string(cs.part) + "/" +
+                   std::to_string(cs.shards) + "shards");
+      ASSERT_GT(ref.events_executed, 0u);
+      ASSERT_EQ(ref.shard.shards, cs.shards);
+      EXPECT_EQ(ref.shard.partition, cs.part);
+      if (cs.part == ShardPartition::kGrid) {
+        EXPECT_EQ(ref.shard.grid_rows, cs.rows);
+        EXPECT_EQ(ref.shard.grid_cols, cs.cols);
+      } else {
+        EXPECT_EQ(ref.shard.grid_rows, 0u);
+      }
+      ASSERT_EQ(ref.shard.node_counts.size(), cs.shards);
+      std::uint32_t total = 0;
+      for (const std::uint32_t count : ref.shard.node_counts) {
+        EXPECT_GT(count, 0u);
+        total += count;
+      }
+      EXPECT_EQ(total, cfg.num_nodes);
+      EXPECT_EQ(ref.shard.safety_violations, 0u);
+      EXPECT_TRUE(ref.ledger.conservation_ok())
+          << ref.ledger.expected << " expected != " << ref.ledger.delivered
+          << " delivered + " << ref.ledger.total_dropped() << " dropped";
+      for (const unsigned threads : {2u, 4u}) {
+        ExperimentConfig c = cfg;
+        c.shard_threads = threads;
+        const ExperimentResult r = run_experiment(c);
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expect_identical_sharded(ref, r);
+        EXPECT_EQ(r.shard.safety_violations, 0u);
+        EXPECT_TRUE(r.ledger.conservation_ok());
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -95,6 +95,12 @@ def main() -> int:
         if c is None:
             failures.append(f"{name}: present in baseline but missing from candidate")
             continue
+        # An entry that ran more worker threads than its host had CPUs (tagged
+        # by bench_report.py) measures oversubscription, not the code; its time
+        # depends on where it ran, so it can never gate a comparison.
+        if b.get("undersubscribed") or c.get("undersubscribed"):
+            rows.append((name, "   undersubscribed (not gated)"))
+            continue
         ratio = time_of(c) / time_of(b) if time_of(b) > 0 else float("inf")
         verdict = f"{ratio:6.2f}x"
         if ratio > 1.0 + args.threshold:
@@ -123,6 +129,13 @@ def main() -> int:
         if a is None or b is None:
             missing = name_a if a is None else name_b
             failures.append(f"ratio gate {gate}: {missing} missing from candidate")
+            continue
+        under = [n for n, e in ((name_a, a), (name_b, b)) if e.get("undersubscribed")]
+        if under:
+            failures.append(
+                f"ratio gate {gate}: {', '.join(under)} ran with more worker "
+                "threads than the host has CPUs (tagged undersubscribed) — "
+                "speedup cannot be validated on this machine")
             continue
         if time_of(b) <= 0:
             failures.append(f"ratio gate {gate}: {name_b} time is zero")

@@ -15,8 +15,17 @@ fig_timeline.png — channel busy fraction, RBT/ABT tone occupancy, aggregate
 queue depth, and per-MAC-state node residency over simulated time:
 
     python3 tools/plot_results.py --timeline out/run_timeseries.csv [outdir]
+
+A third mode plots the sharded engine's scaling curve from a bench report
+(tools/bench_report.py output) as fig_scaling.png — wall time and speedup of
+every BM_Sharded* sweep point over its serial baseline, with entries tagged
+`undersubscribed` (more worker threads than host CPUs) excluded from the
+speedup curve:
+
+    python3 tools/plot_results.py --scaling BENCH_core.json [outdir]
 """
 import csv
+import json
 import statistics
 import sys
 from collections import defaultdict
@@ -269,10 +278,115 @@ def plot_timeline(path, outdir):
     return 0
 
 
+def load_scaling(path):
+    """Sharded sweep points from a bench report, grouped by benchmark family.
+
+    Returns families[family] -> list of dicts {label, threads, time, unit,
+    undersubscribed}, in registration order.  The serial baseline of a family
+    is its entry with threads == 1 and one shard (label starting '1x1' or
+    shards '1').
+    """
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    families = defaultdict(list)
+    for b in report.get("benchmarks", []):
+        name = b.get("name", "")
+        if not name.startswith("BM_Sharded") or "Experiment" not in name:
+            continue
+        parts = name.split("/")  # BM_x/<arg0>/<arg1>/real_time
+        if len(parts) < 3:
+            continue
+        family, arg0, arg1 = parts[0], parts[1], parts[2]
+        if family == "BM_Sharded100kExperiment":
+            # arg0 encodes the grid as rows*10+cols; 11 is the 1x1 baseline.
+            label = f"{int(arg0) // 10}x{int(arg0) % 10}/{arg1}t"
+            serial = arg0 == "11" and arg1 == "1"
+        else:
+            # BM_ShardedSmallExperiment: arg0 = nodes, arg1 = shards.
+            family = f"{family}/{arg0}"
+            label = f"{arg1}s"
+            serial = arg1 == "1"
+        families[family].append({
+            "label": label,
+            "time": b["real_time"],
+            "unit": b.get("time_unit", "ms"),
+            "serial": serial,
+            "undersubscribed": bool(b.get("undersubscribed")),
+        })
+    return families
+
+
+def scaling_text_report(families):
+    for family, entries in sorted(families.items()):
+        base = next((e for e in entries if e["serial"]), None)
+        print(family)
+        for e in entries:
+            speedup = (f"{base['time'] / e['time']:5.2f}x"
+                       if base and e["time"] > 0 and not e["undersubscribed"]
+                       else "    —")
+            tag = "  [undersubscribed]" if e["undersubscribed"] else ""
+            print(f"  {e['label']:<10} {e['time']:10.1f} {e['unit']}  "
+                  f"speedup {speedup}{tag}")
+
+
+def plot_scaling(path, outdir):
+    families = load_scaling(path)
+    if not families:
+        print(f"{path}: no BM_Sharded*Experiment entries — generate the report "
+              "with tools/bench_report.py first", file=sys.stderr)
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("(matplotlib not available — text report instead)")
+        scaling_text_report(families)
+        return 0
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    fig, (ax_time, ax_speed) = plt.subplots(1, 2, figsize=(12, 5))
+    for family, entries in sorted(families.items()):
+        labels = [e["label"] for e in entries]
+        times = [e["time"] for e in entries]
+        ax_time.plot(labels, times, marker="o", label=family)
+        base = next((e for e in entries if e["serial"]), None)
+        if base:
+            pts = [(e["label"], base["time"] / e["time"]) for e in entries
+                   if e["time"] > 0 and not e["undersubscribed"]]
+            if pts:
+                ax_speed.plot([p[0] for p in pts], [p[1] for p in pts],
+                              marker="o", label=family)
+    ax_time.set_ylabel(f"wall time ({next(iter(families.values()))[0]['unit']})")
+    ax_time.set_xlabel("grid/threads")
+    ax_time.set_title("Sharded run wall time")
+    ax_speed.axhline(1.0, color="gray", lw=0.8, ls="--")
+    ax_speed.set_ylabel("speedup over serial baseline")
+    ax_speed.set_xlabel("grid/threads")
+    ax_speed.set_title("Scaling (undersubscribed entries excluded)")
+    for ax in (ax_time, ax_speed):
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8)
+        ax.tick_params(axis="x", rotation=45)
+    fig.tight_layout()
+    out = outdir / "fig_scaling.png"
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print(f"wrote {out}")
+    scaling_text_report(families)
+    return 0
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 2
+    if sys.argv[1] == "--scaling":
+        if len(sys.argv) < 3:
+            print(__doc__)
+            return 2
+        outdir = Path(sys.argv[3]) if len(sys.argv) > 3 else Path("plots")
+        return plot_scaling(sys.argv[2], outdir)
     if sys.argv[1] == "--timeline":
         if len(sys.argv) < 3:
             print(__doc__)
