@@ -524,6 +524,51 @@ BENCHMARK(BM_ShardedSmallExperiment)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// BM_ShardedSmallExperiment with window telemetry recording (per-barrier
+// spans, per-shard busy clocks, per-worker execute/stall timing) and nothing
+// else — the telemetry observer effect in isolation.  CI ratio-gates this
+// against the identical plain run at 1.05: telemetry must stay within 5% or
+// it cannot be left on for campaign runs.
+void BM_ShardedTelemetryExperiment(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.num_nodes = static_cast<unsigned>(state.range(0));
+  cfg.shards = static_cast<unsigned>(state.range(1));
+  cfg.shard_threads = cfg.shards;
+  cfg.area = Rect{500.0 * (static_cast<double>(cfg.num_nodes) / 75.0), 300.0};
+  cfg.protocol = Protocol::kRmac;
+  cfg.seed = 7;
+  cfg.ensure_connected = false;
+  cfg.app.rate_pps = 10.0;
+  cfg.app.total_packets = 2;
+  cfg.app.payload_bytes = 500;
+  cfg.shard_lookahead_floor = SimTime::ms(1);
+  const SimTime warmup = SimTime::sec(2);
+  const SimTime end = SimTime::from_seconds(2.0 + 2.0 / 10.0 + 1.0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto net = std::make_unique<ShardedNetwork>(cfg);
+    net->enable_window_telemetry();
+    state.ResumeTiming();
+    net->start_routing();
+    net->run_until(warmup);
+    net->start_source();
+    net->run_until(end);
+    benchmark::DoNotOptimize(net->events_executed());
+    state.counters["events"] = static_cast<double>(net->events_executed());
+    state.counters["threads"] = static_cast<double>(net->threads_used());
+    state.counters["windows"] = static_cast<double>(net->windows_run());
+    state.PauseTiming();
+    net.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_ShardedTelemetryExperiment)
+    ->Args({10'000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // The 100k-node scaling scenario: a square area at constant paper density
 // (75 nodes per 500x300 m => ~14.1 km on a side), cut by 2-D shard grids so
 // both axes shrink the per-shard population — a square world defeats stripes

@@ -7,18 +7,25 @@
 //       [--obs] [--obs-dir DIR] [--metrics] [--metrics-dir DIR] [--profile]
 //       [--shards n] [--shard-threads n] [--lookahead-us us]
 //       [--shard-partition stripes|grid|rcb] [--shard-grid RxC] [--shard-pin]
+//       [--telemetry] [--progress sec]
 //
 // --shards > 1 runs the spatially sharded parallel engine (docs/parallel.md)
 // with one worker thread per shard unless --shard-threads overrides it;
 // --lookahead-us sets the window floor (0 = strict mode, window = tau).
 // --shard-partition picks the spatial partitioner; --shard-grid fixes the
-// grid shape (implies --shard-partition grid and --shards R*C); --shard-pin
-// pins worker threads to CPUs (benchmarks on otherwise-idle hosts).
+// grid shape (implies --shard-partition grid and --shards R*C; an explicit
+// --shards that disagrees is an error); --shard-pin pins worker threads to
+// CPUs (benchmarks on otherwise-idle hosts).  --telemetry records
+// window/barrier telemetry without the rest of the flight recorder;
+// --progress emits one JSON heartbeat line to stderr every `sec` seconds of
+// wall time.
 //
 // --obs-dir attaches the flight recorder and writes the Perfetto trace,
-// journey JSONL, time-series CSV, and run manifest into DIR.  --obs attaches
-// the recorder without writing artifacts (summary counts only) — handy for
-// measuring the recorder's observer effect.
+// journey JSONL, time-series CSV, and run manifest into DIR.  On sharded
+// runs the trace additionally carries per-worker window tracks, the CSV is
+// per-shard, and <prefix>_telemetry.json holds the window telemetry.  --obs
+// attaches the recorder without writing artifacts (summary counts only) —
+// handy for measuring the recorder's observer effect.
 //
 // --metrics-dir snapshots the metrics registry into DIR as
 // <prefix>_metrics.txt (OpenMetrics) and _metrics.json; --metrics prints the
@@ -45,7 +52,7 @@ namespace {
                "          [--metrics] [--metrics-dir DIR] [--profile]\n"
                "          [--shards n] [--shard-threads n] [--lookahead-us us]\n"
                "          [--shard-partition stripes|grid|rcb] [--shard-grid RxC]\n"
-               "          [--shard-pin]\n",
+               "          [--shard-pin] [--telemetry] [--progress sec]\n",
                argv0);
   std::exit(2);
 }
@@ -104,6 +111,8 @@ void parse_grid(const std::string& s, unsigned& rows, unsigned& cols) {
 int main(int argc, char** argv) {
   ExperimentConfig c;
   c.num_packets = 300;
+  bool shards_explicit = false;
+  bool grid_explicit = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -150,6 +159,7 @@ int main(int argc, char** argv) {
       c.profile = true;
     } else if (arg == "--shards") {
       c.shards = static_cast<unsigned>(std::atoi(next()));
+      shards_explicit = true;
     } else if (arg == "--shard-threads") {
       c.shard_threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--lookahead-us") {
@@ -159,12 +169,44 @@ int main(int argc, char** argv) {
     } else if (arg == "--shard-grid") {
       parse_grid(next(), c.shard_grid_rows, c.shard_grid_cols);
       c.shard_partition = ShardPartition::kGrid;
-      c.shards = c.shard_grid_rows * c.shard_grid_cols;
+      grid_explicit = true;
     } else if (arg == "--shard-pin") {
       c.shard_pin_workers = true;
+    } else if (arg == "--telemetry") {
+      c.obs.window_telemetry = true;
+    } else if (arg == "--progress") {
+      c.progress.interval_s = std::atof(next());
     } else {
       usage(argv[0]);
     }
+  }
+
+  // Flag cross-validation: the grid shape fixes the shard count; an explicit
+  // --shards that disagrees would otherwise win or lose silently depending on
+  // flag order.
+  if (grid_explicit) {
+    const unsigned grid_shards = c.shard_grid_rows * c.shard_grid_cols;
+    if (shards_explicit && c.shards != grid_shards) {
+      std::fprintf(stderr,
+                   "error: --shards %u contradicts --shard-grid %ux%u (= %u shards); "
+                   "drop --shards or make them agree\n",
+                   c.shards, c.shard_grid_rows, c.shard_grid_cols, grid_shards);
+      return 2;
+    }
+    c.shards = grid_shards;
+  }
+  if (c.shards == 0) {
+    std::fprintf(stderr, "error: --shards must be >= 1\n");
+    return 2;
+  }
+  if (c.progress.interval_s < 0.0) {
+    std::fprintf(stderr, "error: --progress interval must be positive\n");
+    return 2;
+  }
+  if (c.obs.window_telemetry && c.shards == 1) {
+    std::fprintf(stderr,
+                 "warning: --telemetry is a no-op without --shards > 1 "
+                 "(window telemetry instruments the sharded engine)\n");
   }
 
   std::printf("running %s...\n", c.label().c_str());
@@ -235,6 +277,25 @@ int main(int argc, char** argv) {
       std::printf("%s%u", s == 0 ? "" : " ", r.shard.node_counts[s]);
     }
     std::printf("]\n");
+    if (r.shard.telemetry) {
+      std::printf("%-28s imbalance %.2f busy / %.2f events, speedup bound %.2fx\n",
+                  "window telemetry", r.shard.imbalance_busy, r.shard.imbalance_events,
+                  r.shard.speedup_bound_busy);
+      std::printf("%-28s msgs tx_begin %llu, tx_abort %llu, tone_on %llu, tone_off %llu; "
+                  "%llu phantom refreshes\n",
+                  "",
+                  static_cast<unsigned long long>(r.shard.messages_by_kind[0]),
+                  static_cast<unsigned long long>(r.shard.messages_by_kind[1]),
+                  static_cast<unsigned long long>(r.shard.messages_by_kind[2]),
+                  static_cast<unsigned long long>(r.shard.messages_by_kind[3]),
+                  static_cast<unsigned long long>(r.shard.phantom_refreshes));
+      std::printf("%-28s events/shard [", "");
+      for (std::size_t s = 0; s < r.shard.window_events.size(); ++s) {
+        std::printf("%s%llu", s == 0 ? "" : " ",
+                    static_cast<unsigned long long>(r.shard.window_events[s]));
+      }
+      std::printf("]\n");
+    }
   }
   if (c.obs.record) {
     std::printf("%-28s %llu journeys, %llu events, %llu samples\n", "flight recorder",
@@ -247,6 +308,9 @@ int main(int argc, char** argv) {
       std::printf("%-28s %s\n", "", r.obs.journeys_jsonl.c_str());
       if (!r.obs.timeseries_csv.empty()) {
         std::printf("%-28s %s\n", "", r.obs.timeseries_csv.c_str());
+      }
+      if (!r.obs.telemetry_json.empty()) {
+        std::printf("%-28s %s\n", "", r.obs.telemetry_json.c_str());
       }
       std::printf("%-28s %s\n", "", r.obs.manifest_json.c_str());
     }

@@ -18,6 +18,8 @@
 // All writers return false (and write nothing further) on I/O failure.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,14 +28,21 @@
 
 namespace rmacsim {
 
+class WindowTelemetry;
+
 [[nodiscard]] bool write_chrome_trace(const std::string& path, const FlightRecorder& recorder,
                                       const TimeSeriesCollector* timeseries = nullptr);
 // Journey-list overload: export an already-merged set (merge_journeys) —
 // the sharded path, where one FlightRecorder per shard sees only a slice of
-// each packet's story.
+// each packet's story.  When `telemetry` is set, the trace also carries one
+// track per executor worker (execute slices over each window's sim-time
+// span, wall-clock execute/stall spans in args) and counter tracks for
+// window width, messages per window, and events/s, all from the telemetry
+// ring.
 [[nodiscard]] bool write_chrome_trace(const std::string& path,
                                       const std::vector<Journey>& journeys,
-                                      const TimeSeriesCollector* timeseries = nullptr);
+                                      const TimeSeriesCollector* timeseries = nullptr,
+                                      const WindowTelemetry* telemetry = nullptr);
 
 [[nodiscard]] bool write_journeys_jsonl(const std::string& path, const FlightRecorder& recorder);
 [[nodiscard]] bool write_journeys_jsonl(const std::string& path,
@@ -43,6 +52,17 @@ namespace rmacsim {
 // for RMAC runs (see rmac_state_names()).
 [[nodiscard]] bool write_timeseries_csv(const std::string& path,
                                         const TimeSeriesCollector& timeseries,
+                                        const std::vector<std::string>& state_names);
+
+// Sharded merge: one region-labeled row stream per shard, each row prefixed
+// with its shard index (rows grouped by shard, time-ordered within).  Every
+// shard samples at the same sim times, so tools can pivot on (shard, t_s).
+struct ShardTimeSeries {
+  std::uint32_t shard;
+  const TimeSeriesCollector* series;
+};
+[[nodiscard]] bool write_timeseries_csv(const std::string& path,
+                                        std::span<const ShardTimeSeries> shards,
                                         const std::vector<std::string>& state_names);
 
 // Column labels matching RmacProtocol::State enumerator order.
@@ -56,5 +76,14 @@ struct ManifestField {
 
 [[nodiscard]] bool write_run_manifest(const std::string& path,
                                       const std::vector<ManifestField>& fields);
+
+// Window-telemetry export ("rmacsim-window-telemetry-v1"): totals, per-shard
+// and per-worker aggregates, imbalance / achievable-speedup analytics,
+// histogram summaries, and the retained ring as columnar arrays — the input
+// for tools/shard_report.py and plot_results.py fig_shard_load.  `extra`
+// fields (run provenance) are appended at the top level.
+[[nodiscard]] bool write_window_telemetry_json(const std::string& path,
+                                               const WindowTelemetry& telemetry,
+                                               const std::vector<ManifestField>& extra = {});
 
 }  // namespace rmacsim

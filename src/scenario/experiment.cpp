@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <optional>
+#include <sstream>
 #include "sim/strfmt.hpp"
 
 #include "audit/sim_auditor.hpp"
@@ -94,6 +96,52 @@ std::string ExperimentConfig::label() const {
              rate_pps, "pps/seed", seed);
 }
 
+std::string format_progress_json(const ExperimentConfig::RunProgress& p) {
+  std::ostringstream os;
+  os << "{\"phase\":\"" << p.phase << "\",\"sim_s\":" << p.sim_s
+     << ",\"end_s\":" << p.end_s << ",\"wall_s\":" << p.wall_s
+     << ",\"events\":" << p.events << ",\"events_per_s\":" << p.events_per_s
+     << ",\"windows\":" << p.windows << ",\"windows_per_s\":" << p.windows_per_s
+     << ",\"messages\":" << p.messages << ",\"imbalance\":" << p.imbalance
+     << ",\"eta_s\":" << p.eta_s << "}";
+  return os.str();
+}
+
+ProgressEmitter::ProgressEmitter(const ExperimentConfig& config, double end_s)
+    : interval_s_{config.progress.interval_s},
+      end_s_{end_s},
+      sink_{config.progress.sink},
+      start_{std::chrono::steady_clock::now()},
+      last_{start_} {}
+
+void ProgressEmitter::maybe_emit(const char* phase, double sim_s, std::uint64_t events,
+                                 std::uint64_t windows, std::uint64_t messages,
+                                 double imbalance, bool force) {
+  if (interval_s_ <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (!force && std::chrono::duration<double>(now - last_).count() < interval_s_) return;
+  last_ = now;
+  ExperimentConfig::RunProgress p;
+  p.phase = phase;
+  p.sim_s = sim_s;
+  p.end_s = end_s_;
+  p.wall_s = std::chrono::duration<double>(now - start_).count();
+  p.events = events;
+  p.events_per_s = p.wall_s > 0.0 ? static_cast<double>(events) / p.wall_s : 0.0;
+  p.windows = windows;
+  p.windows_per_s = p.wall_s > 0.0 ? static_cast<double>(windows) / p.wall_s : 0.0;
+  p.messages = messages;
+  p.imbalance = imbalance;
+  // ETA from the overall sim-time rate since the run began.
+  const double rate = p.wall_s > 0.0 ? sim_s / p.wall_s : 0.0;
+  p.eta_s = rate > 0.0 && end_s_ > sim_s ? (end_s_ - sim_s) / rate : 0.0;
+  if (sink_) {
+    sink_(p);
+  } else {
+    std::fprintf(stderr, "%s\n", format_progress_json(p).c_str());
+  }
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   // shards == 1 is the exact single-threaded code path below — the sharded
   // engine only ever enters the picture when the config asks for it.
@@ -159,10 +207,33 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   const auto run_begin = std::chrono::steady_clock::now();
 
+  const SimTime gen_span =
+      SimTime::from_seconds(static_cast<double>(config.num_packets) / config.rate_pps);
+  const SimTime run_end = config.warmup + gen_span + config.drain;
+  ProgressEmitter heartbeat{config, run_end.to_seconds()};
+  // Chunked run_until: executing a span in steps runs the same events in the
+  // same order (intermediate clock jumps touch nothing), so the heartbeat
+  // can surface between chunks without moving any digest.
+  const auto run_span = [&](SimTime to, const char* phase) {
+    if (!heartbeat.enabled()) {
+      sched.run_until(to);
+      return;
+    }
+    const SimTime from = sched.now();
+    constexpr std::int64_t kChunks = 256;
+    for (std::int64_t i = 1; i <= kChunks; ++i) {
+      const SimTime t =
+          i == kChunks ? to : from + SimTime::ns((to - from).nanoseconds() * i / kChunks);
+      sched.run_until(t);
+      heartbeat.maybe_emit(phase, sched.now().to_seconds(), sched.executed_count(), 0, 0,
+                           0.0);
+    }
+  };
+
   net.start_routing();
   {
     RMAC_PROF_SCOPE("sim.run");
-    sched.run_until(config.warmup);
+    run_span(config.warmup, "warmup");
   }
 
   // §4.1.1 tree statistics at the end of warm-up.
@@ -195,12 +266,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   net.start_source();
-  const SimTime gen_span =
-      SimTime::from_seconds(static_cast<double>(config.num_packets) / config.rate_pps);
   {
     RMAC_PROF_SCOPE("sim.run");
-    sched.run_until(config.warmup + gen_span + config.drain);
+    run_span(run_end, "traffic");
   }
+  heartbeat.maybe_emit("done", sched.now().to_seconds(), sched.executed_count(), 0, 0, 0.0,
+                       /*force=*/true);
   const double run_wall_s = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - run_begin)
                                 .count();

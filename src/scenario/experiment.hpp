@@ -3,6 +3,8 @@
 // Figures 7-13 report.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <string>
 
 #include "metrics/loss_ledger.hpp"
@@ -77,12 +79,44 @@ struct ExperimentConfig {
     SimTime sample_period{SimTime::ms(10)};
     std::size_t timeseries_capacity{8192};
     bool track_hellos{false};
+    // Window/barrier telemetry on the sharded engine (no-op at shards == 1):
+    // per-barrier spans, per-shard load, per-worker execute/stall wall time,
+    // cross-shard message mix.  Also enabled implicitly by obs.record,
+    // metrics.enabled, or a progress heartbeat at shards > 1; this flag turns
+    // it on alone (the overhead benchmark measures exactly this).  Exported
+    // as <prefix>_telemetry.json when out_dir is set.
+    bool window_telemetry{false};
+    std::size_t telemetry_capacity{4096};  // retained-window ring size
     // Artifact directory; leave empty to record in memory only (ObsSummary
     // counts are still filled, nothing is written to disk).
     std::string out_dir{"."};
     std::string prefix{"run"};
   };
   ObsConfig obs;
+
+  // Live progress heartbeat: when interval_s > 0 the run emits one
+  // RunProgress snapshot roughly every interval (wall clock) from both the
+  // monolithic and sharded drivers.  The default sink prints one JSON line
+  // (format_progress_json) to stderr; campaign orchestrators install their
+  // own.  Pure wall-clock throttling — event order and digests never move.
+  struct RunProgress {
+    const char* phase{""};  // "warmup" | "traffic" | "done"
+    double sim_s{0.0};      // simulation clock
+    double end_s{0.0};      // simulation end time of the whole run
+    double wall_s{0.0};     // wall time since the run started
+    std::uint64_t events{0};
+    double events_per_s{0.0};   // overall rate since run start
+    std::uint64_t windows{0};   // sharded engine barriers (0 monolithic)
+    double windows_per_s{0.0};
+    std::uint64_t messages{0};  // cross-shard messages so far (0 monolithic)
+    double imbalance{0.0};      // current busy-basis imbalance (0 if unknown)
+    double eta_s{0.0};          // projected remaining wall time (0 if unknown)
+  };
+  struct ProgressConfig {
+    double interval_s{0.0};  // 0 disables
+    std::function<void(const RunProgress&)> sink;
+  };
+  ProgressConfig progress;
 
   // Metrics snapshot: when `enabled`, the end-of-run collect pass publishes
   // every subsystem counter onto a MetricsRegistry and writes
@@ -198,6 +232,19 @@ struct ExperimentResult {
     unsigned grid_rows{0};            // resolved grid shape (0 for RCB)
     unsigned grid_cols{0};
     std::vector<std::uint32_t> node_counts;  // per-shard populations
+
+    // Window-telemetry analytics (zeros unless telemetry ran — see
+    // ObsConfig::window_telemetry for when it is enabled implicitly).
+    // The events-basis fields are deterministic across thread counts; the
+    // busy-basis fields are wall clock.
+    bool telemetry{false};
+    double imbalance_busy{0.0};    // max-shard-busy / mean-shard-busy
+    double imbalance_events{0.0};
+    double speedup_bound_busy{0.0};  // critical-path achievable speedup
+    double speedup_bound_events{0.0};
+    std::uint64_t phantom_refreshes{0};
+    std::array<std::uint64_t, 4> messages_by_kind{};  // WindowTelemetry order
+    std::vector<std::uint64_t> window_events;  // per-shard events in windows
   };
   ShardSummary shard;
 
@@ -214,11 +261,16 @@ struct ExperimentResult {
     std::string journeys_jsonl;
     std::string timeseries_csv;
     std::string manifest_json;
+    std::string telemetry_json;   // sharded runs with window telemetry only
   };
   ObsSummary obs;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// One-line JSON rendering of a progress snapshot (the default heartbeat
+// sink writes exactly this to stderr).
+[[nodiscard]] std::string format_progress_json(const ExperimentConfig::RunProgress& p);
 
 // Average the per-seed results of one sweep point (the paper averages ten
 // placements per data point); percentile/max fields take the max of maxima

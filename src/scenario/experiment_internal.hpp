@@ -4,12 +4,39 @@
 // global id order so the engine layout cannot change any figure.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <span>
 
 #include "scenario/experiment.hpp"
 #include "scenario/node.hpp"
 
 namespace rmacsim {
+
+// Wall-clock-throttled progress heartbeat shared by both drivers.  Emission
+// only reads counters already maintained by the run (between events on the
+// monolithic path, at barriers on the sharded one), so it can never move
+// simulation state or digests.
+class ProgressEmitter {
+public:
+  ProgressEmitter(const ExperimentConfig& config, double end_s);
+
+  [[nodiscard]] bool enabled() const noexcept { return interval_s_ > 0.0; }
+
+  // Emit a snapshot if the configured interval elapsed since the last one
+  // (or unconditionally with force).  windows/messages/imbalance are zero on
+  // the monolithic path.
+  void maybe_emit(const char* phase, double sim_s, std::uint64_t events,
+                  std::uint64_t windows, std::uint64_t messages, double imbalance,
+                  bool force = false);
+
+private:
+  double interval_s_;
+  double end_s_;
+  std::function<void(const ExperimentConfig::RunProgress&)> sink_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_;
+};
 
 // §4.1.1 tree statistics, sampled at the end of warm-up.
 void sample_tree_stats(std::span<Node* const> nodes, SampleStats& hops,

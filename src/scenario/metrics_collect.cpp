@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/window_telemetry.hpp"
 #include "phy/frame.hpp"
 #include "phy/frame_pool.hpp"
 #include "scenario/sharded_network.hpp"
@@ -318,6 +319,67 @@ void collect_metrics(MetricsRegistry& reg, ShardedNetwork& net) {
       .set(net.tau().to_seconds());
   reg.gauge("rmacsim_shard_window_seconds", {}, "effective window width")
       .set(net.window().to_seconds());
+
+  // Window-telemetry series (present only when the run recorded telemetry —
+  // see ObsConfig::window_telemetry).  The events-basis series are
+  // deterministic across thread counts; every *_seconds series below is wall
+  // clock and varies run to run.
+  const WindowTelemetry* wt = net.window_telemetry();
+  if (wt == nullptr || wt->windows() == 0) return;
+  for (std::size_t s = 0; s < wt->shards(); ++s) {
+    MetricLabels le = part;
+    le.emplace_back("shard", std::to_string(s));
+    reg.counter("rmacsim_shard_window_events_total", std::move(le),
+                "events executed by this shard inside recorded windows")
+        .set(wt->shard_events(s));
+    MetricLabels lb = part;
+    lb.emplace_back("shard", std::to_string(s));
+    reg.gauge("rmacsim_shard_window_busy_seconds", std::move(lb),
+              "advance-phase wall time spent in this shard")
+        .set(static_cast<double>(wt->shard_busy_ns(s)) / 1e9);
+  }
+  for (std::size_t k = 0; k < WindowTelemetry::kMsgKinds; ++k) {
+    if (wt->messages(k) == 0) continue;
+    reg.counter("rmacsim_shard_window_messages_total",
+                {{"kind", WindowTelemetry::msg_kind_name(k)}},
+                "cross-shard messages drained at barriers, by kind")
+        .set(wt->messages(k));
+  }
+  reg.counter("rmacsim_shard_window_phantom_refreshes_total", {},
+              "phantom-node trajectory refreshes at barriers")
+      .set(wt->phantom_refreshes());
+  reg.gauge("rmacsim_shard_window_imbalance", {{"basis", "busy"}},
+            "max-shard load / mean-shard load")
+      .set(wt->imbalance_busy());
+  reg.gauge("rmacsim_shard_window_imbalance", {{"basis", "events"}},
+            "max-shard load / mean-shard load")
+      .set(wt->imbalance_events());
+  reg.gauge("rmacsim_shard_window_speedup_bound", {{"basis", "busy"}},
+            "critical-path achievable speedup (total work / sum of per-window maxima)")
+      .set(wt->speedup_bound_busy());
+  reg.gauge("rmacsim_shard_window_speedup_bound", {{"basis", "events"}},
+            "critical-path achievable speedup (total work / sum of per-window maxima)")
+      .set(wt->speedup_bound_events());
+  for (unsigned w = 0; w < wt->workers(); ++w) {
+    reg.gauge("rmacsim_shard_window_worker_execute_seconds",
+              {{"worker", std::to_string(w)}},
+              "wall time this worker spent advancing shards")
+        .set(static_cast<double>(wt->worker_execute_ns(w)) / 1e9);
+    reg.gauge("rmacsim_shard_window_worker_stall_seconds",
+              {{"worker", std::to_string(w)}},
+              "wall time this worker waited at barriers for stragglers")
+        .set(static_cast<double>(wt->worker_stall_ns(w)) / 1e9);
+  }
+  reg.gauge("rmacsim_shard_window_worker_wait_seconds", {},
+            "wall time workers spent idle between windows (serial plan phase)")
+      .set(static_cast<double>(wt->worker_wait_ns()) / 1e9);
+  reg.histogram("rmacsim_shard_window_width_us", 0.0, WindowTelemetry::kWidthHistHiUs,
+                WindowTelemetry::kWidthHistBins, {}, "window width distribution")
+      .merge(wt->width_us_hist());
+  reg.histogram("rmacsim_shard_window_messages", 0.0, WindowTelemetry::kMsgsHistHi,
+                WindowTelemetry::kMsgsHistBins, {},
+                "cross-shard messages per window distribution")
+      .merge(wt->messages_hist());
 }
 
 void collect_ledger(MetricsRegistry& reg, const LedgerSummary& ledger) {

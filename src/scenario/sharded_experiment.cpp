@@ -8,9 +8,17 @@
 //   * config.obs.record — one FlightRecorder per shard (each sees only the
 //     slice of a packet's story its shard executed); at export the per-shard
 //     journeys are merged by JourneyId (obs/flight_recorder.hpp) and written
-//     through the journey-list exporter overloads.  The time-series CSV is
-//     the one artifact not produced at shards > 1: window-aligned sampling
-//     across shard clocks is not well-defined mid-window.
+//     through the journey-list exporter overloads.  Time series attach one
+//     collector per shard: ticks execute inside the owning shard's scheduler
+//     and touch only shard-local state, and every shard starts sampling at
+//     the same barrier with the same period, so sample times are identical
+//     across shards and invariant to the thread count.  The merged CSV
+//     carries a leading shard column.
+//   * window telemetry (obs.window_telemetry, or implicitly obs.record /
+//     metrics.enabled / a progress heartbeat) — the per-barrier recorder in
+//     ShardedNetwork; analytics land in ShardSummary, the ring in
+//     <prefix>_telemetry.json, worker tracks in the Chrome trace, and
+//     rmacsim_shard_window_* in the metrics snapshot.
 //   * config.profile — the profiler is thread-local, so the driver attaches
 //     one Profiler on the driving thread and (at threads > 1) one per worker
 //     through the ShardedNetwork worker hook, then merges the per-thread
@@ -28,6 +36,7 @@
 #include "metrics/profiler.hpp"
 #include "obs/exporters.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/window_telemetry.hpp"
 #include "scenario/experiment_internal.hpp"
 #include "scenario/metrics_collect.hpp"
 #include "scenario/sharded_network.hpp"
@@ -105,6 +114,28 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
     net.shard(s).medium->set_grouped_delivery(config.grouped_delivery);
   }
 
+  // Window telemetry feeds the metrics snapshot, the exported artifacts, and
+  // the heartbeat's imbalance field, so any of those turns it on.
+  const bool want_telemetry = config.obs.window_telemetry || config.obs.record ||
+                              config.metrics.enabled || config.progress.interval_s > 0.0;
+  if (want_telemetry) net.enable_window_telemetry(config.obs.telemetry_capacity);
+
+  const SimTime gen_span =
+      SimTime::from_seconds(static_cast<double>(config.num_packets) / config.rate_pps);
+  const SimTime run_end = config.warmup + gen_span + config.drain;
+  ProgressEmitter heartbeat{config, run_end.to_seconds()};
+  const char* phase = "warmup";
+  if (heartbeat.enabled()) {
+    // Runs in the serial plan phase after each planned barrier: every
+    // counter it reads is plan-phase state (workers parked).
+    net.set_barrier_hook([&net, &heartbeat, &phase] {
+      const WindowTelemetry* wt = net.window_telemetry();
+      heartbeat.maybe_emit(phase, net.now().to_seconds(), net.events_executed(),
+                           net.windows_run(), net.messages_exchanged(),
+                           wt != nullptr ? wt->imbalance_busy() : 0.0);
+    });
+  }
+
   // One auditor per shard, auditing that shard's nodes only.  Recorded
   // transmissions are always local (remote mirrors emit no trace records),
   // so the distance oracle only ever needs local-local pairs; anything else
@@ -177,25 +208,47 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
   SampleStats children;
   sample_tree_stats(node_ptrs, hops, children);
 
-  // Flight recorders attach at the end of warm-up like the serial driver:
-  // one per shard, each subscribed to its shard's tracer only, so recording
-  // adds no cross-shard coupling and no locks to the hot path.
+  // Flight recorders and time-series collectors attach at the end of
+  // warm-up like the serial driver: one of each per shard, subscribed to its
+  // shard's tracer only, so recording adds no cross-shard coupling and no
+  // locks to the hot path.  Collector ticks execute inside the owning
+  // shard's scheduler (on its worker) and touch only shard-local state; all
+  // shards start at the same barrier with the same period, so sample times
+  // line up across shards regardless of the thread count.
   std::vector<std::unique_ptr<FlightRecorder>> recorders;
+  std::vector<std::unique_ptr<TimeSeriesCollector>> collectors;
   if (config.obs.record) {
     FlightRecorder::Config rc;
     rc.track_hellos = config.obs.track_hellos;
     for (std::size_t s = 0; s < S; ++s) {
       recorders.push_back(std::make_unique<FlightRecorder>(net.shard(s).tracer, rc));
+      TimeSeriesCollector::Config tc;
+      tc.sample_period = config.obs.sample_period;
+      tc.capacity = config.obs.timeseries_capacity;
+      tc.queue_probe = [&net, s] {
+        std::uint64_t sum = 0;
+        for (const Node& nd : net.shard(s).nodes) sum += nd.mac->queue_depth();
+        return sum;
+      };
+      collectors.push_back(std::make_unique<TimeSeriesCollector>(
+          net.shard(s).scheduler, net.shard(s).tracer, std::move(tc)));
+      collectors.back()->start();
     }
   }
 
   net.start_source();
-  const SimTime gen_span =
-      SimTime::from_seconds(static_cast<double>(config.num_packets) / config.rate_pps);
+  phase = "traffic";
   {
     RMAC_PROF_SCOPE("sim.run");
-    net.run_until(config.warmup + gen_span + config.drain);
+    net.run_until(run_end);
   }
+  heartbeat.maybe_emit("done", net.now().to_seconds(), net.events_executed(),
+                       net.windows_run(), net.messages_exchanged(),
+                       net.window_telemetry() != nullptr
+                           ? net.window_telemetry()->imbalance_busy()
+                           : 0.0,
+                       /*force=*/true);
+  for (const auto& c : collectors) c->stop();
   const double run_wall_s = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - run_begin)
                                 .count();
@@ -292,6 +345,49 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
     r.shard.node_counts.push_back(static_cast<std::uint32_t>(net.shard(s).ids.size()));
   }
 
+  std::string counts_json = "[";
+  for (std::size_t s = 0; s < S; ++s) {
+    if (s != 0) counts_json += ',';
+    counts_json += std::to_string(r.shard.node_counts[s]);
+  }
+  counts_json += ']';
+
+  if (const WindowTelemetry* wt = net.window_telemetry(); wt != nullptr) {
+    r.shard.telemetry = true;
+    r.shard.imbalance_busy = wt->imbalance_busy();
+    r.shard.imbalance_events = wt->imbalance_events();
+    r.shard.speedup_bound_busy = wt->speedup_bound_busy();
+    r.shard.speedup_bound_events = wt->speedup_bound_events();
+    r.shard.phantom_refreshes = wt->phantom_refreshes();
+    for (std::size_t k = 0; k < WindowTelemetry::kMsgKinds; ++k) {
+      r.shard.messages_by_kind[k] = wt->messages(k);
+    }
+    r.shard.window_events.reserve(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      r.shard.window_events.push_back(wt->shard_events(s));
+    }
+
+    if ((config.obs.record || config.obs.window_telemetry) && !config.obs.out_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(config.obs.out_dir, ec);
+      const std::string base = (std::filesystem::path(config.obs.out_dir) /
+                                config.obs.prefix).string();
+      r.obs.telemetry_json = base + "_telemetry.json";
+      std::vector<ManifestField> extra;
+      extra.push_back({"label", config.label(), false});
+      extra.push_back({"seed", std::to_string(config.seed), true});
+      extra.push_back({"partition", std::string(rmacsim::to_string(r.shard.partition)),
+                       false});
+      if (r.shard.grid_rows > 0) {
+        extra.push_back({"shard_grid", cat(r.shard.grid_rows, "x", r.shard.grid_cols),
+                         false});
+      }
+      extra.push_back({"threads", std::to_string(r.shard.threads), true});
+      extra.push_back({"node_counts", counts_json, true});
+      (void)write_window_telemetry_json(r.obs.telemetry_json, *wt, extra);
+    }
+  }
+
   if (!recorders.empty()) {
     std::vector<const FlightRecorder*> rec_ptrs;
     rec_ptrs.reserve(S);
@@ -305,7 +401,8 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
     }
     r.obs.journeys = merged.size();
     r.obs.journey_events = journey_events;
-    r.obs.samples = 0;  // no time series at shards > 1 (header comment)
+    r.obs.samples = 0;
+    for (const auto& c : collectors) r.obs.samples += c->sample_count();
 
     if (!config.obs.out_dir.empty()) {
       const auto export_begin = std::chrono::steady_clock::now();
@@ -315,16 +412,19 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
                                 config.obs.prefix).string();
       r.obs.trace_json = base + "_trace.json";
       r.obs.journeys_jsonl = base + "_journeys.jsonl";
+      r.obs.timeseries_csv = base + "_timeseries.csv";
       r.obs.manifest_json = base + "_manifest.json";
-      (void)write_chrome_trace(r.obs.trace_json, merged, nullptr);
+      (void)write_chrome_trace(r.obs.trace_json, merged, nullptr, net.window_telemetry());
       (void)write_journeys_jsonl(r.obs.journeys_jsonl, merged);
-
-      std::string counts_json = "[";
+      std::vector<ShardTimeSeries> shard_series;
+      shard_series.reserve(S);
       for (std::size_t s = 0; s < S; ++s) {
-        if (s != 0) counts_json += ',';
-        counts_json += std::to_string(r.shard.node_counts[s]);
+        shard_series.push_back({static_cast<std::uint32_t>(s), collectors[s].get()});
       }
-      counts_json += ']';
+      (void)write_timeseries_csv(r.obs.timeseries_csv, shard_series,
+                                 config.protocol == Protocol::kRmac
+                                     ? rmac_state_names()
+                                     : std::vector<std::string>{});
 
       std::vector<ManifestField> m;
       m.push_back({"label", config.label(), false});
@@ -351,8 +451,23 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& config) {
       m.push_back({"journeys", std::to_string(r.obs.journeys), true});
       m.push_back({"journey_events", std::to_string(r.obs.journey_events), true});
       m.push_back({"journeys_dropped", std::to_string(journeys_dropped), true});
+      m.push_back({"timeseries_samples", std::to_string(r.obs.samples), true});
+      m.push_back({"sample_period_us", cat(config.obs.sample_period.to_us()), true});
+      if (r.shard.telemetry) {
+        m.push_back({"windows_recorded",
+                     std::to_string(net.window_telemetry()->windows()), true});
+        m.push_back({"imbalance_busy", cat(r.shard.imbalance_busy), true});
+        m.push_back({"imbalance_events", cat(r.shard.imbalance_events), true});
+        m.push_back({"speedup_bound_busy", cat(r.shard.speedup_bound_busy), true});
+        m.push_back({"speedup_bound_events", cat(r.shard.speedup_bound_events), true});
+        m.push_back({"phantom_refreshes", std::to_string(r.shard.phantom_refreshes), true});
+      }
       m.push_back({"trace_json", r.obs.trace_json, false});
       m.push_back({"journeys_jsonl", r.obs.journeys_jsonl, false});
+      m.push_back({"timeseries_csv", r.obs.timeseries_csv, false});
+      if (!r.obs.telemetry_json.empty()) {
+        m.push_back({"telemetry_json", r.obs.telemetry_json, false});
+      }
       (void)write_run_manifest(r.obs.manifest_json, m);
       r.obs.export_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - export_begin)

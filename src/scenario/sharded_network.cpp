@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
+
+#include "obs/window_telemetry.hpp"
 
 namespace rmacsim {
 
@@ -35,6 +38,13 @@ private:
   const double dx = std::max({blo.x - ahi.x, alo.x - bhi.x, 0.0});
   const double dy = std::max({blo.y - ahi.y, alo.y - bhi.y, 0.0});
   return dx * dx + dy * dy;
+}
+
+[[nodiscard]] std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 // Windows are never wider than this even when shards are fully decoupled
@@ -509,6 +519,7 @@ void ShardedNetwork::refresh_phantoms(SimTime from, SimTime to) {
     traj_scratch_.clear();
     node(id).mobility->sample_trajectory(from, to, traj_scratch_);
     ph->set_trajectory(traj_scratch_);
+    if (telemetry_ != nullptr) ++pending_phantoms_;
   }
 }
 
@@ -612,6 +623,7 @@ void ShardedNetwork::drain_and_apply() {
       });
       for (const Msg& m : inbox_) {
         if (safety_check_ && (m.at > clock_ || m.at < prev_clock_)) ++violations_;
+        if (telemetry_ != nullptr) ++win_msgs_[static_cast<std::size_t>(m.kind)];
         apply_msg(shard_of_[m.node], dest, m);
       }
       messages_ += inbox_.size();
@@ -627,9 +639,42 @@ void ShardedNetwork::drain_and_apply() {
   }
 }
 
+// Close the telemetry record of the window that just ran.  Must run after
+// drain_and_apply (the window's cross-shard messages are drained at the next
+// plan call) and before recompute_window (tau_ still holds the completed
+// window's value); prev_clock_/clock_ still frame its span for the same
+// reason.
+void ShardedNetwork::finalize_window_record() {
+  if (telemetry_ == nullptr || !window_open_) return;
+  window_open_ = false;
+  const std::size_t S = shards_.size();
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::uint64_t ex = shards_[s]->scheduler.executed_count();
+    win_events_scratch_[s] = ex - prev_executed_[s];
+    prev_executed_[s] = ex;
+  }
+  std::span<const std::uint64_t> exec_ns;
+  std::span<const std::uint64_t> stall_ns;
+  std::uint64_t wait_ns = 0;
+  if (exec_ != nullptr) {
+    exec_ns = exec_->last_execute_ns();
+    stall_ns = exec_->last_stall_ns();
+    wait_ns = exec_->last_wait_ns();
+  }
+  telemetry_->record_window(prev_clock_, clock_, tau_, win_events_scratch_, shard_busy_ns_,
+                            win_msgs_, pending_phantoms_, exec_ns, stall_ns, wait_ns);
+  std::fill(shard_busy_ns_.begin(), shard_busy_ns_.end(), 0);
+  win_msgs_.fill(0);
+  pending_phantoms_ = 0;
+}
+
 SimTime ShardedNetwork::plan_next_barrier() {
   drain_and_apply();
-  if (clock_ >= until_) return SimTime::max();
+  finalize_window_record();
+  if (clock_ >= until_) {
+    if (barrier_hook_) barrier_hook_();
+    return SimTime::max();
+  }
   if (mobile_) recompute_window();
   SimTime earliest = SimTime::max();
   for (const auto& sh : shards_) {
@@ -645,7 +690,9 @@ SimTime ShardedNetwork::plan_next_barrier() {
   prev_clock_ = clock_;
   clock_ = next;
   ++windows_;
+  window_open_ = telemetry_ != nullptr;
   if (mobile_) refresh_phantoms(prev_clock_, clock_);
+  if (barrier_hook_) barrier_hook_();
   return next;
 }
 
@@ -655,12 +702,40 @@ void ShardedNetwork::run_until(SimTime until) {
   if (exec_ == nullptr) {
     exec_ = std::make_unique<WindowExecutor>(
         shards_.size(), config_.shard_threads, [this] { return plan_next_barrier(); },
-        [this](std::size_t s, SimTime t) { shards_[s]->scheduler.run_until(t); },
+        [this](std::size_t s, SimTime t) {
+          if (telemetry_ == nullptr) {
+            shards_[s]->scheduler.run_until(t);
+            return;
+          }
+          // Per-shard busy time: written only by the shard's owning worker,
+          // read by the serial plan phase — the barrier handshake orders it.
+          const std::uint64_t t0 = mono_ns();
+          shards_[s]->scheduler.run_until(t);
+          shard_busy_ns_[s] += mono_ns() - t0;
+        },
         config_.shard_pin_workers);
     if (worker_hook_) exec_->set_worker_hook(worker_hook_);
     threads_used_ = exec_->threads();
   }
+  if (telemetry_ != nullptr) {
+    exec_->set_collect_timing(true);
+    if (telemetry_->workers() == 0) telemetry_->set_workers(exec_->threads());
+  }
   exec_->run();
+}
+
+void ShardedNetwork::enable_window_telemetry(std::size_t ring_capacity) {
+  if (telemetry_ != nullptr) return;
+  WindowTelemetry::Config cfg;
+  if (ring_capacity > 0) cfg.ring_capacity = ring_capacity;
+  telemetry_ = std::make_unique<WindowTelemetry>(shards_.size(), cfg);
+  prev_executed_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    // Events already executed (construction-time arming) belong to no window.
+    prev_executed_[s] = shards_[s]->scheduler.executed_count();
+  }
+  win_events_scratch_.assign(shards_.size(), 0);
+  shard_busy_ns_.assign(shards_.size(), 0);
 }
 
 void ShardedNetwork::set_worker_hook(std::function<void(unsigned)> hook) {

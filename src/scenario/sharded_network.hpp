@@ -33,6 +33,7 @@
 // equal the serial engine's even while nodes move.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -44,6 +45,8 @@
 #include "sim/window_exec.hpp"
 
 namespace rmacsim {
+
+class WindowTelemetry;
 
 class ShardedNetwork {
 public:
@@ -93,6 +96,23 @@ public:
   // first run_until.
   void set_worker_hook(std::function<void(unsigned)> hook);
 
+  // Per-barrier telemetry (window span/tau, per-shard events and busy-ns,
+  // per-worker execute/stall spans, cross-shard messages by kind, phantom
+  // refreshes).  Enable before the first run_until; ring_capacity 0 keeps
+  // the recorder's default.  Also turns on the executor's wall-clock timing.
+  void enable_window_telemetry(std::size_t ring_capacity = 0);
+  [[nodiscard]] WindowTelemetry* window_telemetry() noexcept { return telemetry_.get(); }
+  [[nodiscard]] const WindowTelemetry* window_telemetry() const noexcept {
+    return telemetry_.get();
+  }
+
+  // Called from the serial plan phase after every planned barrier (progress
+  // heartbeats).  Runs on the planning thread; keep it cheap.
+  void set_barrier_hook(std::function<void()> hook) { barrier_hook_ = std::move(hook); }
+
+  // Last barrier every shard has reached (the serial plan phase's clock).
+  [[nodiscard]] SimTime now() const noexcept { return clock_; }
+
   // Engine diagnostics.
   [[nodiscard]] SimTime tau() const noexcept { return tau_; }
   [[nodiscard]] SimTime window() const noexcept { return window_; }
@@ -134,6 +154,7 @@ private:
   void route_tone_edge(std::size_t src, std::uint8_t channel, NodeId id, bool on);
   void drain_and_apply();
   void apply_msg(std::size_t src, std::size_t dest, const Msg& m);
+  void finalize_window_record();
   [[nodiscard]] SimTime plan_next_barrier();
 
   NetworkConfig config_;
@@ -183,6 +204,20 @@ private:
   std::vector<NodeId> prune_a_;
   std::vector<NodeId> prune_b_;
   std::vector<TrajectoryPoint> traj_scratch_;
+
+  // Window telemetry (all fed from the serial plan phase except
+  // shard_busy_ns_, which each owning worker writes during advance and the
+  // barrier handshake orders against the plan-phase read).  A window's
+  // messages are drained at the *next* plan call, so its record is finalized
+  // there: window_open_ marks a planned-but-unrecorded window.
+  std::unique_ptr<WindowTelemetry> telemetry_;
+  std::function<void()> barrier_hook_;
+  bool window_open_{false};
+  std::vector<std::uint64_t> prev_executed_;      // per-shard executed_count watermark
+  std::vector<std::uint64_t> win_events_scratch_;  // per-shard events this window
+  std::vector<std::uint64_t> shard_busy_ns_;       // per-shard advance wall-ns this window
+  std::array<std::uint32_t, 4> win_msgs_{};        // by Msg::Kind
+  std::uint32_t pending_phantoms_{0};
 
   std::function<void(unsigned)> worker_hook_;
   // Persistent pool; lazily built on the first run_until so the configured

@@ -1,6 +1,7 @@
 #include "sim/window_exec.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #ifdef __linux__
 #include <pthread.h>
@@ -25,6 +26,13 @@ void pin_to_cpu(unsigned worker) {
 #endif
 }
 
+[[nodiscard]] std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 WindowExecutor::WindowExecutor(std::size_t shards, unsigned threads, PlanFn plan,
@@ -35,6 +43,9 @@ WindowExecutor::WindowExecutor(std::size_t shards, unsigned threads, PlanFn plan
       plan_{std::move(plan)},
       advance_{std::move(advance)},
       pin_{pin_workers},
+      arrive_ns_(threads_, 0),
+      last_exec_(threads_, 0),
+      last_stall_(threads_, 0),
       errors_(shards) {}
 
 WindowExecutor::~WindowExecutor() {
@@ -55,12 +66,23 @@ void WindowExecutor::run() {
 }
 
 void WindowExecutor::run_serial() {
+  if (collect_) idle_from_ns_ = mono_ns();
   for (;;) {
     const SimTime barrier = plan_();
     if (barrier == SimTime::max()) return;
     ++windows_;
     if (hook_) hook_(0);
-    for (std::size_t s = 0; s < shards_; ++s) advance_(s, barrier);
+    if (collect_) {
+      const std::uint64_t t0 = mono_ns();
+      last_wait_ns_ = t0 - idle_from_ns_;
+      for (std::size_t s = 0; s < shards_; ++s) advance_(s, barrier);
+      const std::uint64_t t1 = mono_ns();
+      last_exec_[0] = t1 - t0;
+      last_stall_[0] = 0;
+      idle_from_ns_ = t1;
+    } else {
+      for (std::size_t s = 0; s < shards_; ++s) advance_(s, barrier);
+    }
   }
 }
 
@@ -95,6 +117,7 @@ void WindowExecutor::worker_main(unsigned w) {
         errors_[s] = std::current_exception();
       }
     }
+    if (collect_) arrive_ns_[w] = mono_ns();
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (++arrived_ == threads_) cv_done_.notify_one();
@@ -103,17 +126,29 @@ void WindowExecutor::worker_main(unsigned w) {
 }
 
 void WindowExecutor::dispatch_window(SimTime barrier) {
+  const std::uint64_t t0 = collect_ ? mono_ns() : 0;
   std::unique_lock<std::mutex> lk(mu_);
   barrier_time_ = barrier;
   arrived_ = 0;
   ++generation_;
   cv_work_.notify_all();
   cv_done_.wait(lk, [&] { return arrived_ == threads_; });
+  if (collect_) {
+    std::uint64_t t_last = t0;
+    for (unsigned w = 0; w < threads_; ++w) t_last = std::max(t_last, arrive_ns_[w]);
+    for (unsigned w = 0; w < threads_; ++w) {
+      last_exec_[w] = arrive_ns_[w] > t0 ? arrive_ns_[w] - t0 : 0;
+      last_stall_[w] = t_last - std::max(arrive_ns_[w], t0);
+    }
+    last_wait_ns_ = t0 > idle_from_ns_ ? t0 - idle_from_ns_ : 0;
+    idle_from_ns_ = t_last;
+  }
 }
 
 void WindowExecutor::run_parallel() {
   start_pool();
   std::fill(errors_.begin(), errors_.end(), nullptr);
+  if (collect_) idle_from_ns_ = mono_ns();
   for (;;) {
     const bool failed = std::any_of(errors_.begin(), errors_.end(),
                                     [](const std::exception_ptr& e) { return e != nullptr; });

@@ -71,6 +71,24 @@ public:
   // Install/replace the per-window worker hook.  Call only between runs.
   void set_worker_hook(WorkerHook hook) { hook_ = std::move(hook); }
 
+  // Per-window wall-clock timing (window telemetry).  When enabled, the
+  // executor records for the most recent window: each worker's execute span
+  // (work publication to its barrier arrival), its barrier stall (arrival to
+  // the last worker's arrival), and the uniform parked span before the
+  // window (the serial plan phase).  Totals live in WindowTelemetry; this
+  // class only keeps the last window so the plan phase of window k+1 can
+  // read window k's spans — the barrier handshake orders those reads.  Costs
+  // a few steady_clock reads per window; off by default.  Call only between
+  // runs.
+  void set_collect_timing(bool on) noexcept { collect_ = on; }
+  [[nodiscard]] const std::vector<std::uint64_t>& last_execute_ns() const noexcept {
+    return last_exec_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& last_stall_ns() const noexcept {
+    return last_stall_;
+  }
+  [[nodiscard]] std::uint64_t last_wait_ns() const noexcept { return last_wait_ns_; }
+
   void run();
 
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
@@ -90,7 +108,18 @@ private:
   AdvanceFn advance_;
   WorkerHook hook_;
   bool pin_;
+  bool collect_{false};
   std::uint64_t windows_{0};
+
+  // Timing state (valid only while collect_): per-worker spans of the last
+  // window plus the wall instant the previous window (or run) ended.
+  // Workers write arrive_ns_[w] before taking the arrival lock; the main
+  // thread reads after the cv_done_ wakeup, so the mutex orders every pair.
+  std::vector<std::uint64_t> arrive_ns_;
+  std::vector<std::uint64_t> last_exec_;
+  std::vector<std::uint64_t> last_stall_;
+  std::uint64_t last_wait_ns_{0};
+  std::uint64_t idle_from_ns_{0};
 
   // Generation-counter barrier.  The main thread publishes barrier_time_ and
   // bumps generation_ under the mutex; workers wake on cv_work_, advance

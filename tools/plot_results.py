@@ -20,9 +20,20 @@ A third mode plots the sharded engine's scaling curve from a bench report
 (tools/bench_report.py output) as fig_scaling.png — wall time and speedup of
 every BM_Sharded* sweep point over its serial baseline, with entries tagged
 `undersubscribed` (more worker threads than host CPUs) excluded from the
-speedup curve:
+speedup curve.  With --bound it also draws the critical-path achievable
+speedup measured by window telemetry, so the gap between "what we got" and
+"what the partition permits" is visible on one chart:
 
-    python3 tools/plot_results.py --scaling BENCH_core.json [outdir]
+    python3 tools/plot_results.py --scaling BENCH_core.json [outdir] \
+        [--bound out/run_telemetry.json]
+
+A fourth mode plots the per-shard load profile from a window-telemetry JSON
+(written on sharded runs by `run_experiment --shards N --obs-dir DIR`) as
+fig_shard_load.png — per-shard busy time stacked over the retained window
+ring plus the per-window event share, the visual counterpart of
+tools/shard_report.py:
+
+    python3 tools/plot_results.py --shard-load out/run_telemetry.json [outdir]
 """
 import csv
 import json
@@ -215,9 +226,27 @@ def load_timeline(path):
                 f"not a paper_sweep results CSV")
         state_cols = [c for c in fields if c.startswith("state_")]
         cols = {c: [] for c in TIMELINE_COLUMNS + state_cols}
+        # Sharded runs write one row group per shard (extra leading 'shard'
+        # column); fold them into one network-wide series per sample time —
+        # counts add, the busy fraction averages over shards.
+        sharded = "shard" in fields
+        by_time = defaultdict(list)
         for row in reader:
-            for c in cols:
-                cols[c].append(float(row[c]))
+            if sharded:
+                by_time[float(row["t_s"])].append(row)
+            else:
+                for c in cols:
+                    cols[c].append(float(row[c]))
+        if sharded:
+            for t in sorted(by_time):
+                group = by_time[t]
+                cols["t_s"].append(t)
+                for c in cols:
+                    if c == "t_s":
+                        continue
+                    total = sum(float(r[c]) for r in group)
+                    cols[c].append(total / len(group) if c == "busy_frac"
+                                   else total)
     if not cols["t_s"]:
         sys.exit(f"{path}: no samples")
     return cols, state_cols
@@ -278,6 +307,79 @@ def plot_timeline(path, outdir):
     return 0
 
 
+def load_telemetry(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rmacsim-window-telemetry-v1":
+        sys.exit(f"{path}: not a window-telemetry JSON "
+                 f"(expected schema rmacsim-window-telemetry-v1)")
+    return doc
+
+
+def shard_load_text_report(doc):
+    total = max(1, doc["events"])
+    print(f"{doc['windows']} windows, {doc['shards']} shards "
+          f"(ring holds {len(doc['samples']['index'])})")
+    for s in doc["per_shard"]:
+        print(f"  shard {s['shard']}: {s['events']} events "
+              f"({s['events'] / total:.1%}), busy {s['busy_ns'] / 1e6:.1f} ms")
+    print(f"  imbalance busy {doc['imbalance']['busy']:.2f} / "
+          f"events {doc['imbalance']['events']:.2f}, "
+          f"speedup bound {doc['speedup_bound']['busy']:.2f}x")
+
+
+def plot_shard_load(path, outdir):
+    doc = load_telemetry(path)
+    samples = doc.get("samples", {})
+    if not samples.get("index"):
+        print(f"{path}: telemetry ring is empty — nothing to plot",
+              file=sys.stderr)
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("(matplotlib not available — text report instead)")
+        shard_load_text_report(doc)
+        return 0
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    # X axis: window midpoint in simulated seconds, over the retained ring.
+    t = [(f + to) / 2e9 for f, to in zip(samples["from_ns"], samples["to_ns"])]
+    busy_ms = [[ns / 1e6 for ns in row] for row in samples["shard_busy_ns"]]
+    labels = [f"shard {i}" for i in range(doc["shards"])]
+
+    fig, (ax_busy, ax_share) = plt.subplots(2, 1, figsize=(12, 7), sharex=True)
+    ax_busy.stackplot(t, busy_ms, labels=labels, alpha=0.85)
+    ax_busy.set_ylabel("advance wall time per window (ms)")
+    ax_busy.legend(loc="upper right", ncol=4, fontsize=8)
+    ax_busy.set_title(
+        f"{doc.get('label', '')}  [{doc.get('partition', '?')}, "
+        f"{doc['shards']} shards] — imbalance "
+        f"busy {doc['imbalance']['busy']:.2f} / "
+        f"events {doc['imbalance']['events']:.2f}, "
+        f"bound {doc['speedup_bound']['busy']:.2f}x")
+
+    events = samples["shard_events"]
+    totals = [max(1, sum(col)) for col in zip(*events)]
+    shares = [[e / tot for e, tot in zip(row, totals)] for row in events]
+    ax_share.stackplot(t, shares, labels=labels, alpha=0.85)
+    ax_share.set_ylabel("event share per window")
+    ax_share.set_ylim(0, 1.0)
+    ax_share.set_xlabel("simulated time (s)")
+
+    for ax in (ax_busy, ax_share):
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = outdir / "fig_shard_load.png"
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print(f"wrote {out}")
+    shard_load_text_report(doc)
+    return 0
+
+
 def load_scaling(path):
     """Sharded sweep points from a bench report, grouped by benchmark family.
 
@@ -316,7 +418,7 @@ def load_scaling(path):
     return families
 
 
-def scaling_text_report(families):
+def scaling_text_report(families, bound=None):
     for family, entries in sorted(families.items()):
         base = next((e for e in entries if e["serial"]), None)
         print(family)
@@ -327,21 +429,27 @@ def scaling_text_report(families):
             tag = "  [undersubscribed]" if e["undersubscribed"] else ""
             print(f"  {e['label']:<10} {e['time']:10.1f} {e['unit']}  "
                   f"speedup {speedup}{tag}")
+    if bound is not None:
+        print(f"measured critical-path bound: {bound:.2f}x "
+              "(window telemetry, busy basis)")
 
 
-def plot_scaling(path, outdir):
+def plot_scaling(path, outdir, bound_path=None):
     families = load_scaling(path)
     if not families:
         print(f"{path}: no BM_Sharded*Experiment entries — generate the report "
               "with tools/bench_report.py first", file=sys.stderr)
         return 1
+    bound = None
+    if bound_path:
+        bound = load_telemetry(bound_path)["speedup_bound"]["busy"]
     try:
         import matplotlib
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
     except ImportError:
         print("(matplotlib not available — text report instead)")
-        scaling_text_report(families)
+        scaling_text_report(families, bound)
         return 0
 
     outdir.mkdir(parents=True, exist_ok=True)
@@ -361,6 +469,11 @@ def plot_scaling(path, outdir):
     ax_time.set_xlabel("grid/threads")
     ax_time.set_title("Sharded run wall time")
     ax_speed.axhline(1.0, color="gray", lw=0.8, ls="--")
+    if bound is not None:
+        ax_speed.axhline(bound, color="tab:red", lw=1.0, ls=":")
+        ax_speed.annotate(f"achievable bound {bound:.2f}x (telemetry)",
+                          xy=(0.02, bound), xycoords=("axes fraction", "data"),
+                          va="bottom", fontsize=8, color="tab:red")
     ax_speed.set_ylabel("speedup over serial baseline")
     ax_speed.set_xlabel("grid/threads")
     ax_speed.set_title("Scaling (undersubscribed entries excluded)")
@@ -373,31 +486,46 @@ def plot_scaling(path, outdir):
     fig.savefig(out, dpi=120)
     plt.close(fig)
     print(f"wrote {out}")
-    scaling_text_report(families)
+    scaling_text_report(families, bound)
     return 0
 
 
 def main():
-    if len(sys.argv) < 2:
+    argv = list(sys.argv)
+    bound_path = None
+    if "--bound" in argv:  # only meaningful with --scaling
+        i = argv.index("--bound")
+        if i + 1 >= len(argv):
+            print(__doc__)
+            return 2
+        bound_path = argv[i + 1]
+        del argv[i:i + 2]
+    if len(argv) < 2:
         print(__doc__)
         return 2
-    if sys.argv[1] == "--scaling":
-        if len(sys.argv) < 3:
+    if argv[1] == "--scaling":
+        if len(argv) < 3:
             print(__doc__)
             return 2
-        outdir = Path(sys.argv[3]) if len(sys.argv) > 3 else Path("plots")
-        return plot_scaling(sys.argv[2], outdir)
-    if sys.argv[1] == "--timeline":
-        if len(sys.argv) < 3:
+        outdir = Path(argv[3]) if len(argv) > 3 else Path("plots")
+        return plot_scaling(argv[2], outdir, bound_path)
+    if argv[1] == "--shard-load":
+        if len(argv) < 3:
             print(__doc__)
             return 2
-        outdir = Path(sys.argv[3]) if len(sys.argv) > 3 else Path("plots")
-        return plot_timeline(sys.argv[2], outdir)
-    rows = load(sys.argv[1])
+        outdir = Path(argv[3]) if len(argv) > 3 else Path("plots")
+        return plot_shard_load(argv[2], outdir)
+    if argv[1] == "--timeline":
+        if len(argv) < 3:
+            print(__doc__)
+            return 2
+        outdir = Path(argv[3]) if len(argv) > 3 else Path("plots")
+        return plot_timeline(argv[2], outdir)
+    rows = load(argv[1])
     if not rows:
         print("no rows parsed — is this a paper_sweep CSV?", file=sys.stderr)
         return 1
-    outdir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("plots")
+    outdir = Path(argv[2]) if len(argv) > 2 else Path("plots")
     try:
         plot(rows, outdir)
     except ImportError:

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Shard-load report from window-telemetry output.
+
+Default mode reads a window-telemetry JSON dump (written by the experiment
+harness on sharded runs when ExperimentConfig::obs records telemetry, or by
+`run_experiment --shards N --obs-dir DIR`) and prints the per-shard load
+table, the worker execute/stall breakdown, the window-width distribution,
+and a partition recommendation: whether the measured imbalance suggests
+switching between stripes, grid, and RCB partitioners.
+
+    python3 tools/shard_report.py out/run_telemetry.json
+    python3 tools/shard_report.py out/run_telemetry.json --top 10
+
+`--check` validates a telemetry JSON file structurally (schema marker,
+cross-field consistency, per-shard totals vs the window ring) and exits 0/1;
+CI runs it against the sharded quickstart artifact so exporter regressions
+fail fast:
+
+    python3 tools/shard_report.py --check out/run_telemetry.json
+
+Uses only the standard library.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "rmacsim-window-telemetry-v1"
+
+# Histogram summary keys the exporter writes for every distribution.
+HIST_KEYS = {"count", "mean", "min", "max", "p50", "p90", "p99"}
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: not a {SCHEMA} document")
+    return doc
+
+
+def bar(frac: float, width: int = 24) -> str:
+    n = max(0, min(width, round(frac * width)))
+    return "#" * n + "." * (width - n)
+
+
+def fmt_ns(ns: float) -> str:
+    return f"{ns / 1e6:10.1f}ms"
+
+
+def recommend(doc: dict) -> list[str]:
+    """Partition hint from the measured imbalance and message mix."""
+    imb_ev = doc["imbalance"]["events"]
+    imb_busy = doc["imbalance"]["busy"]
+    partition = doc.get("partition", "?")
+    shards = doc["shards"]
+    msgs_per_window = doc["messages_per_window"]["mean"]
+    lines: list[str] = []
+    if imb_ev <= 1.25:
+        lines.append(f"load is balanced (events imbalance {imb_ev:.2f}); "
+                     f"the {partition} partition is fine")
+    elif partition == "stripes":
+        lines.append(f"events imbalance {imb_ev:.2f} on stripes: traffic "
+                     "concentrates in some stripes — try a near-square grid "
+                     "(--shard-grid) or RCB (--shard-partition rcb), which "
+                     "equalises populations per region")
+    elif partition == "grid":
+        lines.append(f"events imbalance {imb_ev:.2f} on the grid: the hot "
+                     "spot does not align with equal-area cells — RCB "
+                     "(--shard-partition rcb) splits on node medians and "
+                     "usually evens this out")
+    else:  # rcb
+        lines.append(f"events imbalance {imb_ev:.2f} on RCB: populations are "
+                     "equal but per-node work is not (the source's subtree "
+                     "works hardest); more shards spread the hot subtree, or "
+                     "accept the critical-path bound below")
+    if imb_busy > imb_ev * 1.5 and imb_ev > 0:
+        lines.append(f"busy imbalance ({imb_busy:.2f}) far exceeds events "
+                     f"imbalance ({imb_ev:.2f}): per-event cost differs "
+                     "between shards — look at the message mix, remote "
+                     "mirrors are costlier than local events")
+    if msgs_per_window > 8 and shards > 2:
+        lines.append(f"{msgs_per_window:.1f} cross-shard messages per window: "
+                     "boundary traffic is heavy; fewer, fatter shards (or a "
+                     "partition with shorter boundaries) cuts it")
+    sb = doc["speedup_bound"]["busy"]
+    lines.append(f"critical-path bound: at most {sb:.2f}x speedup is "
+                 f"achievable on this run regardless of worker count")
+    return lines
+
+
+def report(args: argparse.Namespace) -> int:
+    doc = load(args.telemetry)
+    label = doc.get("label", "")
+    grid = doc.get("shard_grid", "")
+    part = doc.get("partition", "?")
+    part_desc = f"{part} {grid}" if grid else part
+    print(f"{label}  [{part_desc}, {doc['shards']} shards, "
+          f"{doc['workers']} workers]")
+    print(f"  {doc['windows']} windows over {doc['span_s']:.2f}s sim, "
+          f"{doc['events']} events, {doc['messages_total']} cross-shard "
+          f"messages, {doc['phantom_refreshes']} phantom refreshes")
+    w = doc["window_width_us"]
+    print(f"  window width: mean {w['mean']:.0f}us, p50 {w['p50']:.0f}us, "
+          f"p99 {w['p99']:.0f}us, max {w['max']:.0f}us")
+    msgs = doc["messages"]
+    print("  messages: " + ", ".join(f"{k} {v}" for k, v in msgs.items()))
+    print()
+
+    # Per-shard load table, heaviest first.
+    shards = sorted(doc["per_shard"], key=lambda s: s["events"], reverse=True)
+    total_events = max(1, sum(s["events"] for s in shards))
+    counts = doc.get("node_counts", [])
+    print(f"  {'shard':>5} {'nodes':>5} {'events':>12} {'share':>6} "
+          f"{'busy':>12}  load")
+    for s in shards[: args.top] if args.top else shards:
+        frac = s["events"] / total_events
+        nodes = counts[s["shard"]] if s["shard"] < len(counts) else "?"
+        print(f"  {s['shard']:>5} {nodes:>5} {s['events']:>12} "
+              f"{frac:>6.1%} {fmt_ns(s['busy_ns'])}  {bar(frac)}")
+    print(f"  imbalance: busy {doc['imbalance']['busy']:.2f}, "
+          f"events {doc['imbalance']['events']:.2f} "
+          f"(1.00 = perfectly even)")
+    print()
+
+    # Worker wall-clock breakdown: execute vs barrier stall vs plan wait.
+    wait_ns = doc.get("worker_wait_ns", 0)
+    print(f"  {'worker':>6} {'execute':>12} {'stall':>12}  stall share")
+    for pw in doc["per_worker"]:
+        tot = pw["execute_ns"] + pw["stall_ns"]
+        frac = pw["stall_ns"] / tot if tot else 0.0
+        print(f"  {pw['worker']:>6} {fmt_ns(pw['execute_ns'])} "
+              f"{fmt_ns(pw['stall_ns'])}  {frac:.1%} {bar(frac, 12)}")
+    print(f"  plan-phase wait (all workers idle): {fmt_ns(wait_ns).strip()}")
+    print()
+
+    print("  recommendation:")
+    for line in recommend(doc):
+        print(f"   - {line}")
+    return 0
+
+
+def check(path: str) -> int:
+    """Structural validation of a window-telemetry JSON file."""
+    errors: list[str] = []
+
+    def err(msg: str) -> None:
+        if len(errors) < 20:
+            errors.append(msg)
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {path}: {e}", file=sys.stderr)
+        return 1
+
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        print(f"FAIL {path}: missing schema marker {SCHEMA!r}", file=sys.stderr)
+        return 1
+
+    for key in ("shards", "workers", "windows", "events", "messages_total",
+                "phantom_refreshes", "worker_wait_ns"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            err(f"{key}: missing or not a non-negative integer")
+    for key in ("imbalance", "speedup_bound"):
+        d = doc.get(key)
+        if not isinstance(d, dict) or set(d) != {"busy", "events"}:
+            err(f"{key}: needs busy/events entries")
+    for key in ("window_width_us", "messages_per_window"):
+        d = doc.get(key)
+        if not isinstance(d, dict) or not HIST_KEYS <= set(d):
+            err(f"{key}: histogram summary needs {sorted(HIST_KEYS)}")
+    if errors:
+        print(f"FAIL {path}", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+
+    nshards = doc["shards"]
+    per_shard = doc.get("per_shard", [])
+    if len(per_shard) != nshards:
+        err(f"per_shard: {len(per_shard)} entries for {nshards} shards")
+    shard_event_sum = 0
+    for i, s in enumerate(per_shard):
+        if not isinstance(s, dict) or s.get("shard") != i:
+            err(f"per_shard[{i}]: out of order or malformed")
+            continue
+        if not isinstance(s.get("events"), int) or s["events"] < 0:
+            err(f"per_shard[{i}]: bad events")
+        if not isinstance(s.get("busy_ns"), int) or s["busy_ns"] < 0:
+            err(f"per_shard[{i}]: bad busy_ns")
+        shard_event_sum += s.get("events", 0)
+    # Totals accumulate every window (the ring only bounds samples), so the
+    # per-shard breakdown must sum exactly to the recorded event total.
+    if shard_event_sum != doc["events"]:
+        err(f"per-shard events sum {shard_event_sum} != total {doc['events']}")
+
+    per_worker = doc.get("per_worker", [])
+    if len(per_worker) != doc["workers"]:
+        err(f"per_worker: {len(per_worker)} entries for "
+            f"{doc['workers']} workers")
+    for i, pw in enumerate(per_worker):
+        if not isinstance(pw, dict) or pw.get("worker") != i:
+            err(f"per_worker[{i}]: out of order or malformed")
+        elif any(not isinstance(pw.get(k), int) or pw[k] < 0
+                 for k in ("execute_ns", "stall_ns")):
+            err(f"per_worker[{i}]: bad execute_ns/stall_ns")
+
+    kinds_sum = sum(doc.get("messages", {}).values())
+    if kinds_sum != doc["messages_total"]:
+        err(f"messages by kind sum {kinds_sum} != "
+            f"messages_total {doc['messages_total']}")
+
+    samples = doc.get("samples")
+    ring = 0
+    if not isinstance(samples, dict):
+        err("samples: missing object")
+    else:
+        ring = len(samples.get("index", []))
+        if ring > doc["windows"]:
+            err(f"samples: ring holds {ring} windows but only "
+                f"{doc['windows']} ran")
+        for key in ("index", "from_ns", "to_ns", "tau_ns", "events",
+                    "messages_total", "phantom_refreshes"):
+            col = samples.get(key)
+            if not isinstance(col, list) or len(col) != ring:
+                err(f"samples.{key}: length != {ring}")
+        for key in ("shard_events", "shard_busy_ns"):
+            rows = samples.get(key)
+            if not isinstance(rows, list) or len(rows) != nshards:
+                err(f"samples.{key}: needs one row per shard")
+            elif any(len(r) != ring for r in rows):
+                err(f"samples.{key}: row length != {ring}")
+        idx = samples.get("index", [])
+        if any(b <= a for a, b in zip(idx, idx[1:])):
+            err("samples.index: not strictly increasing")
+        froms, tos = samples.get("from_ns", []), samples.get("to_ns", [])
+        if any(t < f for f, t in zip(froms, tos)):
+            err("samples: window with to_ns < from_ns")
+
+    hist_count = doc["window_width_us"]["count"]
+    if hist_count != doc["windows"]:
+        err(f"window_width_us.count {hist_count} != windows {doc['windows']}")
+
+    if errors:
+        print(f"FAIL {path}", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"OK {path}: {doc['windows']} windows, {nshards} shards, "
+          f"{doc['workers']} workers, ring {ring}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("telemetry", nargs="?",
+                        help="window-telemetry JSON file to report on")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="show only the N heaviest shards (default: all)")
+    parser.add_argument("--check", metavar="TELEMETRY_JSON",
+                        help="validate a telemetry JSON file and exit")
+    args = parser.parse_args()
+
+    if args.check:
+        return check(args.check)
+    if not args.telemetry:
+        parser.print_help()
+        return 2
+    return report(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)
