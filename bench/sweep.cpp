@@ -2,48 +2,30 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
-#include <sstream>
 
+#include "campaign/revision.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+#include "scenario/config_key.hpp"
 #include "scenario/parallel_runner.hpp"
 #include "sim/strfmt.hpp"
 
 namespace rmacsim::bench {
 
-// Baked in by bench/CMakeLists.txt; fallbacks keep non-CMake builds working.
-#ifndef RMAC_GIT_REV
-#define RMAC_GIT_REV "unknown"
-#endif
+// Baked in by bench/CMakeLists.txt; fallback keeps non-CMake builds working.
 #ifndef RMAC_SWEEP_CACHE_DIR
 #define RMAC_SWEEP_CACHE_DIR "."
 #endif
 
 namespace {
 
-// The cache lives in the build tree, keyed by source revision and grid
-// shape: a code change or a different sweep scale lands in a different
-// file, so stale numbers from an older simulator are never mixed into a
-// figure, and `git status` stays clean while iterating.
-std::string cache_path(const SweepScale& scale) {
-  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
-  const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xffu;
-      h *= 0x100000001b3ull;
-    }
-  };
-  for (const char* p = RMAC_GIT_REV; *p != '\0'; ++p) {
-    mix(static_cast<unsigned char>(*p));
-  }
-  mix(scale.nodes);
-  mix(scale.seeds);
-  mix(scale.packets);
-  for (const double r : scale.rates) mix(static_cast<std::uint64_t>(r * 1000.0));
-  char hex[17];
-  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));
-  return cat(RMAC_SWEEP_CACHE_DIR, "/rmac_sweep_cache_", hex, ".tsv");
-}
+// Sweep results live in the campaign result store (src/campaign/store.hpp):
+// one rmacsim-cell-v1 record per (config, revision) content address, shared
+// with campaign runs.  A code change or different sweep scale lands at
+// different keys, so stale numbers from an older simulator are never mixed
+// into a figure; unlike the old flat-TSV cache, records also carry the
+// pooled delay samples and the full metrics snapshot.
+ResultStore sweep_store() { return ResultStore{cat(RMAC_SWEEP_CACHE_DIR, "/rmac_sweep_store")}; }
 
 unsigned env_unsigned(const char* name, unsigned fallback) {
   const char* v = std::getenv(name);
@@ -51,53 +33,24 @@ unsigned env_unsigned(const char* name, unsigned fallback) {
   return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
 }
 
-std::string config_key(const ExperimentConfig& c) {
-  return cat(to_string(c.protocol), '|', to_string(c.mobility), '|', c.rate_pps, '|',
-             c.num_packets, '|', c.num_nodes, '|', c.seed, '|', c.rbt_protection ? 1 : 0);
-}
-
-// Flat numeric serialization of an ExperimentResult (config is re-derived
-// from the key on load).
-std::string serialize(const ExperimentResult& r) {
-  std::ostringstream os;
-  os << r.delivery_ratio << '\t' << r.avg_delay_s << '\t' << r.p99_delay_s << '\t'
-     << r.avg_drop_ratio << '\t' << r.avg_retx_ratio << '\t' << r.avg_txoh_ratio << '\t'
-     << r.mrts_len_avg << '\t' << r.mrts_len_p99 << '\t' << r.mrts_len_max << '\t'
-     << r.abort_avg << '\t' << r.abort_p99 << '\t' << r.abort_max << '\t'
-     << r.tree_hops_avg << '\t' << r.tree_hops_p99 << '\t' << r.tree_children_avg << '\t'
-     << r.tree_children_p99 << '\t' << r.mac_believed_success << '\t' << r.generated << '\t'
-     << r.delivered << '\t' << r.expected << '\t' << r.events_executed;
-  return os.str();
-}
-
-bool deserialize(const std::string& line, ExperimentResult& r) {
-  std::istringstream is{line};
-  return static_cast<bool>(
-      is >> r.delivery_ratio >> r.avg_delay_s >> r.p99_delay_s >> r.avg_drop_ratio >>
-      r.avg_retx_ratio >> r.avg_txoh_ratio >> r.mrts_len_avg >> r.mrts_len_p99 >>
-      r.mrts_len_max >> r.abort_avg >> r.abort_p99 >> r.abort_max >> r.tree_hops_avg >>
-      r.tree_hops_p99 >> r.tree_children_avg >> r.tree_children_p99 >>
-      r.mac_believed_success >> r.generated >> r.delivered >> r.expected >>
-      r.events_executed);
-}
-
-std::map<std::string, ExperimentResult> load_cache(const std::string& path) {
-  std::map<std::string, ExperimentResult> cache;
-  std::ifstream in{path};
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto tab = line.find('\t');
-    if (tab == std::string::npos) continue;
-    ExperimentResult r;
-    if (deserialize(line.substr(tab + 1), r)) cache.emplace(line.substr(0, tab), r);
-  }
-  return cache;
-}
-
-void append_cache(const std::string& path,
-                  const std::vector<std::pair<std::string, ExperimentResult>>& fresh) {
-  std::ofstream out{path, std::ios::app};
-  for (const auto& [key, r] : fresh) out << key << '\t' << serialize(r) << '\n';
+// The grid cell for (point, seed).  Metrics + digest are on so the stored
+// record is the same shape a campaign worker produces for this config
+// (both are excluded from the canonical string — toggling them still hits
+// the same content address).
+ExperimentConfig sweep_config(Protocol proto, MobilityScenario mob, double rate,
+                              const SweepScale& scale, std::uint64_t seed) {
+  ExperimentConfig c;
+  c.protocol = proto;
+  c.mobility = mob;
+  c.rate_pps = rate;
+  c.num_packets = scale.packets;
+  c.num_nodes = scale.nodes;
+  c.seed = seed;
+  c.metrics.enabled = true;
+  c.metrics.keep_json = true;
+  c.metrics.out_dir.clear();
+  c.trace_digest = true;
+  return c;
 }
 
 }  // namespace
@@ -119,8 +72,8 @@ std::vector<SweepPoint> run_paper_sweep(const std::vector<Protocol>& protocols,
   const MobilityScenario scenarios[] = {MobilityScenario::kStationary,
                                         MobilityScenario::kSpeed1,
                                         MobilityScenario::kSpeed2};
-  const std::string cache_file = cache_path(scale);
-  auto cache = load_cache(cache_file);
+  const ResultStore store = sweep_store();
+  const std::string revision = build_revision();
 
   // Build the grid of single-run configs, skipping cached ones.
   std::vector<SweepPoint> points;
@@ -133,15 +86,8 @@ std::vector<SweepPoint> run_paper_sweep(const std::vector<Protocol>& protocols,
         p.mobility = mob;
         p.rate_pps = rate;
         for (unsigned s = 0; s < scale.seeds; ++s) {
-          ExperimentConfig c;
-          c.protocol = proto;
-          c.mobility = mob;
-          c.rate_pps = rate;
-          c.num_packets = scale.packets;
-          c.num_nodes = scale.nodes;
-          c.seed = s + 1;
-          const auto it = cache.find(config_key(c));
-          if (it == cache.end()) missing.push_back(c);
+          const ExperimentConfig c = sweep_config(proto, mob, rate, scale, s + 1);
+          if (!store.contains(cell_key(canonical_config(c), revision))) missing.push_back(c);
           // Per-seed results are filled in below once everything ran.
         }
         points.push_back(std::move(p));
@@ -160,27 +106,34 @@ std::vector<SweepPoint> run_paper_sweep(const std::vector<Protocol>& protocols,
                                                         missing.size(), r.config.label().c_str());
                                          });
     std::fprintf(stderr, "\n");
-    std::vector<std::pair<std::string, ExperimentResult>> fresh;
-    fresh.reserve(results.size());
     for (const ExperimentResult& r : results) {
-      const std::string key = config_key(r.config);
-      cache.emplace(key, r);
-      fresh.emplace_back(key, r);
+      CellRecord rec;
+      rec.canonical = canonical_config(r.config);
+      rec.key = cell_key(rec.canonical, revision);
+      rec.label = cell_label(r.config);
+      rec.revision = revision;
+      rec.result = r;
+      rec.snapshot_json = r.metrics.json;
+      std::string error;
+      if (!store.save(rec, &error)) {
+        std::fprintf(stderr, "[sweep] warning: cache write failed for %s: %s\n",
+                     rec.label.c_str(), error.c_str());
+      }
     }
-    append_cache(cache_file, fresh);
   }
 
-  // Assemble averaged points from the (now complete) cache.
+  // Assemble averaged points from the (now complete) store.
   for (SweepPoint& p : points) {
     for (unsigned s = 0; s < scale.seeds; ++s) {
-      ExperimentConfig c;
-      c.protocol = p.protocol;
-      c.mobility = p.mobility;
-      c.rate_pps = p.rate_pps;
-      c.num_packets = scale.packets;
-      c.num_nodes = scale.nodes;
-      c.seed = s + 1;
-      p.runs.push_back(cache.at(config_key(c)));
+      const ExperimentConfig c = sweep_config(p.protocol, p.mobility, p.rate_pps, scale, s + 1);
+      CellRecord rec;
+      std::string error;
+      if (!store.load(cell_key(canonical_config(c), revision), rec, &error)) {
+        std::fprintf(stderr, "[sweep] fatal: missing record for %s: %s\n",
+                     cell_label(c).c_str(), error.c_str());
+        std::abort();
+      }
+      p.runs.push_back(std::move(rec.result));
       p.runs.back().config = c;
     }
     p.avg = average_results(p.runs);

@@ -31,11 +31,17 @@
 // <prefix>_metrics.txt (OpenMetrics) and _metrics.json; --metrics prints the
 // loss-ledger breakdown and conservation verdict without writing artifacts.
 // --profile attaches the self-profiler and prints the hotspot table.
+// --worker <canonical> switches the binary into campaign-worker mode: the
+// argument is a canonical config string (scenario/config_key.hpp) produced by
+// the campaign coordinator; the process runs exactly that cell and emits
+// line-delimited JSON frames (heartbeats + one rmacsim-cell-v1 result) on
+// stdout — see docs/campaign.md.  --worker-heartbeat sets the frame cadence.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/worker.hpp"
 #include "scenario/experiment.hpp"
 
 using namespace rmacsim;
@@ -52,8 +58,10 @@ namespace {
                "          [--metrics] [--metrics-dir DIR] [--profile]\n"
                "          [--shards n] [--shard-threads n] [--lookahead-us us]\n"
                "          [--shard-partition stripes|grid|rcb] [--shard-grid RxC]\n"
-               "          [--shard-pin] [--telemetry] [--progress sec]\n",
-               argv0);
+               "          [--shard-pin] [--telemetry] [--progress sec]\n"
+               "          [--payload bytes] [--area WxH]\n"
+               "       %s --worker CANONICAL [--worker-heartbeat sec]\n",
+               argv0, argv0);
   std::exit(2);
 }
 
@@ -113,13 +121,19 @@ int main(int argc, char** argv) {
   c.num_packets = 300;
   bool shards_explicit = false;
   bool grid_explicit = false;
+  std::string worker_canonical;
+  WorkerOptions worker_opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--protocol") {
+    if (arg == "--worker") {
+      worker_canonical = next();
+    } else if (arg == "--worker-heartbeat") {
+      worker_opts.heartbeat_interval_s = std::atof(next());
+    } else if (arg == "--protocol") {
       c.protocol = parse_protocol(next(), argv[0]);
     } else if (arg == "--mobility") {
       c.mobility = parse_mobility(next(), argv[0]);
@@ -131,6 +145,18 @@ int main(int argc, char** argv) {
       c.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--nodes") {
       c.num_nodes = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--payload") {
+      c.payload_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--area") {
+      const char* spec = next();
+      double w = 0.0;
+      double h = 0.0;
+      if (std::sscanf(spec, "%lfx%lf", &w, &h) != 2 || w <= 0.0 || h <= 0.0) {
+        std::fprintf(stderr, "error: --area expects WxH in metres, e.g. 500x300\n");
+        return 2;
+      }
+      c.area.width = w;
+      c.area.height = h;
     } else if (arg == "--ber") {
       c.phy.bit_error_rate = std::atof(next());
     } else if (arg == "--capture") {
@@ -179,6 +205,11 @@ int main(int argc, char** argv) {
     } else {
       usage(argv[0]);
     }
+  }
+
+  // Worker mode ignores every other flag: the canonical string IS the config.
+  if (!worker_canonical.empty()) {
+    return run_worker_cell(worker_canonical, worker_opts, stdout);
   }
 
   // Flag cross-validation: the grid shape fixes the shard count; an explicit

@@ -1,0 +1,13 @@
+#include "campaign/revision.hpp"
+
+namespace rmacsim {
+
+const char* build_revision() noexcept {
+#ifdef RMAC_GIT_REVISION
+  return RMAC_GIT_REVISION;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace rmacsim

@@ -1,0 +1,12 @@
+// Compiled-in code revision for content-addressed result keying.
+#pragma once
+
+namespace rmacsim {
+
+// The git short revision the binary was built from ("unknown" outside a
+// checkout).  Part of every cell key: results are addressed by config AND by
+// the code that produced them, so a rebuild on new code never serves stale
+// cached cells.
+[[nodiscard]] const char* build_revision() noexcept;
+
+}  // namespace rmacsim

@@ -1,0 +1,97 @@
+#include "campaign/worker.hpp"
+
+#include <exception>
+
+#include "campaign/revision.hpp"
+#include "phy/frame_pool.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+#include "scenario/config_key.hpp"
+#include "sim/bufio.hpp"
+#include "sim/strfmt.hpp"
+
+namespace rmacsim {
+
+namespace {
+
+void emit_line(std::FILE* out, const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fputc('\n', out);
+  std::fflush(out);  // frames must not sit in a stdio buffer when we crash
+}
+
+void emit_error(std::FILE* out, const std::string& key, const std::string& message) {
+  BufWriter b;
+  b.lit("{\"frame\":\"error\",\"key\":\"");
+  b.escaped(key);
+  b.lit("\",\"message\":\"");
+  b.escaped(message);
+  b.lit("\"}");
+  emit_line(out, b.s);
+}
+
+}  // namespace
+
+int run_worker_cell(const std::string& canonical, const WorkerOptions& options, std::FILE* out) {
+  ExperimentConfig config;
+  std::string error;
+  if (!parse_canonical_config(canonical, config, &error)) {
+    emit_error(out, "", error);
+    return 2;
+  }
+  // Round-trip proof: the key we report must describe the config we ran.
+  // A mismatch means writer/reader version skew — refuse rather than cache
+  // a result under a key other binaries compute differently.
+  const std::string roundtrip = canonical_config(config);
+  if (roundtrip != canonical) {
+    emit_error(out, "", cat("canonical round-trip mismatch: got ", roundtrip));
+    return 2;
+  }
+  const std::string key = cell_key(canonical, build_revision());
+
+  config.metrics.enabled = true;
+  config.metrics.keep_json = true;
+  config.metrics.out_dir.clear();  // snapshot in memory; no per-cell files
+  config.trace_digest = true;
+  config.obs.out_dir.clear();
+  config.progress.interval_s = options.heartbeat_interval_s;
+  if (options.heartbeat_interval_s > 0.0) {
+    config.progress.sink = [out, &key](const ExperimentConfig::RunProgress& p) {
+      BufWriter b;
+      b.lit("{\"frame\":\"hb\",\"key\":\"");
+      b.escaped(key);
+      b.lit("\",\"progress\":");
+      b.str(format_progress_json(p));
+      b.ch('}');
+      emit_line(out, b.s);
+    };
+  }
+
+  CellRecord rec;
+  try {
+    // Pool gauges must reflect this cell alone (see frame_pool::reset()).
+    frame_pool::reset();
+    rec.result = run_experiment(config);
+  } catch (const std::exception& e) {
+    emit_error(out, key, cat("run_experiment: ", e.what()));
+    return 1;
+  }
+  rec.key = key;
+  rec.canonical = canonical;
+  rec.label = cell_label(config);
+  rec.revision = build_revision();
+  rec.snapshot_json = rec.result.metrics.json;
+  if (rec.snapshot_json.empty()) {
+    emit_error(out, key, "metrics snapshot missing from result");
+    return 1;
+  }
+
+  BufWriter b;
+  b.lit("{\"frame\":\"result\",\"cell\":");
+  b.str(serialize_cell_record(rec));
+  b.ch('}');
+  emit_line(out, b.s);
+  return 0;
+}
+
+}  // namespace rmacsim

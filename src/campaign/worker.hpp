@@ -1,0 +1,30 @@
+// Campaign worker: one cell per process, frames over stdout.
+//
+// `run_experiment --worker <canonical>` calls run_worker_cell.  The worker
+// talks to the coordinator in line-delimited JSON frames:
+//
+//   {"frame":"hb","key":"<cell key>","progress":{...}}   — PR 9 heartbeat
+//   {"frame":"error","key":"<cell key>","message":"..."} — terminal failure
+//   {"frame":"result","cell":{<rmacsim-cell-v1 record>}} — exactly once
+//
+// The result frame puts the cell record LAST so the coordinator can slice
+// the record's bytes out of the frame verbatim and write them to the store
+// untouched — no re-serialization, so the stored file is byte-identical to
+// what the worker rendered (the crash-retry identity test leans on this).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rmacsim {
+
+struct WorkerOptions {
+  double heartbeat_interval_s{1.0};  // 0 disables heartbeat frames
+};
+
+// Run the cell described by the canonical config string and emit frames to
+// `out`.  Returns a process exit code: 0 on success (result frame emitted),
+// non-zero after an error frame.
+int run_worker_cell(const std::string& canonical, const WorkerOptions& options, std::FILE* out);
+
+}  // namespace rmacsim

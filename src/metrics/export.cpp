@@ -113,6 +113,12 @@ std::string to_openmetrics(const MetricsRegistry& registry) {
 
 std::string to_metrics_json(const MetricsRegistry& registry, const LedgerSummary& ledger,
                             const Profiler::Report* profile) {
+  return to_metrics_json(registry, ledger, profile, std::string{}, std::string{});
+}
+
+std::string to_metrics_json(const MetricsRegistry& registry, const LedgerSummary& ledger,
+                            const Profiler::Report* profile, const std::string& extra_key,
+                            const std::string& extra_json) {
   BufWriter b;
   b.lit("{\n  \"metrics\": {");
   const std::string* last_family = nullptr;
@@ -221,6 +227,12 @@ std::string to_metrics_json(const MetricsRegistry& registry, const LedgerSummary
       b.ch('}');
     }
     b.lit("\n    ]\n  }");
+  }
+  if (!extra_key.empty()) {
+    b.lit(",\n  \"");
+    b.escaped(extra_key);
+    b.lit("\": ");
+    b.str(extra_json);
   }
   b.lit("\n}\n");
   return std::move(b.s);

@@ -30,6 +30,17 @@ namespace rmacsim {
                                           const LedgerSummary& ledger,
                                           const Profiler::Report* profile);
 
+// Same document with one extra top-level member appended after the standard
+// keys: `"<extra_key>": <extra_json>` where `extra_json` is a pre-rendered
+// JSON value.  The campaign coordinator uses this to attach its
+// rmacsim-campaign-aggregate-v1 block while keeping the document readable by
+// tools/metrics_report.py.  Pass an empty key for the plain document.
+[[nodiscard]] std::string to_metrics_json(const MetricsRegistry& registry,
+                                          const LedgerSummary& ledger,
+                                          const Profiler::Report* profile,
+                                          const std::string& extra_key,
+                                          const std::string& extra_json);
+
 // Write the rendered documents to <dir>/<prefix>_metrics.{txt,json}.
 // Returns false if either file could not be written.  Outputs the chosen
 // paths through the string refs.

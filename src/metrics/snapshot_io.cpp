@@ -1,0 +1,103 @@
+#include "metrics/snapshot_io.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/strfmt.hpp"
+
+namespace rmacsim {
+
+namespace {
+
+bool set_error(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+MetricLabels labels_from(const JsonValue& obj) {
+  MetricLabels labels;
+  labels.reserve(obj.size());
+  for (const auto& [k, v] : obj.object()) labels.emplace_back(k, v.as_string());
+  return labels;
+}
+
+}  // namespace
+
+DropReason drop_reason_from_string(std::string_view token) noexcept {
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    const auto r = static_cast<DropReason>(i);
+    if (token == to_string(r)) return r;
+  }
+  return DropReason::kNone;
+}
+
+bool parse_metrics_snapshot(const JsonValue& doc, MetricsRegistry& registry,
+                            LedgerSummary& ledger, std::string* error) {
+  if (!doc.is_object()) return set_error(error, "snapshot: document is not an object");
+  const JsonValue* metrics = doc.find("metrics");
+  const JsonValue* ledger_doc = doc.find("ledger");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return set_error(error, "snapshot: missing \"metrics\" object");
+  }
+  if (ledger_doc == nullptr || !ledger_doc->is_object()) {
+    return set_error(error, "snapshot: missing \"ledger\" object");
+  }
+
+  for (const auto& [family, fam] : metrics->object()) {
+    const std::string& type = fam.at("type").as_string();
+    const JsonValue& series = fam.at("series");
+    if (!series.is_array()) {
+      return set_error(error, cat("snapshot: family ", family, " has no series array"));
+    }
+    for (const JsonValue& s : series.array()) {
+      MetricLabels labels = labels_from(s.at("labels"));
+      if (type == "counter") {
+        registry.counter(family, std::move(labels)).inc(s.at("value").as_u64());
+      } else if (type == "gauge") {
+        registry.gauge(family, std::move(labels)).set(s.at("value").as_number());
+      } else if (type == "histogram") {
+        const JsonValue& bins_doc = s.at("bins");
+        if (!bins_doc.is_array() || bins_doc.size() == 0) {
+          return set_error(error, cat("snapshot: family ", family, " histogram has no bins"));
+        }
+        std::vector<std::uint64_t> bins;
+        bins.reserve(bins_doc.size());
+        for (const JsonValue& b : bins_doc.array()) bins.push_back(b.as_u64());
+        const double lo = s.at("lo").as_number();
+        const double hi = s.at("hi").as_number();
+        // Restore into a scratch histogram, then fold bin-wise so reading
+        // into an accumulator registry behaves exactly like merge().
+        StreamingHistogram scratch{lo, hi, bins.size()};
+        scratch.restore(bins, s.at("underflow").as_u64(), s.at("overflow").as_u64(),
+                        s.at("count").as_u64(), s.at("sum").as_number());
+        registry.histogram(family, lo, hi, bins.size(), std::move(labels)).merge(scratch);
+      } else {
+        return set_error(error, cat("snapshot: family ", family, " has unknown type ", type));
+      }
+    }
+  }
+
+  ledger.journeys += ledger_doc->at("journeys").as_u64();
+  ledger.expected += ledger_doc->at("expected").as_u64();
+  ledger.delivered += ledger_doc->at("delivered").as_u64();
+  for (const auto& [reason_token, count] : ledger_doc->at("dropped").object()) {
+    const DropReason reason = drop_reason_from_string(reason_token);
+    if (reason == DropReason::kNone) {
+      return set_error(error, cat("snapshot: unknown drop reason ", reason_token));
+    }
+    ledger.dropped[static_cast<std::size_t>(reason)] += count.as_u64();
+  }
+  return true;
+}
+
+bool parse_metrics_snapshot(std::string_view text, MetricsRegistry& registry,
+                            LedgerSummary& ledger, std::string* error) {
+  std::string parse_error;
+  const JsonValue doc = JsonValue::parse(text, &parse_error);
+  if (doc.is_null() && !parse_error.empty()) {
+    return set_error(error, cat("snapshot: ", parse_error));
+  }
+  return parse_metrics_snapshot(doc, registry, ledger, error);
+}
+
+}  // namespace rmacsim

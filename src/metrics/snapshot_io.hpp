@@ -1,0 +1,37 @@
+// Metrics snapshot deserialization: the inverse of to_metrics_json.
+//
+// The campaign coordinator receives per-cell metrics documents as JSON text
+// (worker result frames, cached cell records) and folds them into a live
+// aggregate with MetricsRegistry::merge.  This module rebuilds a registry +
+// ledger from such a document.  Reconstruction is exact for everything the
+// exporters read back: counters keep their 64-bit values, gauges their
+// 9-significant-digit doubles, histograms their bins/under/overflow/count/sum
+// (min/max are not exported and collapse to the bin range on restore).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "metrics/loss_ledger.hpp"
+#include "metrics/registry.hpp"
+#include "sim/json.hpp"
+
+namespace rmacsim {
+
+// Inverse of to_string(DropReason); returns kNone for unknown tokens.
+[[nodiscard]] DropReason drop_reason_from_string(std::string_view token) noexcept;
+
+// Rebuild `registry` and `ledger` from a parsed metrics document (the
+// {"metrics": ..., "ledger": ...} shape written by to_metrics_json; extra
+// top-level members such as "profile" or "campaign" are ignored).  Series
+// are folded *into* the given registry — pass a fresh one for a verbatim
+// reconstruction, or an accumulator to merge-on-read.  Returns false and
+// fills `error` (if non-null) when the document lacks the required shape.
+bool parse_metrics_snapshot(const JsonValue& doc, MetricsRegistry& registry,
+                            LedgerSummary& ledger, std::string* error = nullptr);
+
+// Convenience overload: parse the JSON text first.
+bool parse_metrics_snapshot(std::string_view text, MetricsRegistry& registry,
+                            LedgerSummary& ledger, std::string* error = nullptr);
+
+}  // namespace rmacsim

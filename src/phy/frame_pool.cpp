@@ -86,4 +86,13 @@ std::size_t free_blocks() noexcept {
 
 std::size_t outstanding_blocks() noexcept { return pool().outstanding; }
 
+void reset() noexcept {
+  ThreadPool& tp = pool();
+  for (Bucket& b : tp.buckets) {
+    for (void* p : b.free) ::operator delete(p);
+  }
+  tp.buckets.clear();
+  tp.outstanding = 0;
+}
+
 }  // namespace rmacsim::frame_pool

@@ -35,6 +35,13 @@ void deallocate(void* p, std::size_t bytes) noexcept;
 [[nodiscard]] std::size_t free_blocks() noexcept;
 [[nodiscard]] std::size_t outstanding_blocks() noexcept;
 
+// Release this thread's freelist and zero its counters.  Campaign workers
+// call this per cell so pool gauges in the metrics snapshot reflect only the
+// cell's own run — otherwise an in-process serial campaign (workers=0) would
+// snapshot pool state inherited from earlier cells and break byte-identity
+// with the one-process-per-cell path.
+void reset() noexcept;
+
 // Minimal allocator over the freelist for std::allocate_shared.
 template <typename T>
 struct Allocator {

@@ -387,6 +387,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     collect_ledger(reg, r.ledger);
     r.metrics.series = reg.series_count();
     r.metrics.conservation_ok = r.ledger.conservation_ok();
+    if (config.metrics.keep_json) {
+      r.metrics.json = to_metrics_json(
+          reg, r.ledger, profiler.has_value() ? &r.profile.report : nullptr);
+    }
     if (!config.metrics.out_dir.empty()) {
       (void)write_metrics_artifacts(reg, r.ledger,
                                     profiler.has_value() ? &r.profile.report : nullptr,

@@ -128,6 +128,9 @@ struct ExperimentConfig {
     bool enabled{false};
     std::string out_dir{"."};
     std::string prefix{"run"};
+    // Keep the rendered JSON document on MetricsSummary::json — campaign
+    // workers stream it back over a pipe instead of a temp-file round trip.
+    bool keep_json{false};
   };
   MetricsConfig metrics;
 
@@ -196,6 +199,7 @@ struct ExperimentResult {
     bool conservation_ok{false};  // ledger verdict carried into the snapshot
     std::string text_path;        // OpenMetrics artifact ("" if not written)
     std::string json_path;
+    std::string json;             // the JSON document itself (keep_json only)
   };
   MetricsSummary metrics;
 

@@ -1,0 +1,351 @@
+#include "sim/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "sim/strfmt.hpp"
+
+namespace rmacsim {
+
+namespace {
+
+const std::string kEmptyString;
+const JsonValue kNullValue;
+const JsonValue::Array kEmptyArray;
+const JsonValue::Object kEmptyObject;
+
+}  // namespace
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const noexcept {
+  if (!is_number()) return fallback;
+  if (has_int_ && !int_negative_) return int_mag_;
+  if (num_ < 0.0) return fallback;
+  return static_cast<std::uint64_t>(num_);
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const noexcept {
+  if (!is_number()) return fallback;
+  if (has_int_) {
+    if (int_negative_) {
+      if (int_mag_ > static_cast<std::uint64_t>(INT64_MAX) + 1u) return fallback;
+      return -static_cast<std::int64_t>(int_mag_ - 1u) - 1;
+    }
+    if (int_mag_ > static_cast<std::uint64_t>(INT64_MAX)) return fallback;
+    return static_cast<std::int64_t>(int_mag_);
+  }
+  return static_cast<std::int64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const noexcept {
+  return is_string() ? str_ : kEmptyString;
+}
+
+const JsonValue::Array& JsonValue::array() const noexcept {
+  return is_array() && arr_ != nullptr ? *arr_ : kEmptyArray;
+}
+
+const JsonValue::Object& JsonValue::object() const noexcept {
+  return is_object() && obj_ != nullptr ? *obj_ : kEmptyObject;
+}
+
+std::size_t JsonValue::size() const noexcept {
+  if (is_array()) return array().size();
+  if (is_object()) return object().size();
+  return 0;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const noexcept {
+  const JsonValue* v = find(key);
+  return v != nullptr ? *v : kNullValue;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+// Recursive-descent parser.  Depth-capped so a hostile document cannot blow
+// the stack (campaign cell records nest 4-5 levels).
+class JsonParser {
+public:
+  JsonParser(std::string_view text, std::string* error) : text_{text}, error_{error} {}
+
+  JsonValue run() {
+    JsonValue v = value(0);
+    if (failed_) return JsonValue{};
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document");
+      return JsonValue{};
+    }
+    return v;
+  }
+
+private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(const char* what) {
+    if (!failed_ && error_ != nullptr) *error_ = cat("json: ", what, " at byte ", pos_);
+    failed_ = true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    fail("bad literal");
+    return false;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return JsonValue{};
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return JsonValue{};
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object_value(depth);
+      case '[': return array_value(depth);
+      case '"': return string_value();
+      case 't': {
+        JsonValue v;
+        if (literal("true")) {
+          v.kind_ = JsonValue::Kind::kBool;
+          v.bool_ = true;
+        }
+        return v;
+      }
+      case 'f': {
+        JsonValue v;
+        if (literal("false")) v.kind_ = JsonValue::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        (void)literal("null");
+        return JsonValue{};
+      }
+      default: return number_value();
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    std::string s;
+    if (!parse_string(s)) return v;
+    v.kind_ = JsonValue::Kind::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // UTF-8 encode the BMP code point (exporters only escape
+            // control characters, so surrogate pairs never appear in our
+            // own documents; lone surrogates pass through as-is bytes).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  JsonValue number_value() {
+    JsonValue v;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      fail("expected value");
+      return v;
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) {
+      fail("bad number");
+      return v;
+    }
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.num_ = d;
+    // Preserve exact 64-bit integers: counters can exceed 2^53.
+    if (integral) {
+      std::string_view mag = tok;
+      v.int_negative_ = !mag.empty() && mag.front() == '-';
+      if (v.int_negative_) mag.remove_prefix(1);
+      std::uint64_t u = 0;
+      const auto [mp, mec] = std::from_chars(mag.data(), mag.data() + mag.size(), u);
+      if (mec == std::errc{} && mp == mag.data() + mag.size()) {
+        v.has_int_ = true;
+        v.int_mag_ = u;
+      }
+    }
+    return v;
+  }
+
+  JsonValue array_value(int depth) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    v.arr_ = std::make_shared<JsonValue::Array>();
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return v;
+    while (!failed_) {
+      v.arr_->push_back(value(depth + 1));
+      if (failed_) break;
+      skip_ws();
+      if (consume(']')) return v;
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        break;
+      }
+    }
+    return JsonValue{};
+  }
+
+  JsonValue object_value(int depth) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    v.obj_ = std::make_shared<JsonValue::Object>();
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return v;
+    while (!failed_) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) break;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        break;
+      }
+      JsonValue member = value(depth + 1);
+      if (failed_) break;
+      // First key wins; exporters never emit duplicates.
+      if (v.find(key) == nullptr) v.obj_->emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (consume('}')) return v;
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        break;
+      }
+    }
+    return JsonValue{};
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_{0};
+  bool failed_{false};
+};
+
+JsonValue JsonValue::parse(std::string_view text, std::string* error) {
+  return JsonParser{text, error}.run();
+}
+
+}  // namespace rmacsim

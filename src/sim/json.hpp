@@ -1,0 +1,91 @@
+// Minimal self-contained JSON reader for the campaign layer.
+//
+// The simulator's exporters *write* JSON through BufWriter (sim/bufio.hpp);
+// the campaign orchestrator also has to *read* it — worker result frames,
+// cached cell records, and sweep specs all arrive as JSON text from another
+// process or from disk.  The container ships no third-party JSON library, so
+// this is a small recursive-descent parser over an owning document value.
+//
+// Scope is deliberately narrow: UTF-8 text, doubles for numbers (with the
+// exact unsigned/signed value preserved when the token is integral, so
+// 64-bit event counters survive a round trip), objects as insertion-ordered
+// key/value vectors (duplicate keys keep the first).  Nothing here touches
+// the simulation hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rmacsim {
+
+class JsonValue {
+public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  // Parse one complete JSON document (trailing whitespace allowed, anything
+  // else after the value is an error).  On failure returns a kNull value and
+  // fills `error` (if non-null) with a byte-offset diagnostic.
+  [[nodiscard]] static JsonValue parse(std::string_view text, std::string* error = nullptr);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  // Typed accessors; out-of-kind access returns the fallback, never throws —
+  // campaign code validates shape once and then reads fields permissively.
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? num_ : fallback;
+  }
+  // Exact when the source token was integral (no '.', no exponent); numbers
+  // parsed as doubles otherwise round through the double.
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const noexcept;
+  [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const noexcept;
+  [[nodiscard]] const std::string& as_string() const noexcept;
+
+  [[nodiscard]] const Array& array() const noexcept;
+  [[nodiscard]] const Object& object() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  // Object member lookup (linear; campaign documents keep objects small).
+  // Returns nullptr when absent or when this value is not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  // find() that tolerates a missing member by yielding a shared null.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const noexcept;
+
+  // Construction helpers for tests.
+  [[nodiscard]] static JsonValue make_string(std::string s);
+  [[nodiscard]] static JsonValue make_number(double v);
+
+private:
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  double num_{0.0};
+  // Set when the numeric token was integral and fits: exact 64-bit mirror.
+  bool has_int_{false};
+  bool int_negative_{false};
+  std::uint64_t int_mag_{0};
+  std::string str_;
+  // Indirect so JsonValue stays movable/copyable without recursive layout.
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+
+  friend class JsonParser;
+};
+
+}  // namespace rmacsim

@@ -104,6 +104,22 @@ void StreamingHistogram::merge(const StreamingHistogram& other) noexcept {
   for (std::size_t i = 0; i < n; ++i) bins_[i] += other.bins_[i];
 }
 
+void StreamingHistogram::restore(std::span<const std::uint64_t> bins,
+                                 std::uint64_t underflow, std::uint64_t overflow,
+                                 std::uint64_t count, double sum) {
+  const std::size_t n = std::min(bins_.size(), bins.size());
+  std::fill(bins_.begin(), bins_.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) bins_[i] = bins[i];
+  underflow_ = underflow;
+  overflow_ = overflow;
+  count_ = count;
+  sum_ = sum;
+  // min/max are not part of the snapshot; clamp to the range so percentile()
+  // edge cases stay sane on a restored histogram.
+  min_ = count_ > 0 ? lo_ : 0.0;
+  max_ = count_ > 0 ? hi_ : 0.0;
+}
+
 void StreamingHistogram::clear() noexcept {
   std::fill(bins_.begin(), bins_.end(), 0);
   underflow_ = overflow_ = count_ = 0;

@@ -67,6 +67,12 @@ public:
   // bin count); used by the metrics registry to fold per-run snapshots.
   void merge(const StreamingHistogram& other) noexcept;
 
+  // Rebuild state from an exported snapshot (campaign cell records store
+  // bins/underflow/overflow/count/sum but not min/max; those collapse to the
+  // range edges, which no exporter reads back).
+  void restore(std::span<const std::uint64_t> bins, std::uint64_t underflow,
+               std::uint64_t overflow, std::uint64_t count, double sum);
+
   void clear() noexcept;
 
 private:

@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Offline reader for campaign manifests written by run_campaign.
+
+Modes:
+    python3 tools/campaign_report.py campaign_manifest.json
+        Summarize the campaign: totals, per-protocol delivery, the per-cell
+        table (state, attempts, events, conservation).
+
+    python3 tools/campaign_report.py --check campaign_manifest.json
+        Re-verify the campaign from its artifacts alone:
+          * every cell record exists, parses, and carries conservation_ok;
+          * the aggregate's campaign block lists exactly the manifest's keys;
+          * the aggregate snapshot equals the merge of the per-cell
+            snapshots (counters/ledger summed exactly, histograms bin-wise,
+            gauges last-cell-wins in manifest order).
+        Exits 1 on any violation — CI runs this on the campaign artifacts.
+
+    python3 tools/campaign_report.py --check --expect-cached 0.9 manifest.json
+        Additionally require >= 90% of cells to have come from the result
+        store (cache-effectiveness gate for re-run jobs).
+
+    python3 tools/campaign_report.py --diff a_manifest.json b_manifest.json
+        Cell-by-cell comparison of two campaigns by cell label: paper-figure
+        deltas (delivery ratio, delay, drops) for common cells, plus cells
+        present in only one campaign.
+
+Stdlib only — no third-party imports, runnable anywhere the repo checks out.
+"""
+import json
+import sys
+
+MANIFEST_SCHEMA = "rmacsim-campaign-v1"
+AGGREGATE_SCHEMA = "rmacsim-campaign-aggregate-v1"
+CELL_SCHEMA = "rmacsim-cell-v1"
+
+# Figures compared by --diff: (record key, display name, print format).
+DIFF_FIGURES = [
+    ("delivery_ratio", "delivery", "{:+.4f}"),
+    ("avg_delay_s", "delay_s", "{:+.4f}"),
+    ("p99_delay_s", "p99_delay_s", "{:+.4f}"),
+    ("avg_drop_ratio", "drop", "{:+.4f}"),
+    ("avg_retx_ratio", "retx", "{:+.4f}"),
+]
+
+
+def load_manifest(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        sys.exit(f"{path}: schema {schema!r} is not {MANIFEST_SCHEMA!r} — "
+                 f"pass the <prefix>_manifest.json written by run_campaign")
+    return doc
+
+
+def load_record(path):
+    with open(path) as f:
+        rec = json.load(f)
+    if rec.get("schema") != CELL_SCHEMA:
+        sys.exit(f"{path}: not a {CELL_SCHEMA} record")
+    return rec
+
+
+def summarize(path):
+    m = load_manifest(path)
+    print(f"campaign: {m['total']} cells at revision {m['revision']} — "
+          f"{m['cached']} cached, {m['ran']} ran, {m['failed']} failed, "
+          f"{m['retries']} retries")
+    print(f"  {m['events']} events in {m['wall_s']:.1f} s wall; conservation "
+          f"{'OK' if m['conservation_ok'] else 'VIOLATED'}")
+    print(f"  store {m['store']}\n  aggregate {m['aggregate']}")
+
+    # Per-protocol delivery, read from the cell records.
+    per_proto = {}
+    for cell in m["cells"]:
+        if cell["state"] == "failed":
+            continue
+        rec = load_record(cell["record"])
+        proto = cell["label"].split("/", 1)[0]
+        agg = per_proto.setdefault(proto, {"cells": 0, "delivered": 0, "expected": 0})
+        agg["cells"] += 1
+        agg["delivered"] += int(rec["figures"]["delivered"])
+        agg["expected"] += int(rec["figures"]["expected"])
+    if per_proto:
+        print("\nper-protocol delivery:")
+        for proto in sorted(per_proto):
+            a = per_proto[proto]
+            ratio = a["delivered"] / a["expected"] if a["expected"] else 0.0
+            print(f"  {proto:<12} {a['cells']:>4} cells  "
+                  f"{a['delivered']}/{a['expected']}  ({ratio:.4f})")
+
+    print(f"\n{'cell':<40} {'state':<8} {'att':>3} {'events':>12}  conservation")
+    for cell in m["cells"]:
+        note = "ok" if cell["conservation_ok"] else "VIOLATED"
+        if cell["state"] == "failed":
+            note = cell["error"].splitlines()[0] if cell["error"] else "failed"
+        print(f"{cell['label']:<40} {cell['state']:<8} {cell['attempts']:>3} "
+              f"{cell['events']:>12}  {note}")
+    return 0
+
+
+def merge_snapshots(snapshots):
+    """Reference merge in manifest cell order: counters add, gauges take the
+    last writer, histograms add bin-wise.  Mirrors MetricsRegistry::merge."""
+    families = {}
+    ledger = {"journeys": 0, "expected": 0, "delivered": 0, "dropped": {}}
+    for snap in snapshots:
+        for name, fam in snap["metrics"].items():
+            out = families.setdefault(name, {"type": fam["type"], "series": {}})
+            for s in fam["series"]:
+                key = tuple(sorted(s["labels"].items()))
+                if fam["type"] == "counter":
+                    prev = out["series"].get(key, 0)
+                    out["series"][key] = prev + int(s["value"])
+                elif fam["type"] == "gauge":
+                    out["series"][key] = float(s["value"])
+                else:  # histogram
+                    prev = out["series"].get(key)
+                    if prev is None:
+                        out["series"][key] = {
+                            "count": int(s["count"]), "sum": float(s["sum"]),
+                            "underflow": int(s["underflow"]),
+                            "overflow": int(s["overflow"]),
+                            "bins": [int(b) for b in s["bins"]],
+                        }
+                    else:
+                        prev["count"] += int(s["count"])
+                        prev["sum"] += float(s["sum"])
+                        prev["underflow"] += int(s["underflow"])
+                        prev["overflow"] += int(s["overflow"])
+                        prev["bins"] = [a + int(b) for a, b in zip(prev["bins"], s["bins"])]
+        led = snap["ledger"]
+        ledger["journeys"] += int(led["journeys"])
+        ledger["expected"] += int(led["expected"])
+        ledger["delivered"] += int(led["delivered"])
+        for reason, n in led["dropped"].items():
+            ledger["dropped"][reason] = ledger["dropped"].get(reason, 0) + int(n)
+    return families, ledger
+
+
+def fmt_series(name, key):
+    if not key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+def check(path, expect_cached=None):
+    m = load_manifest(path)
+    problems = []
+
+    # 1. Per-cell gates: stored record present + conserved for every
+    #    non-failed cell; failed cells fail the campaign outright.
+    records = {}
+    for cell in m["cells"]:
+        if cell["state"] == "failed":
+            problems.append(f"cell {cell['label']}: failed after "
+                            f"{cell['attempts']} attempts: {cell['error']}")
+            continue
+        rec = load_record(cell["record"])
+        records[cell["key"]] = rec
+        if rec["key"] != cell["key"]:
+            problems.append(f"cell {cell['label']}: record key {rec['key']} != "
+                            f"manifest key {cell['key']}")
+        if not cell["conservation_ok"]:
+            problems.append(f"cell {cell['label']}: conservation flag is false")
+        snap = json.loads(rec["snapshot"])
+        if not snap["ledger"].get("conservation_ok", False):
+            problems.append(f"cell {cell['label']}: snapshot ledger not conserved")
+
+    # 2. Aggregate campaign block lists exactly the manifest's keys, in order.
+    with open(m["aggregate"]) as f:
+        agg = json.load(f)
+    block = agg.get("campaign", {})
+    if block.get("schema") != AGGREGATE_SCHEMA:
+        problems.append(f"aggregate: campaign block schema {block.get('schema')!r} "
+                        f"is not {AGGREGATE_SCHEMA!r}")
+    manifest_keys = [c["key"] for c in m["cells"] if c["state"] != "failed"]
+    if block.get("keys") != manifest_keys:
+        problems.append("aggregate: campaign block keys do not match the "
+                        "manifest's cell keys in order")
+
+    # 3. The aggregate snapshot is the merge of the per-cell snapshots.
+    snapshots = [json.loads(records[k]["snapshot"]) for k in manifest_keys if k in records]
+    families, ledger = merge_snapshots(snapshots)
+    for name, fam in families.items():
+        agg_fam = agg["metrics"].get(name)
+        if agg_fam is None:
+            problems.append(f"aggregate: family {name} missing")
+            continue
+        agg_series = {tuple(sorted(s["labels"].items())): s for s in agg_fam["series"]}
+        for key, want in fam["series"].items():
+            got = agg_series.get(key)
+            if got is None:
+                problems.append(f"aggregate: series {fmt_series(name, key)} missing")
+            elif fam["type"] == "counter" and int(got["value"]) != want:
+                problems.append(f"aggregate: {fmt_series(name, key)} = "
+                                f"{got['value']}, sum of cells = {want}")
+            elif fam["type"] == "gauge" and float(got["value"]) != want:
+                problems.append(f"aggregate: {fmt_series(name, key)} = "
+                                f"{got['value']}, last cell = {want}")
+            elif fam["type"] == "histogram":
+                if (int(got["count"]) != want["count"]
+                        or [int(b) for b in got["bins"]] != want["bins"]):
+                    problems.append(f"aggregate: histogram {fmt_series(name, key)} "
+                                    f"count/bins differ from cell-wise sum")
+    for field in ("journeys", "expected", "delivered"):
+        if int(agg["ledger"][field]) != ledger[field]:
+            problems.append(f"aggregate ledger {field} {agg['ledger'][field]} != "
+                            f"sum of cells {ledger[field]}")
+    for reason, n in ledger["dropped"].items():
+        if int(agg["ledger"]["dropped"].get(reason, 0)) != n:
+            problems.append(f"aggregate ledger dropped[{reason}] "
+                            f"{agg['ledger']['dropped'].get(reason)} != {n}")
+
+    # 4. Optional cache-effectiveness gate.
+    if expect_cached is not None and m["total"]:
+        ratio = m["cached"] / m["total"]
+        if ratio < expect_cached:
+            problems.append(f"cache hits {m['cached']}/{m['total']} "
+                            f"({ratio:.0%}) below required {expect_cached:.0%}")
+
+    if problems:
+        print(f"{path}: FAIL")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"{path}: ok — {len(manifest_keys)} cells, aggregate = sum of cell "
+          f"snapshots, all conserved"
+          + (f", {m['cached']}/{m['total']} cached" if expect_cached is not None else ""))
+    return 0
+
+
+def diff(path_a, path_b):
+    a, b = load_manifest(path_a), load_manifest(path_b)
+    cells_a = {c["label"]: c for c in a["cells"]}
+    cells_b = {c["label"]: c for c in b["cells"]}
+    changed = 0
+    for label in sorted(set(cells_a) | set(cells_b)):
+        if label not in cells_a:
+            print(f"+ {label}  (only in {path_b})")
+            changed += 1
+            continue
+        if label not in cells_b:
+            print(f"- {label}  (only in {path_a})")
+            changed += 1
+            continue
+        ca, cb = cells_a[label], cells_b[label]
+        if ca["state"] == "failed" or cb["state"] == "failed":
+            print(f"! {label}: state {ca['state']} vs {cb['state']}")
+            changed += 1
+            continue
+        fa = load_record(ca["record"])["figures"]
+        fb = load_record(cb["record"])["figures"]
+        deltas = []
+        for key, name, fmt in DIFF_FIGURES:
+            da, db = float(fa[key]), float(fb[key])
+            if da != db:
+                deltas.append(f"{name} {da:.4f} -> {db:.4f} ({fmt.format(db - da)})")
+        if deltas:
+            print(f"  {label}: " + "; ".join(deltas))
+            changed += 1
+    if not changed:
+        print("campaigns identical cell-by-cell")
+    return 0
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    if args[0] == "--check":
+        args = args[1:]
+        expect_cached = None
+        if args and args[0] == "--expect-cached":
+            if len(args) < 2:
+                print(__doc__)
+                return 2
+            expect_cached = float(args[1])
+            args = args[2:]
+        if len(args) != 1:
+            print(__doc__)
+            return 2
+        return check(args[0], expect_cached)
+    if args[0] == "--diff":
+        if len(args) != 3:
+            print(__doc__)
+            return 2
+        return diff(args[1], args[2])
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    return summarize(args[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ Modes:
     python3 tools/metrics_report.py --diff a_metrics.json b_metrics.json
         Per-series delta between two snapshots (counters/gauges by value,
         histograms by count/sum); prints series present in only one side.
+        Campaign aggregate snapshots (<prefix>_aggregate_metrics.json) diff
+        the same way; for cell-by-cell campaign comparisons use
+        tools/campaign_report.py --diff on the manifests.
 
 Stdlib only — no third-party imports, runnable anywhere the repo checks out.
 """
@@ -28,6 +31,11 @@ def load(path):
         doc = json.load(f)
     for key in ("metrics", "ledger"):
         if key not in doc:
+            schema = doc.get("schema", "")
+            if str(schema).startswith("rmacsim-campaign"):
+                sys.exit(f"{path}: {schema} is a campaign artifact, not a metrics "
+                         f"snapshot — use tools/campaign_report.py (pass the "
+                         f"<prefix>_aggregate_metrics.json here instead)")
             sys.exit(f"{path}: missing top-level '{key}' — not a metrics snapshot")
     return doc
 
@@ -138,7 +146,23 @@ def summarize(path):
 
 
 def diff(path_a, path_b):
-    a, b = series_map(load(path_a)), series_map(load(path_b))
+    doc_a, doc_b = load(path_a), load(path_b)
+    # Campaign aggregates (to_metrics_json + a "campaign" block) diff like any
+    # snapshot, but only comparable cell sets make the per-series deltas
+    # meaningful — flag mismatches and point at the cell-by-cell tool.
+    camp_a, camp_b = doc_a.get("campaign"), doc_b.get("campaign")
+    if (camp_a is None) != (camp_b is None):
+        sys.exit("cannot diff a campaign aggregate against a single-run "
+                 "snapshot — aggregate values are sums over cells; use "
+                 "tools/campaign_report.py --diff for campaign comparisons")
+    if camp_a is not None:
+        print(f"campaign aggregates: {camp_a['cells']} vs {camp_b['cells']} cells "
+              f"(revisions {camp_a['revision']} vs {camp_b['revision']})")
+        if camp_a["keys"] != camp_b["keys"]:
+            print("note: cell sets differ — per-series deltas below mix grid and "
+                  "behavior changes; tools/campaign_report.py --diff compares "
+                  "cell-by-cell")
+    a, b = series_map(doc_a), series_map(doc_b)
     keys = sorted(set(a) | set(b))
     changed = 0
     for key in keys:
